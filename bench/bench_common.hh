@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper as
+ * a text table: the same rows/series the paper reports, computed on
+ * this repository's models. EXPERIMENTS.md records the comparison
+ * against the published numbers.
+ */
+
+#ifndef RANA_BENCH_BENCH_COMMON_HH_
+#define RANA_BENCH_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/design_point.hh"
+#include "core/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace rana {
+namespace bench {
+
+/** Format a words count in the paper's "MB" (bytes / 1,024,000). */
+inline std::string
+paperMb(std::uint64_t words)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fMB",
+                  static_cast<double>(wordsToBytes(words)) / 1024000.0);
+    return buf;
+}
+
+/** Format a ratio with three decimals. */
+inline std::string
+ratio(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+/** Print a standard header naming the reproduced artifact. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "==================================================\n"
+              << "RANA reproduction: " << what << "\n"
+              << "==================================================\n\n";
+}
+
+/** The four benchmark networks in paper order. */
+inline const std::vector<NetworkModel> &
+networks()
+{
+    static const std::vector<NetworkModel> nets = makeBenchmarkSuite();
+    return nets;
+}
+
+/** The shared retention distribution. */
+inline const RetentionDistribution &
+retention()
+{
+    static const RetentionDistribution dist =
+        RetentionDistribution::typical65nm();
+    return dist;
+}
+
+} // namespace bench
+} // namespace rana
+
+#endif // RANA_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Figure 11: relative accuracy under retention failure
+ * rates 1e-5 .. 1e-1 for the four benchmark stand-ins, using the
+ * retention-aware training method (fixed-point pretrain, bit-level
+ * error injection, retrain, evaluate under injection).
+ *
+ * ImageNet/Caffe is replaced by the synthetic dataset and the mini
+ * model zoo (see DESIGN.md); the experiment's shape — no loss at
+ * 1e-5, gradual decay from 1e-4 — is what this harness checks.
+ *
+ * Set RANA_FAST=1 for a quick low-fidelity run.
+ */
+
+#include "bench_common.hh"
+
+#include <cstdlib>
+
+#include "train/trainer.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Figure 11 - relative accuracy vs retention failure rate");
+
+    const bool fast = std::getenv("RANA_FAST") != nullptr;
+
+    DatasetConfig dataset;
+    TrainerConfig trainer_config;
+    if (fast) {
+        dataset.trainSamples = 512;
+        dataset.testSamples = 256;
+        trainer_config.pretrainEpochs = 4;
+        trainer_config.retrainEpochs = 2;
+        trainer_config.evalRepeats = 2;
+    }
+
+    const std::vector<double> rates = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+
+    TextTable table;
+    table.header({"Model (stand-in)", "baseline", "1e-5", "1e-4",
+                  "1e-3", "1e-2", "1e-1"});
+    double tolerable_at_e5 = 1.0;
+    for (MiniModelKind kind : allMiniModels()) {
+        RetentionAwareTrainer trainer(kind, dataset, trainer_config);
+        const double baseline = trainer.pretrain();
+        std::vector<std::string> row = {miniModelName(kind),
+                                        formatPercent(baseline)};
+        for (double rate : rates) {
+            const AccuracyPoint point =
+                trainer.retrainAndEvaluate(rate);
+            row.push_back(formatPercent(point.relativeAccuracy));
+            if (rate == 1e-5) {
+                tolerable_at_e5 =
+                    std::min(tolerable_at_e5, point.relativeAccuracy);
+            }
+        }
+        table.row(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nWorst relative accuracy at the 1e-5 operating "
+                 "point: "
+              << formatPercent(tolerable_at_e5)
+              << "\nPaper: all four benchmarks show no accuracy loss "
+                 "at 1e-5; accuracy decreases gradually from 1e-4.\n"
+              << "Tolerable retention time at 1e-5: "
+              << formatTime(retention().retentionTimeFor(1e-5))
+              << "\n";
+    return 0;
+}

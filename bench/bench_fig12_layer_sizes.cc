@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 12: per-layer input/output/weight sizes of
+ * ResNet (16-bit, 224x224x3 input), showing that activations
+ * dominate shallow layers while weights dominate deep layers —
+ * the complementarity that motivates the WD pattern.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Figure 12 - layer size analysis of ResNet (16-bit)");
+
+    const NetworkModel net = makeResNet50();
+    TextTable table;
+    table.header({"Layer", "Inputs", "Outputs", "Weights",
+                  "Dominant"});
+    for (const auto &layer : net.layers()) {
+        const std::uint64_t in = layer.inputWords();
+        const std::uint64_t out = layer.outputWords();
+        const std::uint64_t w = layer.weightWords();
+        const char *dominant =
+            w >= in && w >= out ? "weights"
+                                : (in >= out ? "inputs" : "outputs");
+        table.row({layer.name, paperMb(in), paperMb(out), paperMb(w),
+                   dominant});
+    }
+    table.print(std::cout);
+
+    // Shallow (res2) vs deep (res5) aggregate comparison.
+    auto stage_sum = [&net](const std::string &prefix) {
+        std::uint64_t act = 0;
+        std::uint64_t weights = 0;
+        for (const auto &layer : net.layers()) {
+            if (layer.name.rfind(prefix, 0) == 0) {
+                act += layer.inputWords() + layer.outputWords();
+                weights += layer.weightWords();
+            }
+        }
+        return std::pair<std::uint64_t, std::uint64_t>(act, weights);
+    };
+    const auto [shallow_act, shallow_w] = stage_sum("res2");
+    const auto [deep_act, deep_w] = stage_sum("res5");
+    std::cout << "\nres2 stage: activations " << paperMb(shallow_act)
+              << " vs weights " << paperMb(shallow_w)
+              << "\nres5 stage: activations " << paperMb(deep_act)
+              << " vs weights " << paperMb(deep_w)
+              << "\nPaper: inputs/outputs dominate shallow layers; "
+                 "weight size grows as layers deepen.\n";
+    return 0;
+}

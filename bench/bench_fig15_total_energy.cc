@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduces Figure 15: total system energy of the six Table-IV
+ * designs on the four benchmarks, normalized to S+ID, plus the
+ * GMEAN column and the headline statistics of Section V-B1
+ * (off-chip access saved, refresh operations removed, total system
+ * energy saved by RANA*(E-5) vs. the baselines).
+ */
+
+#include "bench_common.hh"
+
+#include "util/ascii_chart.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Figure 15 - total system energy comparison");
+
+    const auto designs = tableIvDesigns(retention());
+    const auto &nets = networks();
+
+    // results[d][n]
+    std::vector<std::vector<DesignResult>> results;
+    for (const auto &design : designs)
+        results.push_back(runDesignSuite(design, nets));
+
+    TextTable table;
+    {
+        std::vector<std::string> header = {"Design"};
+        for (const auto &net : nets)
+            header.push_back(net.name());
+        header.push_back("GMEAN");
+        table.header(header);
+    }
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        std::vector<std::string> row = {designs[d].name};
+        std::vector<double> norms;
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+            const double norm = results[d][n].energy.total() /
+                                results[0][n].energy.total();
+            norms.push_back(norm);
+            row.push_back(ratio(norm));
+        }
+        row.push_back(ratio(geomean(norms)));
+        table.row(row);
+    }
+    table.print(std::cout);
+
+    // Component breakdown per design (summed over networks).
+    std::cout << "\nEnergy breakdown summed over the four networks:\n";
+    TextTable parts;
+    parts.header({"Design", "Computing", "Buffer", "Refresh",
+                  "Off-chip", "Total"});
+    std::vector<EnergyBreakdown> sums(designs.size());
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        for (std::size_t n = 0; n < nets.size(); ++n)
+            sums[d] += results[d][n].energy;
+        parts.row({designs[d].name, formatEnergy(sums[d].computing),
+                   formatEnergy(sums[d].bufferAccess),
+                   formatEnergy(sums[d].refresh),
+                   formatEnergy(sums[d].offChipAccess),
+                   formatEnergy(sums[d].total())});
+    }
+    parts.print(std::cout);
+
+    // Figure-style stacked bars, normalized per network to S+ID.
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+        BarChart chart("\n" + nets[n].name() +
+                       " (normalized to S+ID)");
+        chart.segments({"computing", "buffer", "refresh",
+                        "off-chip"});
+        const double base = results[0][n].energy.total();
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            const EnergyBreakdown &e = results[d][n].energy;
+            chart.bar(designs[d].name,
+                      {e.computing / base, e.bufferAccess / base,
+                       e.refresh / base, e.offChipAccess / base});
+        }
+        chart.print(std::cout);
+    }
+
+    // Headline statistics (Section V-B1).
+    auto avg_saving = [&](std::size_t d_new, std::size_t d_base,
+                          auto metric) {
+        std::vector<double> savings;
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+            const double base = metric(results[d_base][n]);
+            const double now = metric(results[d_new][n]);
+            if (base > 0.0)
+                savings.push_back(1.0 - now / base);
+        }
+        return mean(savings);
+    };
+    const auto offchip = [](const DesignResult &r) {
+        return static_cast<double>(r.counts.ddrAccesses);
+    };
+    const auto refresh_ops = [](const DesignResult &r) {
+        return static_cast<double>(r.counts.refreshOps);
+    };
+    const auto total_energy = [](const DesignResult &r) {
+        return r.energy.total();
+    };
+
+    std::cout << "\nHeadline comparison (average over networks):\n"
+              << "  eD+ID vs S+ID off-chip access saved:      "
+              << formatPercent(avg_saving(1, 0, offchip))
+              << "  (paper: 40.3%)\n"
+              << "  eD+OD vs eD+ID refresh energy saved:      "
+              << formatPercent(1.0 - sums[2].refresh / sums[1].refresh)
+              << "  (paper: 43.7%)\n"
+              << "  RANA(0) vs eD+OD total energy (VGG):      "
+              << formatPercent(1.0 - results[3][1].energy.total() /
+                                         results[2][1].energy.total())
+              << "  (paper: 19.4%)\n"
+              << "  RANA(E-5) vs RANA(0) refresh ops removed: "
+              << formatPercent(avg_saving(4, 3, refresh_ops))
+              << "  (paper: 98.5%)\n"
+              << "  RANA*(E-5) vs eD+ID refresh ops removed:  "
+              << formatPercent(avg_saving(5, 1, refresh_ops))
+              << "  (paper: 99.7%)\n"
+              << "  RANA*(E-5) vs S+ID off-chip access saved: "
+              << formatPercent(avg_saving(5, 0, offchip))
+              << "  (paper: 41.7%)\n"
+              << "  RANA*(E-5) vs S+ID system energy saved:   "
+              << formatPercent(avg_saving(5, 0, total_energy))
+              << "  (paper: 66.2%)\n"
+              << "  RANA*(E-5) refresh share of total energy: "
+              << formatPercent(sums[5].refresh / sums[5].total())
+              << "  (paper: 0.4%)\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Figure 19: scalability analysis on DaDianNao. One node
+ * (4096 PEs, 64x64, 606MHz, 36MB eDRAM, fixed <64,64,1,1> tiling)
+ * is strengthened with RANA (0) / RANA (E-5) / RANA*(E-5); energies
+ * are normalized per network to the original DaDianNao.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Figure 19 - scalability analysis on DaDianNao");
+
+    const auto designs = daDianNaoDesigns(retention());
+    const auto &nets = networks();
+
+    std::vector<std::vector<DesignResult>> results;
+    for (const auto &design : designs)
+        results.push_back(runDesignSuite(design, nets));
+
+    TextTable table;
+    {
+        std::vector<std::string> header = {"Design"};
+        for (const auto &net : nets)
+            header.push_back(net.name());
+        header.push_back("GMEAN");
+        table.header(header);
+    }
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        std::vector<std::string> row = {designs[d].name};
+        std::vector<double> norms;
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+            const double norm = results[d][n].energy.total() /
+                                results[0][n].energy.total();
+            norms.push_back(norm);
+            row.push_back(ratio(norm));
+        }
+        row.push_back(ratio(geomean(norms)));
+        table.row(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBreakdown summed over networks:\n";
+    TextTable parts;
+    parts.header({"Design", "Computing", "Buffer", "Refresh",
+                  "Off-chip"});
+    std::vector<EnergyBreakdown> sums(designs.size());
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        for (std::size_t n = 0; n < nets.size(); ++n)
+            sums[d] += results[d][n].energy;
+        parts.row({designs[d].name, formatEnergy(sums[d].computing),
+                   formatEnergy(sums[d].bufferAccess),
+                   formatEnergy(sums[d].refresh),
+                   formatEnergy(sums[d].offChipAccess)});
+    }
+    parts.print(std::cout);
+
+    auto count_sum = [&results, &nets](std::size_t d, auto metric) {
+        double total = 0.0;
+        for (std::size_t n = 0; n < nets.size(); ++n)
+            total += metric(results[d][n]);
+        return total;
+    };
+    const auto refresh_ops = [](const DesignResult &r) {
+        return static_cast<double>(r.counts.refreshOps);
+    };
+
+    std::cout
+        << "\nHeadline comparison:\n"
+        << "  Buffer-access share of original DaDianNao energy: "
+        << formatPercent(sums[0].bufferAccess / sums[0].total())
+        << "  (paper: 23.5%)\n"
+        << "  RANA (0) buffer access saved vs DaDianNao:        "
+        << formatPercent(1.0 -
+                         sums[1].bufferAccess / sums[0].bufferAccess)
+        << "  (paper: 97.2%)\n"
+        << "  RANA (E-5) refresh energy saved vs RANA (0):      "
+        << formatPercent(1.0 - sums[2].refresh / sums[1].refresh)
+        << "  (paper: 94.9%)\n"
+        << "  RANA*(E-5) refresh ops removed vs DaDianNao:      "
+        << formatPercent(1.0 - count_sum(3, refresh_ops) /
+                                   count_sum(0, refresh_ops))
+        << "  (paper: 99.9%)\n"
+        << "  RANA*(E-5) system energy saved vs DaDianNao:      "
+        << formatPercent(1.0 - sums[3].total() / sums[0].total())
+        << "  (paper: 69.4%)\n"
+        << "  Off-chip access change:                           "
+        << formatPercent(sums[3].offChipAccess /
+                             sums[0].offChipAccess -
+                         1.0)
+        << "  (paper: none)\n";
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework's hot paths:
+ * layer analysis, tiling search, trace simulation, refresh
+ * accounting, error injection and the training kernels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nn/model_zoo.hh"
+#include "sched/layer_scheduler.hh"
+#include "sim/loopnest_simulator.hh"
+#include "sim/pattern_analytics.hh"
+#include "train/layers.hh"
+#include "train/loss.hh"
+#include "train/trainer.hh"
+
+namespace {
+
+using namespace rana;
+
+void
+BM_AnalyzeLayer(benchmark::State &state)
+{
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const ConvLayerSpec layer = makeVgg16().findLayer("conv4_2");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzeLayer(
+            config, layer, ComputationPattern::OD, {16, 16, 7, 7}));
+    }
+}
+BENCHMARK(BM_AnalyzeLayer);
+
+void
+BM_ScheduleLayer(benchmark::State &state)
+{
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const ConvLayerSpec layer = makeVgg16().findLayer("conv4_2");
+    SchedulerOptions options;
+    options.policy = RefreshPolicy::PerBank;
+    options.refreshIntervalSeconds = 734e-6;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheduleLayer(config, layer, options));
+}
+BENCHMARK(BM_ScheduleLayer);
+
+void
+BM_ScheduleResNet(benchmark::State &state)
+{
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const NetworkModel net = makeResNet50();
+    SchedulerOptions options;
+    options.policy = RefreshPolicy::PerBank;
+    options.refreshIntervalSeconds = 734e-6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleNetwork(config, net, options));
+    }
+}
+BENCHMARK(BM_ScheduleResNet)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceSimulateLayer(benchmark::State &state)
+{
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const ConvLayerSpec layer = makeVgg16().findLayer("conv4_2");
+    const LayerAnalysis analysis = analyzeLayer(
+        config, layer, ComputationPattern::OD, {16, 16, 7, 7});
+    std::uint64_t tiles = 0;
+    for (auto _ : state) {
+        LoopNestSimulator sim(config, RefreshPolicy::PerBank, 734e-6);
+        benchmark::DoNotOptimize(sim.runLayer(layer, analysis));
+        tiles += tripCounts(layer, analysis.tiling).total();
+    }
+    state.counters["tiles/s"] = benchmark::Counter(
+        static_cast<double>(tiles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceSimulateLayer)->Unit(benchmark::kMillisecond);
+
+void
+BM_RefreshAccounting(benchmark::State &state)
+{
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const ConvLayerSpec layer = makeVgg16().findLayer("conv4_2");
+    const LayerAnalysis analysis = analyzeLayer(
+        config, layer, ComputationPattern::OD, {16, 16, 7, 7});
+    const LayerRefreshDemand demand = refreshDemand(config, analysis);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            refreshOpsForLayer(RefreshPolicy::PerBank, config.buffer,
+                               demand, 45e-6));
+    }
+}
+BENCHMARK(BM_RefreshAccounting);
+
+void
+BM_ErrorInjectionSparse(benchmark::State &state)
+{
+    const FixedPointFormat format{12};
+    Tensor tensor({1u << 16});
+    tensor.fill(0.5f);
+    BitErrorInjector injector(1e-5, 7);
+    for (auto _ : state) {
+        Tensor copy = tensor;
+        benchmark::DoNotOptimize(
+            injector.corruptTensor(copy, format));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(tensor.size() * 2));
+}
+BENCHMARK(BM_ErrorInjectionSparse);
+
+void
+BM_ErrorInjectionDense(benchmark::State &state)
+{
+    const FixedPointFormat format{12};
+    Tensor tensor({1u << 14});
+    tensor.fill(0.5f);
+    BitErrorInjector injector(1e-2, 7);
+    for (auto _ : state) {
+        Tensor copy = tensor;
+        benchmark::DoNotOptimize(
+            injector.corruptTensor(copy, format));
+    }
+}
+BENCHMARK(BM_ErrorInjectionDense);
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    Rng rng(3);
+    Conv2dLayer conv(8, 16, 3, 1, 1, rng);
+    Tensor input({8, 8, 16, 16});
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    ForwardContext ctx;
+    ctx.training = false;
+    std::uint64_t macs = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.forward(input, ctx));
+        macs += 8ull * 16 * 16 * 16 * 8 * 9;
+    }
+    state.counters["MACs/s"] = benchmark::Counter(
+        static_cast<double>(macs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_TrainingStep(benchmark::State &state)
+{
+    Rng rng(5);
+    auto model = makeMiniModel(MiniModelKind::MiniVgg, 16, 8, rng);
+    SgdOptimizer optimizer(model->params(), 0.05);
+    DatasetConfig config;
+    config.trainSamples = 64;
+    config.testSamples = 8;
+    SyntheticDataset dataset(config);
+    const Batch batch = dataset.trainBatch(0, 32);
+    const FixedPointFormat format{12};
+    BitErrorInjector injector(1e-5, 11);
+    ForwardContext ctx;
+    ctx.quant = &format;
+    ctx.injector = &injector;
+    for (auto _ : state) {
+        optimizer.zeroGrad();
+        const Tensor logits = model->forward(batch.images, ctx);
+        const LossResult loss =
+            softmaxCrossEntropy(logits, batch.labels);
+        model->backward(loss.gradLogits);
+        optimizer.step();
+    }
+}
+BENCHMARK(BM_TrainingStep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Table I: data storage requirements of the four
+ * benchmark CNNs (16-bit, 224x224x3 input) — the maximum per-layer
+ * input, output and weight storage.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Table I - data storage requirements of CNNs (16-bit)");
+
+    TextTable table;
+    table.header({"CNN Model", "Max. Layer Inputs",
+                  "Max. Layer Outputs", "Max. Layer Weights",
+                  "CONV layers", "Total MACs"});
+    for (const NetworkModel &net : networks()) {
+        char macs[32];
+        std::snprintf(macs, sizeof(macs), "%.2fG",
+                      static_cast<double>(net.totalMacs()) / 1e9);
+        table.row({net.name(), paperMb(net.maxInputWords()),
+                   paperMb(net.maxOutputWords()),
+                   paperMb(net.maxWeightWords()),
+                   std::to_string(net.size()), macs});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper Table I: AlexNet 0.30/0.57/1.73MB, VGG "
+                 "6.27/6.27/4.61MB,\nGoogLeNet 0.39/1.57/1.30MB, "
+                 "ResNet 1.57/1.57/4.61MB.\n";
+    return 0;
+}

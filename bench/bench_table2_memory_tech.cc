@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table II: SRAM vs eDRAM characteristics (32KB macros,
+ * 65nm), plus the equal-area buffer capacity derivation used by the
+ * evaluation platform (384KB SRAM -> ~1.45MB eDRAM).
+ */
+
+#include "bench_common.hh"
+
+#include "energy/technology.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Table II - SRAM vs eDRAM characteristics (32KB, 65nm)");
+
+    TextTable table;
+    table.header({"", "SRAM", "eDRAM"});
+    const MemoryMacroParams sram = sramMacro65nm();
+    const MemoryMacroParams edram = edramMacro65nm();
+    table.row({"Data Storage", "Latch", "Capacitor"});
+    table.row({"Area", formatDouble(sram.areaMm2, 3) + "mm2",
+               formatDouble(edram.areaMm2, 3) + "mm2"});
+    table.row({"Access Latency",
+               formatTime(sram.accessLatencySeconds),
+               formatTime(edram.accessLatencySeconds)});
+    table.row({"Access Energy",
+               formatDouble(sram.accessEnergyPerBit / 1e-12, 3) +
+                   "pJ/bit",
+               formatDouble(edram.accessEnergyPerBit / 1e-12, 3) +
+                   "pJ/bit"});
+    table.row({"Refresh Energy", "-",
+               formatDouble(edram.refreshEnergyPerBank / 1e-6, 3) +
+                   "uJ/bank"});
+    table.row({"Retention Time", "-",
+               formatTime(retention().worstCaseRetention())});
+    table.print(std::cout);
+
+    std::cout << "\nDerived: eDRAM area = "
+              << formatPercent(edram.areaMm2 / sram.areaMm2)
+              << " of SRAM; 12 SRAM banks (384KB) -> "
+              << equalAreaEdramBanks(12) << " eDRAM banks ("
+              << formatBytes(static_cast<std::uint64_t>(
+                     equalAreaEdramBanks(12)) *
+                             edram.capacityBytes)
+              << ") at equal area.\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Table III: per-operation energy costs in the 65nm node
+ * and their cost relative to one 16-bit MAC.
+ */
+
+#include "bench_common.hh"
+
+#include "energy/energy_table.hh"
+
+int
+main()
+{
+    using namespace rana;
+    using namespace rana::bench;
+
+    banner("Table III - energy cost in the 65nm technology node");
+
+    const EnergyTable edram = energyTable65nm(MemoryTechnology::Edram);
+    const EnergyTable sram = energyTable65nm(MemoryTechnology::Sram);
+
+    TextTable table;
+    table.header({"Operation", "Energy", "Relative Cost"});
+    auto row = [&table, &edram](const std::string &name, double energy) {
+        char rel[32];
+        std::snprintf(rel, sizeof(rel), "%.1fx",
+                      edram.relativeCost(energy));
+        table.row({name, formatEnergy(energy), rel});
+    };
+    row("16-bit Fixed-Point MAC", edram.macOp);
+    row("16-bit 32KB SRAM Access", sram.bufferAccess);
+    row("16-bit 32KB eDRAM Access", edram.bufferAccess);
+    row("16-bit 32KB eDRAM Refresh", edram.refreshOp);
+    row("16-bit 1GB DDR3 Access", edram.ddrAccess);
+    table.print(std::cout);
+
+    std::cout << "\nPaper Table III relative costs: 1.0x / 14.3x / "
+                 "8.3x / 37.7x / 1653.7x (vs one MAC, eDRAM rows).\n";
+    return 0;
+}

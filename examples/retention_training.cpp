@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Retention-aware training walkthrough (the framework's Stage 1):
+ * pretrain a mini CNN in fixed point, certify the highest tolerable
+ * retention failure rate under an accuracy constraint, and convert
+ * it into a tolerable retention time through the eDRAM retention
+ * distribution.
+ *
+ * Usage: retention_training [AlexNet|VGG|GoogLeNet|ResNet]
+ *        (selects the mini stand-in architecture; default VGG)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "edram/retention_distribution.hh"
+#include "train/trainer.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rana;
+
+    const std::string name = argc > 1 ? argv[1] : "VGG";
+    MiniModelKind kind = MiniModelKind::MiniVgg;
+    for (MiniModelKind candidate : allMiniModels()) {
+        if (name == miniModelName(candidate))
+            kind = candidate;
+    }
+
+    DatasetConfig dataset;
+    dataset.trainSamples = 1024;
+    dataset.testSamples = 384;
+    TrainerConfig config;
+    config.pretrainEpochs = 8;
+    config.retrainEpochs = 3;
+
+    std::cout << "Retention-aware training on the "
+              << miniModelName(kind) << " stand-in\n\n";
+
+    RetentionAwareTrainer trainer(kind, dataset, config);
+    const double baseline = trainer.pretrain();
+    std::cout << "Fixed-point baseline accuracy: "
+              << formatPercent(baseline) << "\n\n";
+
+    const std::vector<double> ladder = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+    TextTable table;
+    table.header({"Failure rate", "Accuracy", "Relative",
+                  "Tolerable?"});
+    double tolerable = 0.0;
+    const double constraint = 0.98;
+    for (double rate : ladder) {
+        const AccuracyPoint point = trainer.retrainAndEvaluate(rate);
+        const bool ok = point.relativeAccuracy >= constraint;
+        if (ok && rate > tolerable)
+            tolerable = rate;
+        char rate_s[16];
+        std::snprintf(rate_s, sizeof(rate_s), "%.0e", rate);
+        table.row({rate_s, formatPercent(point.accuracy),
+                   formatPercent(point.relativeAccuracy),
+                   ok ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    const RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+    const double rt = tolerable > 0.0
+                          ? retention.retentionTimeFor(tolerable)
+                          : retention.worstCaseRetention();
+    std::cout << "\nHighest tolerable failure rate (relative "
+                 "accuracy >= "
+              << formatPercent(constraint) << "): " << tolerable
+              << "\nTolerable retention time: " << formatTime(rt)
+              << " (vs the conventional "
+              << formatTime(retention.worstCaseRetention())
+              << " refresh interval -> "
+              << formatDouble(rt / retention.worstCaseRetention(), 1)
+              << "x fewer refresh pulses)\n";
+    return 0;
+}

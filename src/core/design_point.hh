@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The six evaluated design configurations (the paper's Table IV) and
+ * the DaDianNao scalability variants (Section V-C).
+ *
+ * | Design      | Buffer       | Pattern      | Fail rate | Interval | Controller   |
+ * |-------------|--------------|--------------|-----------|----------|--------------|
+ * | S+ID        | 384KB SRAM   | ID           | -         | -        | -            |
+ * | eD+ID       | 1.45MB eDRAM | ID           | 0 (3e-6)  | 45us     | gated-global |
+ * | eD+OD       | 1.45MB eDRAM | OD           | 0 (3e-6)  | 45us     | gated-global |
+ * | RANA (0)    | 1.45MB eDRAM | hybrid OD+WD | 0 (3e-6)  | 45us     | gated-global |
+ * | RANA (E-5)  | 1.45MB eDRAM | hybrid OD+WD | 1e-5      | 734us    | gated-global |
+ * | RANA*(E-5)  | 1.45MB eDRAM | hybrid OD+WD | 1e-5      | 734us    | per-bank     |
+ *
+ * All six share the same silicon area, frequency and MAC count.
+ */
+
+#ifndef RANA_CORE_DESIGN_POINT_HH_
+#define RANA_CORE_DESIGN_POINT_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edram/retention_distribution.hh"
+#include "sched/schedule_types.hh"
+#include "sim/accelerator_config.hh"
+
+namespace rana {
+
+/** The evaluated design configurations. */
+enum class DesignKind {
+    SramId,
+    EdramId,
+    EdramOd,
+    Rana0,
+    RanaE5,
+    RanaStarE5,
+};
+
+/** Paper name of a design kind ("S+ID", ..., "RANA*(E-5)"). */
+const char *designKindName(DesignKind kind);
+
+/** A complete design: hardware plus scheduling options. */
+struct DesignPoint
+{
+    std::string name;
+    AcceleratorConfig config;
+    SchedulerOptions options;
+    /** Tolerable retention failure rate (0 = worst-case cell). */
+    double failureRate = 0.0;
+};
+
+/** Adjustable knobs when instantiating a design point. */
+struct DesignPointParams
+{
+    /** Override the eDRAM bank count (Figure 18 capacity sweep). */
+    std::optional<std::uint32_t> edramBanks;
+    /** Override the retention time / refresh interval (Figure 16). */
+    std::optional<double> retentionSeconds;
+};
+
+/**
+ * Instantiate one Table-IV design on the test accelerator.
+ *
+ * The refresh interval defaults to the retention distribution's
+ * tolerable retention time for the design's failure rate (45us for
+ * the worst-case cell, 734us at 1e-5).
+ */
+DesignPoint makeDesignPoint(DesignKind kind,
+                            const RetentionDistribution &retention,
+                            const DesignPointParams &params = {});
+
+/** All six Table-IV designs in paper order. */
+std::vector<DesignPoint>
+tableIvDesigns(const RetentionDistribution &retention);
+
+/**
+ * DaDianNao designs (Section V-C): the baseline node (WD pattern,
+ * fixed <64,64,1,1> tiling, conventional 45us refresh) plus the
+ * RANA(0) / RANA(E-5) / RANA*(E-5) strengthened variants with the
+ * same hardware parameters.
+ */
+std::vector<DesignPoint>
+daDianNaoDesigns(const RetentionDistribution &retention);
+
+} // namespace rana
+
+#endif // RANA_CORE_DESIGN_POINT_HH_

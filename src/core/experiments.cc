@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the experiment runner.
+ */
+
+#include "core/experiments.hh"
+
+#include "sim/loopnest_simulator.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+DesignResult
+runDesign(const DesignPoint &design, const NetworkModel &network)
+{
+    DesignResult result;
+    result.designName = design.name;
+    result.networkName = network.name();
+    result.schedule =
+        scheduleNetwork(design.config, network, design.options);
+    result.counts = result.schedule.totalCounts();
+    result.energy = result.schedule.totalEnergy();
+    result.seconds = result.schedule.totalSeconds();
+    return result;
+}
+
+std::vector<DesignResult>
+runDesignSuite(const DesignPoint &design,
+               const std::vector<NetworkModel> &networks)
+{
+    std::vector<DesignResult> results;
+    results.reserve(networks.size());
+    for (const auto &network : networks)
+        results.push_back(runDesign(design, network));
+    return results;
+}
+
+ExecutionResult
+executeSchedule(const DesignPoint &design, const NetworkModel &network,
+                const NetworkSchedule &schedule)
+{
+    RANA_ASSERT(schedule.layers.size() == network.size(),
+                "schedule does not match network");
+    LoopNestSimulator simulator(design.config, design.options.policy,
+                                design.options.refreshIntervalSeconds);
+    ExecutionResult result;
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        const LayerSimResult layer = simulator.runLayer(
+            network.layer(i), schedule.layers[i].analysis);
+        result.counts += layer.counts;
+        result.seconds += layer.layerSeconds;
+        result.violations += layer.violations;
+    }
+    result.energy = computeEnergy(
+        result.counts,
+        energyTable65nm(design.config.buffer.technology));
+    return result;
+}
+
+} // namespace rana

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment runner shared by the benchmark harnesses: evaluates a
+ * design point on a network and returns the schedule, operation
+ * counts and energy breakdown used in the paper's figures.
+ */
+
+#ifndef RANA_CORE_EXPERIMENTS_HH_
+#define RANA_CORE_EXPERIMENTS_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/design_point.hh"
+#include "nn/network_model.hh"
+#include "sched/layer_scheduler.hh"
+
+namespace rana {
+
+/** Result of evaluating one design on one network. */
+struct DesignResult
+{
+    std::string designName;
+    std::string networkName;
+    NetworkSchedule schedule;
+    /** Total Equation-14 operation counts. */
+    OperationCounts counts;
+    /** Total energy breakdown. */
+    EnergyBreakdown energy;
+    /** Total execution time in seconds. */
+    double seconds = 0.0;
+};
+
+/** Schedule and evaluate a design on a network. */
+DesignResult runDesign(const DesignPoint &design,
+                       const NetworkModel &network);
+
+/** Evaluate a design on several networks. */
+std::vector<DesignResult>
+runDesignSuite(const DesignPoint &design,
+               const std::vector<NetworkModel> &networks);
+
+/**
+ * Execute a compiled schedule on the loop-nest trace simulator and
+ * return the operation counts actually observed (including the
+ * event-driven refresh controller's refresh ops), along with any
+ * retention violations. Used to validate the analytic results and
+ * by the execution phase of the RANA pipeline.
+ */
+struct ExecutionResult
+{
+    OperationCounts counts;
+    EnergyBreakdown energy;
+    double seconds = 0.0;
+    std::uint64_t violations = 0;
+};
+
+ExecutionResult executeSchedule(const DesignPoint &design,
+                                const NetworkModel &network,
+                                const NetworkSchedule &schedule);
+
+} // namespace rana
+
+#endif // RANA_CORE_EXPERIMENTS_HH_

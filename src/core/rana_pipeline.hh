@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The RANA framework facade: the three-stage workflow of Figure 6.
+ *
+ * Stage 1 (training): a retention-aware training method certifies
+ * the highest tolerable retention failure rate under an accuracy
+ * constraint (implemented in the rana_train library; the pipeline
+ * takes the certified rate as input so the compilation phase can
+ * also run from a precomputed rate, as the paper does with 1e-5).
+ *
+ * Stage 2 (scheduling): the tolerable failure rate is mapped to a
+ * tolerable retention time through the eDRAM retention distribution,
+ * and every layer is assigned the minimum-energy computation pattern
+ * and tiling, producing the layerwise configurations.
+ *
+ * Stage 3 (architecture/execution): the compiled schedule runs on
+ * the accelerator with the refresh-optimized eDRAM controller; the
+ * loop-nest simulator verifies that no data is read beyond its
+ * tolerable retention age and reports the executed operation counts
+ * and energy.
+ */
+
+#ifndef RANA_CORE_RANA_PIPELINE_HH_
+#define RANA_CORE_RANA_PIPELINE_HH_
+
+#include "core/design_point.hh"
+#include "core/experiments.hh"
+#include "edram/retention_distribution.hh"
+#include "nn/network_model.hh"
+
+namespace rana {
+
+/** Inputs to the pipeline's compilation phase. */
+struct PipelineInputs
+{
+    /** Certified tolerable retention failure rate (stage 1 output). */
+    double tolerableFailureRate = 1e-5;
+    /** eDRAM retention-time distribution of the target process. */
+    RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+    /** Refresh controller policy (per-bank = the RANA* controller). */
+    RefreshPolicy policy = RefreshPolicy::PerBank;
+    /** Run the execution phase on the trace simulator. */
+    bool execute = true;
+};
+
+/** Outputs of a full pipeline run. */
+struct PipelineResult
+{
+    /** Tolerable retention time derived from the failure rate. */
+    double tolerableRetentionSeconds = 0.0;
+    /** The design point the network was compiled for. */
+    DesignPoint design;
+    /** Stage-2 layerwise configurations (the hybrid pattern). */
+    NetworkSchedule schedule;
+    /** Stage-2 analytic totals. */
+    EnergyBreakdown scheduledEnergy;
+    /** Stage-3 executed totals (trace simulator). */
+    ExecutionResult executed;
+    /** Whether the execution phase ran. */
+    bool executedPhase = false;
+};
+
+/**
+ * Run the RANA compilation (and optionally execution) phases for a
+ * network on the test accelerator's eDRAM configuration.
+ */
+PipelineResult runRanaPipeline(const NetworkModel &network,
+                               const PipelineInputs &inputs);
+
+/**
+ * Run the pipeline on explicit hardware (e.g. a DaDianNao node or a
+ * capacity-sweep configuration).
+ */
+PipelineResult runRanaPipeline(const NetworkModel &network,
+                               const AcceleratorConfig &config,
+                               const PipelineInputs &inputs);
+
+} // namespace rana
+
+#endif // RANA_CORE_RANA_PIPELINE_HH_

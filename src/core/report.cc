@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Implementation of the result grid and headline statistics.
+ */
+
+#include "core/report.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace rana {
+
+ResultGrid::ResultGrid(const std::vector<DesignPoint> &designs,
+                       const std::vector<NetworkModel> &networks)
+{
+    RANA_ASSERT(!designs.empty() && !networks.empty(),
+                "result grid needs designs and networks");
+    for (const NetworkModel &network : networks)
+        networkNames_.push_back(network.name());
+    for (const DesignPoint &design : designs) {
+        designNames_.push_back(design.name);
+        results_.push_back(runDesignSuite(design, networks));
+    }
+}
+
+const DesignResult &
+ResultGrid::at(std::size_t design, std::size_t network) const
+{
+    RANA_ASSERT(design < results_.size() &&
+                network < results_[design].size(),
+                "result grid index out of range");
+    return results_[design][network];
+}
+
+double
+ResultGrid::normalizedEnergy(std::size_t design, std::size_t network,
+                             std::size_t baseline) const
+{
+    const double base = at(baseline, network).energy.total();
+    RANA_ASSERT(base > 0.0, "baseline energy must be positive");
+    return at(design, network).energy.total() / base;
+}
+
+double
+ResultGrid::normalizedEnergyGmean(std::size_t design,
+                                  std::size_t baseline) const
+{
+    std::vector<double> norms;
+    for (std::size_t n = 0; n < numNetworks(); ++n)
+        norms.push_back(normalizedEnergy(design, n, baseline));
+    return geomean(norms);
+}
+
+double
+ResultGrid::metricOf(const DesignResult &result, Metric metric)
+{
+    switch (metric) {
+      case Metric::TotalEnergy:
+        return result.energy.total();
+      case Metric::RefreshEnergy:
+        return result.energy.refresh;
+      case Metric::RefreshOps:
+        return static_cast<double>(result.counts.refreshOps);
+      case Metric::OffChipWords:
+        return static_cast<double>(result.counts.ddrAccesses);
+      case Metric::BufferEnergy:
+        return result.energy.bufferAccess;
+    }
+    panic("unreachable metric");
+}
+
+double
+ResultGrid::meanSaving(std::size_t candidate, std::size_t baseline,
+                       Metric metric) const
+{
+    std::vector<double> savings;
+    for (std::size_t n = 0; n < numNetworks(); ++n) {
+        const double base = metricOf(at(baseline, n), metric);
+        if (base <= 0.0)
+            continue;
+        savings.push_back(1.0 - metricOf(at(candidate, n), metric) /
+                                    base);
+    }
+    RANA_ASSERT(!savings.empty(), "no network had a nonzero baseline");
+    return mean(savings);
+}
+
+double
+ResultGrid::metricSum(std::size_t design, Metric metric) const
+{
+    double total = 0.0;
+    for (std::size_t n = 0; n < numNetworks(); ++n)
+        total += metricOf(at(design, n), metric);
+    return total;
+}
+
+std::string
+ResultGrid::markdownNormalizedTable(std::size_t baseline) const
+{
+    std::ostringstream oss;
+    oss << "| Design |";
+    for (const std::string &name : networkNames_)
+        oss << " " << name << " |";
+    oss << " GMEAN |\n|---|";
+    for (std::size_t n = 0; n <= numNetworks(); ++n)
+        oss << "---|";
+    oss << "\n";
+    oss.setf(std::ios::fixed);
+    oss.precision(3);
+    for (std::size_t d = 0; d < numDesigns(); ++d) {
+        oss << "| " << designNames_[d] << " |";
+        for (std::size_t n = 0; n < numNetworks(); ++n)
+            oss << " " << normalizedEnergy(d, n, baseline) << " |";
+        oss << " " << normalizedEnergyGmean(d, baseline) << " |\n";
+    }
+    return oss.str();
+}
+
+} // namespace rana

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Headline-statistic computation over a grid of design results.
+ *
+ * The paper's Section V-B1 quotes a set of summary percentages
+ * (off-chip access saved, refresh operations removed, total system
+ * energy saved, ...). This module computes the same statistics from
+ * a designs x networks result grid so the benchmark harnesses, the
+ * regression tests and EXPERIMENTS.md all derive them from one
+ * implementation — and the tests can pin each statistic to the band
+ * the paper establishes.
+ */
+
+#ifndef RANA_CORE_REPORT_HH_
+#define RANA_CORE_REPORT_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace rana {
+
+/** A designs x networks grid of evaluation results. */
+class ResultGrid
+{
+  public:
+    /**
+     * Evaluate every design on every network.
+     */
+    ResultGrid(const std::vector<DesignPoint> &designs,
+               const std::vector<NetworkModel> &networks);
+
+    std::size_t numDesigns() const { return results_.size(); }
+    std::size_t numNetworks() const
+    {
+        return results_.empty() ? 0 : results_.front().size();
+    }
+
+    /** Result of design d on network n. */
+    const DesignResult &at(std::size_t design,
+                           std::size_t network) const;
+
+    /** Design names in grid order. */
+    const std::vector<std::string> &designNames() const
+    {
+        return designNames_;
+    }
+    /** Network names in grid order. */
+    const std::vector<std::string> &networkNames() const
+    {
+        return networkNames_;
+    }
+
+    /** Total energy of design d on network n, normalized to design
+     *  `baseline` on the same network. */
+    double normalizedEnergy(std::size_t design, std::size_t network,
+                            std::size_t baseline = 0) const;
+
+    /** Geometric mean of normalizedEnergy across networks. */
+    double normalizedEnergyGmean(std::size_t design,
+                                 std::size_t baseline = 0) const;
+
+    /**
+     * Mean fractional saving of a per-network metric of design
+     * `candidate` vs design `baseline` (networks where the baseline
+     * metric is zero are skipped).
+     */
+    enum class Metric {
+        TotalEnergy,
+        RefreshEnergy,
+        RefreshOps,
+        OffChipWords,
+        BufferEnergy,
+    };
+    double meanSaving(std::size_t candidate, std::size_t baseline,
+                      Metric metric) const;
+
+    /** Sum of a metric over all networks for one design. */
+    double metricSum(std::size_t design, Metric metric) const;
+
+    /** Markdown table of normalized energies (plus GMEAN column). */
+    std::string markdownNormalizedTable(std::size_t baseline = 0)
+        const;
+
+  private:
+    static double metricOf(const DesignResult &result, Metric metric);
+
+    std::vector<std::string> designNames_;
+    std::vector<std::string> networkNames_;
+    std::vector<std::vector<DesignResult>> results_;
+};
+
+} // namespace rana
+
+#endif // RANA_CORE_REPORT_HH_

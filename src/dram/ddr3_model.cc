@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Implementation of the DDR3 substrate model.
+ */
+
+#include "dram/ddr3_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+std::uint32_t
+Ddr3Params::burstBytes() const
+{
+    return busBytes * burstBeats;
+}
+
+double
+Ddr3Params::peakBandwidth() const
+{
+    // DDR: two beats per clock.
+    return 2.0 * clockHz * busBytes;
+}
+
+double
+Ddr3Report::total() const
+{
+    return activationEnergy + burstEnergy + backgroundEnergy;
+}
+
+Ddr3Model::Ddr3Model(const Ddr3Params &params) : params_(params)
+{
+    RANA_ASSERT(params.busBytes > 0 && params.burstBeats > 0 &&
+                params.rowBytes >= params.burstBytes(),
+                "inconsistent DDR3 geometry");
+}
+
+Ddr3Report
+Ddr3Model::estimate(const Ddr3AccessProfile &profile) const
+{
+    RANA_ASSERT(profile.rowHitRate >= 0.0 &&
+                profile.rowHitRate <= 1.0,
+                "row hit rate must be a probability");
+    RANA_ASSERT(profile.burstUtilization > 0.0 &&
+                profile.burstUtilization <= 1.0,
+                "burst utilization must be in (0, 1]");
+
+    const double burst_words =
+        static_cast<double>(params_.burstBytes()) / bytesPerWord *
+        profile.burstUtilization;
+    const double read_bursts = profile.readWords / burst_words;
+    const double write_bursts = profile.writeWords / burst_words;
+    const double total_bursts = read_bursts + write_bursts;
+
+    Ddr3Report report;
+    report.activationEnergy = total_bursts *
+                              (1.0 - profile.rowHitRate) *
+                              params_.actPreEnergy;
+    report.burstEnergy = read_bursts * params_.readBurstEnergy +
+                         write_bursts * params_.writeBurstEnergy;
+    report.backgroundEnergy =
+        profile.durationSeconds * params_.backgroundWatts;
+
+    const double words = profile.readWords + profile.writeWords;
+    report.energyPerWord =
+        words > 0.0 ? report.total() / words : 0.0;
+    report.transferSeconds = total_bursts *
+                             static_cast<double>(params_.burstBytes()) /
+                             params_.peakBandwidth();
+    report.requiredBandwidth =
+        profile.durationSeconds > 0.0
+            ? words * bytesPerWord / profile.durationSeconds
+            : 0.0;
+    return report;
+}
+
+double
+Ddr3Model::marginalEnergyPerWord(double row_hit_rate,
+                                 double burst_utilization) const
+{
+    const double burst_words =
+        static_cast<double>(params_.burstBytes()) / bytesPerWord *
+        burst_utilization;
+    const double per_burst =
+        (1.0 - row_hit_rate) * params_.actPreEnergy +
+        0.5 * (params_.readBurstEnergy + params_.writeBurstEnergy);
+    return per_burst / burst_words;
+}
+
+double
+Ddr3Model::hitRateForEnergyPerWord(double target_joules,
+                                   double burst_utilization) const
+{
+    // marginal(h) is linear and decreasing in h; solve directly.
+    const double at_zero =
+        marginalEnergyPerWord(0.0, burst_utilization);
+    const double at_one =
+        marginalEnergyPerWord(1.0, burst_utilization);
+    if (target_joules >= at_zero)
+        return 0.0;
+    if (target_joules <= at_one)
+        return 1.0;
+    return (at_zero - target_joules) / (at_zero - at_one);
+}
+
+std::string
+describeDdr3Operating(const Ddr3Model &model,
+                      double flat_energy_per_word)
+{
+    std::ostringstream oss;
+    oss << "flat " << formatEnergy(flat_energy_per_word)
+        << "/word corresponds to ";
+    const double full = model.hitRateForEnergyPerWord(
+        flat_energy_per_word, 1.0);
+    const double eighth = model.hitRateForEnergyPerWord(
+        flat_energy_per_word, 0.125);
+    if (full <= 0.0 && eighth <= 0.0) {
+        oss << "worse-than-random locality at any utilization";
+    } else {
+        oss << "row-hit rate " << formatDouble(full, 2)
+            << " at full bursts, or " << formatDouble(eighth, 2)
+            << " at 1/8 burst utilization";
+    }
+    return oss.str();
+}
+
+} // namespace rana

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * DDR3 off-chip memory substrate.
+ *
+ * The paper charges a flat 2112.9 pJ per 16-bit off-chip access
+ * (CACTI). This module provides the structural model behind such a
+ * number: a DDR3 channel with banks, 2KB row buffers and 64-byte
+ * bursts, whose effective energy per word depends on row-buffer
+ * locality, burst utilization and background power. It serves two
+ * purposes:
+ *
+ *  1. cross-checking the paper's constant (which row-hit rate and
+ *     burst utilization does 2112.9 pJ/word imply?), and
+ *  2. estimating how the accelerator's access pattern (long
+ *     sequential tile streams vs. scattered halo reads) moves the
+ *     off-chip energy.
+ */
+
+#ifndef RANA_DRAM_DDR3_MODEL_HH_
+#define RANA_DRAM_DDR3_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace rana {
+
+/** Electrical/timing parameters of one DDR3 channel. */
+struct Ddr3Params
+{
+    /** I/O clock (DDR3-1600: 800MHz, 1600MT/s). */
+    double clockHz = 800e6;
+    /** Data bus width in bytes (x64 DIMM). */
+    std::uint32_t busBytes = 8;
+    /** Burst length in beats (BL8 -> 64-byte bursts). */
+    std::uint32_t burstBeats = 8;
+    /** Row (page) size in bytes. */
+    std::uint32_t rowBytes = 2048;
+    /** Energy of one activate+precharge pair, in joules. */
+    double actPreEnergy = 15.0e-9;
+    /** Energy of one read burst (excl. activation), in joules. */
+    double readBurstEnergy = 6.0e-9;
+    /** Energy of one write burst, in joules. */
+    double writeBurstEnergy = 6.2e-9;
+    /** Background + refresh power of the device, in watts. */
+    double backgroundWatts = 0.15;
+    /** Row-activate-to-data latency tRCD + CAS, in seconds. */
+    double rowMissLatency = 26e-9;
+
+    /** Bytes per burst. */
+    std::uint32_t burstBytes() const;
+    /** Peak bandwidth in bytes/second. */
+    double peakBandwidth() const;
+};
+
+/** A workload's off-chip access profile. */
+struct Ddr3AccessProfile
+{
+    /** 16-bit words read. */
+    double readWords = 0.0;
+    /** 16-bit words written. */
+    double writeWords = 0.0;
+    /**
+     * Fraction of bursts hitting an open row (1 = perfect
+     * streaming; tile streams are high, scattered halo reads low).
+     */
+    double rowHitRate = 0.9;
+    /**
+     * Fraction of each burst's bytes actually used (sub-burst tile
+     * edges waste the remainder).
+     */
+    double burstUtilization = 1.0;
+    /** Wall-clock duration the channel is powered, in seconds. */
+    double durationSeconds = 0.0;
+};
+
+/** Energy and bandwidth estimate for a profile. */
+struct Ddr3Report
+{
+    /** Activate/precharge energy, joules. */
+    double activationEnergy = 0.0;
+    /** Read+write burst energy, joules. */
+    double burstEnergy = 0.0;
+    /** Background/refresh energy over the duration, joules. */
+    double backgroundEnergy = 0.0;
+    /** Total energy. */
+    double total() const;
+    /** Effective energy per 16-bit word transferred. */
+    double energyPerWord = 0.0;
+    /** Achieved bandwidth requirement, bytes/second. */
+    double requiredBandwidth = 0.0;
+    /** Transfer time at peak bandwidth (excl. stalls), seconds. */
+    double transferSeconds = 0.0;
+};
+
+/** DDR3 channel model. */
+class Ddr3Model
+{
+  public:
+    explicit Ddr3Model(const Ddr3Params &params = {});
+
+    const Ddr3Params &params() const { return params_; }
+
+    /** Estimate energy/bandwidth for an access profile. */
+    Ddr3Report estimate(const Ddr3AccessProfile &profile) const;
+
+    /**
+     * Effective energy per 16-bit word at the given locality,
+     * ignoring background energy (the marginal cost the flat
+     * per-access constant abstracts).
+     */
+    double marginalEnergyPerWord(double row_hit_rate,
+                                 double burst_utilization) const;
+
+    /**
+     * Solve for the row-hit rate at which the marginal energy per
+     * word equals `target_joules` (at the given burst utilization);
+     * returns a value clamped to [0, 1]. Used to interpret the
+     * paper's flat 2112.9 pJ constant.
+     */
+    double hitRateForEnergyPerWord(double target_joules,
+                                   double burst_utilization) const;
+
+  private:
+    Ddr3Params params_;
+};
+
+/** Per-word marginal energy comparison string for reports. */
+std::string describeDdr3Operating(const Ddr3Model &model,
+                                  double flat_energy_per_word);
+
+} // namespace rana
+
+#endif // RANA_DRAM_DDR3_MODEL_HH_

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Implementation of the refresh controllers.
+ */
+
+#include "edram/refresh_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+const char *
+refreshPolicyName(RefreshPolicy policy)
+{
+    switch (policy) {
+      case RefreshPolicy::None:
+        return "none";
+      case RefreshPolicy::ConventionalAll:
+        return "conventional";
+      case RefreshPolicy::GatedGlobal:
+        return "gated-global";
+      case RefreshPolicy::PerBank:
+        return "per-bank";
+    }
+    panic("unreachable refresh policy");
+}
+
+bool
+dataNeedsRefresh(const LayerRefreshDemand &demand, DataType type,
+                 double interval_seconds)
+{
+    const auto index = static_cast<std::size_t>(type);
+    return demand.allocation.words[index] > 0 &&
+           demand.lifetimeSeconds[index] >= interval_seconds;
+}
+
+std::uint64_t
+refreshOpsForLayer(RefreshPolicy policy, const BufferGeometry &geometry,
+                   const LayerRefreshDemand &demand,
+                   double interval_seconds)
+{
+    if (policy == RefreshPolicy::None ||
+        !macroParams(geometry.technology).needsRefresh) {
+        return 0;
+    }
+    RANA_ASSERT(interval_seconds > 0.0,
+                "refresh interval must be positive");
+
+    // The epsilon absorbs floating-point quotient jitter so exact
+    // multiples of the interval count their final pulse (matching
+    // the event-driven controller).
+    const auto pulses = static_cast<std::uint64_t>(std::floor(
+        demand.layerSeconds / interval_seconds * (1.0 + 1e-12) +
+        1e-12));
+    if (pulses == 0)
+        return 0;
+
+    const std::uint64_t bank_words = geometry.bankWords();
+    switch (policy) {
+      case RefreshPolicy::ConventionalAll:
+        return geometry.capacityWords() * pulses;
+      case RefreshPolicy::GatedGlobal: {
+        bool any_needed = false;
+        for (std::size_t i = 0; i < numDataTypes; ++i) {
+            any_needed |= dataNeedsRefresh(
+                demand, static_cast<DataType>(i), interval_seconds);
+        }
+        return any_needed ? geometry.capacityWords() * pulses : 0;
+      }
+      case RefreshPolicy::PerBank: {
+        std::uint64_t words = 0;
+        for (std::size_t i = 0; i < numDataTypes; ++i) {
+            if (dataNeedsRefresh(demand, static_cast<DataType>(i),
+                                 interval_seconds)) {
+                words += static_cast<std::uint64_t>(
+                             demand.allocation.banks[i]) *
+                         bank_words;
+            }
+        }
+        return words * pulses;
+      }
+      case RefreshPolicy::None:
+        break;
+    }
+    panic("unreachable refresh policy in refreshOpsForLayer");
+}
+
+std::array<bool, numDataTypes>
+refreshFlagsForLayer(const LayerRefreshDemand &demand,
+                     double interval_seconds)
+{
+    std::array<bool, numDataTypes> flags = {false, false, false};
+    for (std::size_t i = 0; i < numDataTypes; ++i) {
+        flags[i] = dataNeedsRefresh(demand, static_cast<DataType>(i),
+                                    interval_seconds);
+    }
+    return flags;
+}
+
+RefreshControllerSim::RefreshControllerSim(const BufferGeometry &geometry,
+                                           RefreshPolicy policy,
+                                           double reference_hz,
+                                           double interval_seconds)
+    : geometry_(geometry),
+      policy_(policy),
+      divider_(reference_hz)
+{
+    if (policy_ != RefreshPolicy::None)
+        divider_.setInterval(interval_seconds);
+    unusedBanks_ = geometry.numBanks;
+    nextPulse_ = divider_.pulsePeriod();
+}
+
+void
+RefreshControllerSim::beginLayer(const BankAllocation &allocation,
+                                 const std::array<bool, numDataTypes> &flags,
+                                 bool gate_on, double now)
+{
+    advanceTo(now);
+    for (std::size_t i = 0; i < numDataTypes; ++i) {
+        types_[i].banks = allocation.banks[i];
+        types_[i].refreshFlag = flags[i];
+        types_[i].holdsData = false;
+        types_[i].lastRefresh = now;
+        types_[i].refreshed = false;
+    }
+    unusedBanks_ = allocation.unusedBanks;
+    gateOn_ = gate_on;
+    // The controller restarts its pulse counter when a layer's
+    // configuration is loaded.
+    nextPulse_ = now + divider_.pulsePeriod();
+}
+
+void
+RefreshControllerSim::onWrite(DataType type, double now)
+{
+    advanceTo(now);
+    types_[static_cast<std::size_t>(type)].holdsData = true;
+}
+
+void
+RefreshControllerSim::onRead(DataType type, double now,
+                             double data_write_time)
+{
+    advanceTo(now);
+    if (policy_ == RefreshPolicy::None)
+        return;
+    const auto &state = types_[static_cast<std::size_t>(type)];
+    if (!state.holdsData)
+        return;
+    // The data's last recharge is the later of its own write and the
+    // last refresh pulse covering its banks. Reading it older than
+    // the tolerable retention time (= the programmed interval) would
+    // observe retention failures beyond the tolerated rate.
+    double last_recharge = data_write_time;
+    if (state.refreshed)
+        last_recharge = std::max(last_recharge, state.lastRefresh);
+    if (now - last_recharge > divider_.pulsePeriod() * (1.0 + 1e-9))
+        ++violations_;
+}
+
+void
+RefreshControllerSim::advanceTo(double now)
+{
+    // Tolerate floating-point jitter from differently-associated
+    // time computations (a + i*t vs. (a + (i-1)*t) + t).
+    const double slack = 1e-9 * std::max(1.0, std::abs(now_));
+    RANA_ASSERT(now + slack >= now_, "time must not run backwards");
+    if (now < now_)
+        now = now_;
+    if (policy_ == RefreshPolicy::None) {
+        now_ = now;
+        return;
+    }
+    while (nextPulse_ <= now + 1e-15) {
+        now_ = nextPulse_;
+        issuePulse();
+        nextPulse_ += divider_.pulsePeriod();
+    }
+    now_ = now;
+}
+
+void
+RefreshControllerSim::issuePulse()
+{
+    const std::uint64_t bank_words = geometry_.bankWords();
+    switch (policy_) {
+      case RefreshPolicy::None:
+        return;
+      case RefreshPolicy::ConventionalAll:
+        refreshOps_ += geometry_.capacityWords();
+        for (auto &state : types_) {
+            state.lastRefresh = now_;
+            state.refreshed = true;
+        }
+        return;
+      case RefreshPolicy::GatedGlobal:
+        if (gateOn_) {
+            refreshOps_ += geometry_.capacityWords();
+            for (auto &state : types_) {
+                state.lastRefresh = now_;
+                state.refreshed = true;
+            }
+        }
+        return;
+      case RefreshPolicy::PerBank:
+        for (auto &state : types_) {
+            if (state.refreshFlag && state.banks > 0) {
+                refreshOps_ +=
+                    static_cast<std::uint64_t>(state.banks) * bank_words;
+                state.lastRefresh = now_;
+                state.refreshed = true;
+            }
+        }
+        return;
+    }
+    panic("unreachable refresh policy in issuePulse");
+}
+
+} // namespace rana

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table III constants and Equation 14.
+ */
+
+#include "energy/energy_table.hh"
+
+#include <sstream>
+
+#include "util/units.hh"
+
+namespace rana {
+
+double
+EnergyTable::relativeCost(double op_energy) const
+{
+    return op_energy / macOp;
+}
+
+EnergyTable
+energyTable65nm(MemoryTechnology tech)
+{
+    EnergyTable table;
+    table.macOp = 1.3 * picoJoule;
+    table.bufferAccess = tech == MemoryTechnology::Sram
+                             ? 18.2 * picoJoule
+                             : 10.6 * picoJoule;
+    table.refreshOp = tech == MemoryTechnology::Sram ? 0.0
+                                                     : 48.1 * picoJoule;
+    table.ddrAccess = 2112.9 * picoJoule;
+    return table;
+}
+
+OperationCounts &
+OperationCounts::operator+=(const OperationCounts &other)
+{
+    macOps += other.macOps;
+    bufferAccesses += other.bufferAccesses;
+    refreshOps += other.refreshOps;
+    ddrAccesses += other.ddrAccesses;
+    return *this;
+}
+
+OperationCounts
+operator+(OperationCounts lhs, const OperationCounts &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return computing + bufferAccess + refresh + offChipAccess;
+}
+
+double
+EnergyBreakdown::acceleratorEnergy() const
+{
+    return computing + bufferAccess + refresh;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    computing += other.computing;
+    bufferAccess += other.bufferAccess;
+    refresh += other.refresh;
+    offChipAccess += other.offChipAccess;
+    return *this;
+}
+
+EnergyBreakdown
+operator+(EnergyBreakdown lhs, const EnergyBreakdown &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+std::string
+EnergyBreakdown::describe() const
+{
+    std::ostringstream oss;
+    oss << "total " << formatEnergy(total()) << " (compute "
+        << formatEnergy(computing) << ", buffer "
+        << formatEnergy(bufferAccess) << ", refresh "
+        << formatEnergy(refresh) << ", off-chip "
+        << formatEnergy(offChipAccess) << ")";
+    return oss.str();
+}
+
+EnergyBreakdown
+computeEnergy(const OperationCounts &counts, const EnergyTable &table)
+{
+    EnergyBreakdown result;
+    result.computing = static_cast<double>(counts.macOps) * table.macOp;
+    result.bufferAccess =
+        static_cast<double>(counts.bufferAccesses) * table.bufferAccess;
+    result.refresh =
+        static_cast<double>(counts.refreshOps) * table.refreshOp;
+    result.offChipAccess =
+        static_cast<double>(counts.ddrAccesses) * table.ddrAccess;
+    return result;
+}
+
+} // namespace rana

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-operation energy costs (the paper's Table III, 65nm) and the
+ * system energy model of Equation 14.
+ *
+ * Total system energy is
+ *
+ *   Energy = alpha * Emac + beta_b * Ebuffer + gamma * Erefresh
+ *          + beta_d * Eddr                                   (Eq. 14)
+ *
+ * where alpha is the MAC operation count, beta_b the number of
+ * on-chip buffer accesses (16-bit words), gamma the number of
+ * refresh operations (16-bit words refreshed) and beta_d the number
+ * of off-chip DDR3 accesses (16-bit words).
+ */
+
+#ifndef RANA_ENERGY_ENERGY_TABLE_HH_
+#define RANA_ENERGY_ENERGY_TABLE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "energy/technology.hh"
+
+namespace rana {
+
+/** Per-operation energies in joules (Table III). */
+struct EnergyTable
+{
+    /** 16-bit fixed-point MAC (TSMC 65nm GP). */
+    double macOp;
+    /** 16-bit access to a 32KB on-chip buffer bank. */
+    double bufferAccess;
+    /** Refresh of one 16-bit word in a 32KB eDRAM bank. */
+    double refreshOp;
+    /** 16-bit access to off-chip 1GB DDR3. */
+    double ddrAccess;
+
+    /** Relative cost of an operation vs. one MAC. */
+    double relativeCost(double op_energy) const;
+};
+
+/**
+ * Table III costs for a given buffer technology: eDRAM buffers use
+ * the 10.6pJ access / 48.1pJ refresh row, SRAM buffers the 18.2pJ
+ * access row with no refresh.
+ */
+EnergyTable energyTable65nm(MemoryTechnology tech);
+
+/** Operation counts feeding Equation 14. */
+struct OperationCounts
+{
+    /** alpha: MAC operations. */
+    std::uint64_t macOps = 0;
+    /** beta_b: on-chip buffer accesses, in 16-bit words. */
+    std::uint64_t bufferAccesses = 0;
+    /** gamma: refresh operations, in 16-bit words refreshed. */
+    std::uint64_t refreshOps = 0;
+    /** beta_d: off-chip memory accesses, in 16-bit words. */
+    std::uint64_t ddrAccesses = 0;
+
+    OperationCounts &operator+=(const OperationCounts &other);
+};
+
+OperationCounts operator+(OperationCounts lhs,
+                          const OperationCounts &rhs);
+
+/** Energy consumption split by source, in joules. */
+struct EnergyBreakdown
+{
+    double computing = 0.0;
+    double bufferAccess = 0.0;
+    double refresh = 0.0;
+    double offChipAccess = 0.0;
+
+    /** Sum of all components (total system energy). */
+    double total() const;
+
+    /** Accelerator energy: total minus off-chip access (Fig. 16). */
+    double acceleratorEnergy() const;
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+
+    /** One-line summary string. */
+    std::string describe() const;
+};
+
+EnergyBreakdown operator+(EnergyBreakdown lhs,
+                          const EnergyBreakdown &rhs);
+
+/** Apply Equation 14 to a set of operation counts. */
+EnergyBreakdown computeEnergy(const OperationCounts &counts,
+                              const EnergyTable &table);
+
+} // namespace rana
+
+#endif // RANA_ENERGY_ENERGY_TABLE_HH_

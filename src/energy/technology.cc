@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table II constants and the equal-area capacity derivation.
+ */
+
+#include "energy/technology.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+const char *
+memoryTechnologyName(MemoryTechnology tech)
+{
+    switch (tech) {
+      case MemoryTechnology::Sram:
+        return "SRAM";
+      case MemoryTechnology::Edram:
+        return "eDRAM";
+    }
+    panic("unreachable memory technology");
+}
+
+MemoryMacroParams
+sramMacro65nm()
+{
+    MemoryMacroParams params;
+    params.capacityBytes = 32 * kib;
+    params.areaMm2 = 0.181;
+    params.accessLatencySeconds = 1.730 * nanoSecond;
+    params.accessEnergyPerBit = 1.139 * picoJoule;
+    params.refreshEnergyPerBank = 0.0;
+    params.needsRefresh = false;
+    return params;
+}
+
+MemoryMacroParams
+edramMacro65nm()
+{
+    MemoryMacroParams params;
+    params.capacityBytes = 32 * kib;
+    params.areaMm2 = 0.047;
+    params.accessLatencySeconds = 1.541 * nanoSecond;
+    params.accessEnergyPerBit = 0.662 * picoJoule;
+    params.refreshEnergyPerBank = 0.788 * microJoule;
+    params.needsRefresh = true;
+    return params;
+}
+
+MemoryMacroParams
+macroParams(MemoryTechnology tech)
+{
+    return tech == MemoryTechnology::Sram ? sramMacro65nm()
+                                          : edramMacro65nm();
+}
+
+std::uint32_t
+equalAreaEdramBanks(std::uint32_t sram_banks)
+{
+    const double sram_area = sram_banks * sramMacro65nm().areaMm2;
+    const double edram_area = edramMacro65nm().areaMm2;
+    return static_cast<std::uint32_t>(std::floor(sram_area / edram_area));
+}
+
+} // namespace rana

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * 65nm memory technology parameters (the paper's Table II).
+ *
+ * The paper compares 32KB SRAM and eDRAM macros in the TSMC 65nm GP
+ * node, simulated with Destiny. These constants drive the equal-area
+ * capacity derivation (384KB SRAM -> ~1.45MB eDRAM) and the refresh
+ * energy accounting.
+ */
+
+#ifndef RANA_ENERGY_TECHNOLOGY_HH_
+#define RANA_ENERGY_TECHNOLOGY_HH_
+
+#include <cstdint>
+
+namespace rana {
+
+/** Kind of on-chip buffer memory. */
+enum class MemoryTechnology {
+    Sram,
+    Edram,
+};
+
+/** Name string for a MemoryTechnology. */
+const char *memoryTechnologyName(MemoryTechnology tech);
+
+/**
+ * Per-macro characteristics of one 32KB on-chip memory bank
+ * (Table II, 65nm).
+ */
+struct MemoryMacroParams
+{
+    /** Macro capacity in bytes (32KB in the paper). */
+    std::uint64_t capacityBytes;
+    /** Silicon area in mm^2. */
+    double areaMm2;
+    /** Random access latency in seconds. */
+    double accessLatencySeconds;
+    /** Access energy per bit in joules. */
+    double accessEnergyPerBit;
+    /** Energy to refresh the whole macro once, in joules (eDRAM). */
+    double refreshEnergyPerBank;
+    /** Whether the macro requires periodic refresh. */
+    bool needsRefresh;
+};
+
+/** Table II row for 32KB SRAM. */
+MemoryMacroParams sramMacro65nm();
+
+/** Table II row for 32KB eDRAM. */
+MemoryMacroParams edramMacro65nm();
+
+/** Macro parameters for the given technology. */
+MemoryMacroParams macroParams(MemoryTechnology tech);
+
+/**
+ * Number of whole eDRAM macros that fit in the silicon area of
+ * `sram_banks` SRAM macros (the paper's equal-area replacement:
+ * 12 x 32KB SRAM -> 46 x 32KB eDRAM ~= 1.45MB).
+ */
+std::uint32_t equalAreaEdramBanks(std::uint32_t sram_banks);
+
+} // namespace rana
+
+#endif // RANA_ENERGY_TECHNOLOGY_HH_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of ConvLayerSpec derived quantities.
+ */
+
+#include "nn/conv_layer_spec.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+std::uint32_t
+ConvLayerSpec::r() const
+{
+    return (h + 2 * pad - k) / stride + 1;
+}
+
+std::uint32_t
+ConvLayerSpec::c() const
+{
+    return (l + 2 * pad - k) / stride + 1;
+}
+
+std::uint64_t
+ConvLayerSpec::inputWords() const
+{
+    return static_cast<std::uint64_t>(n) * h * l;
+}
+
+std::uint64_t
+ConvLayerSpec::outputWords() const
+{
+    return static_cast<std::uint64_t>(m) * r() * c();
+}
+
+std::uint64_t
+ConvLayerSpec::weightWords() const
+{
+    return static_cast<std::uint64_t>(m) * n * k * k;
+}
+
+std::uint64_t
+ConvLayerSpec::macs() const
+{
+    return outputWords() * n * k * k;
+}
+
+std::uint32_t
+ConvLayerSpec::inputPatchH(std::uint32_t tr) const
+{
+    RANA_ASSERT(tr >= 1, "tile height must be at least 1");
+    // For overlapping windows (stride < K) the union of the Tr
+    // windows is (Tr-1)*S + K rows; for strided windows (stride > K)
+    // the windows are disjoint and only Tr*K rows are touched.
+    return std::min((tr - 1) * stride + k, tr * k);
+}
+
+std::uint32_t
+ConvLayerSpec::inputPatchW(std::uint32_t tc) const
+{
+    RANA_ASSERT(tc >= 1, "tile width must be at least 1");
+    return std::min((tc - 1) * stride + k, tc * k);
+}
+
+void
+ConvLayerSpec::validate() const
+{
+    RANA_ASSERT(n >= 1 && h >= 1 && l >= 1 && m >= 1 && k >= 1 &&
+                stride >= 1,
+                "layer ", name, " has a zero dimension");
+    RANA_ASSERT(h + 2 * pad >= k, "layer ", name,
+                " kernel taller than padded input");
+    RANA_ASSERT(l + 2 * pad >= k, "layer ", name,
+                " kernel wider than padded input");
+}
+
+std::string
+ConvLayerSpec::describe() const
+{
+    std::ostringstream oss;
+    oss << name << ": " << n << "x" << h << "x" << l << " -> " << m
+        << "x" << r() << "x" << c() << " (K=" << k << ", S=" << stride
+        << ", P=" << pad << ")";
+    return oss.str();
+}
+
+ConvLayerSpec
+makeConv(std::string name, std::uint32_t n, std::uint32_t hw,
+         std::uint32_t m, std::uint32_t k, std::uint32_t stride,
+         std::uint32_t pad)
+{
+    ConvLayerSpec spec;
+    spec.name = std::move(name);
+    spec.n = n;
+    spec.h = hw;
+    spec.l = hw;
+    spec.m = m;
+    spec.k = k;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.validate();
+    return spec;
+}
+
+} // namespace rana

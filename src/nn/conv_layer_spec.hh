@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shape description of one convolutional (CONV) layer.
+ *
+ * The paper's analysis (Section II-A, Figure 2) treats a CONV layer
+ * as N x H x L input feature maps convolved with M kernels of shape
+ * N x K x K at stride S, producing M x R x C output maps. This type
+ * captures exactly those parameters plus padding, and derives the
+ * output size, element counts and MAC count used throughout the
+ * buffer-storage / lifetime / energy analysis.
+ *
+ * All sizes are counted in 16-bit data words (the paper evaluates
+ * 16-bit fixed-point precision).
+ */
+
+#ifndef RANA_NN_CONV_LAYER_SPEC_HH_
+#define RANA_NN_CONV_LAYER_SPEC_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace rana {
+
+/**
+ * Immutable shape record for one CONV layer.
+ *
+ * Grouped convolutions (as in AlexNet) are expressed by expanding
+ * each group into its own ConvLayerSpec when a model is built, so a
+ * spec always describes a dense convolution.
+ */
+struct ConvLayerSpec
+{
+    /** Layer name, e.g. "res4a_branch1". */
+    std::string name;
+
+    /** Number of input channels (N). */
+    std::uint32_t n = 1;
+    /** Input feature map height (H). */
+    std::uint32_t h = 1;
+    /** Input feature map width (L). */
+    std::uint32_t l = 1;
+    /** Number of kernels / output channels (M). */
+    std::uint32_t m = 1;
+    /** Kernel size (K, square kernels). */
+    std::uint32_t k = 1;
+    /** Sliding stride (S). */
+    std::uint32_t stride = 1;
+    /** Zero padding on each border. */
+    std::uint32_t pad = 0;
+
+    /** Output feature map height R = floor((H + 2p - K) / S) + 1. */
+    std::uint32_t r() const;
+    /** Output feature map width C = floor((L + 2p - K) / S) + 1. */
+    std::uint32_t c() const;
+
+    /** Total input words N * H * L. */
+    std::uint64_t inputWords() const;
+    /** Total output words M * R * C. */
+    std::uint64_t outputWords() const;
+    /** Total weight words M * N * K^2. */
+    std::uint64_t weightWords() const;
+
+    /** Total multiply-accumulate operations M * N * R * C * K^2. */
+    std::uint64_t macs() const;
+
+    /**
+     * Height of the input patch needed to produce a Tr-row output
+     * tile: Th = (Tr - 1) * S + K.
+     */
+    std::uint32_t inputPatchH(std::uint32_t tr) const;
+    /** Width of the input patch for a Tc-column output tile. */
+    std::uint32_t inputPatchW(std::uint32_t tc) const;
+
+    /** Validate parameters; panics on nonsensical shapes. */
+    void validate() const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/**
+ * Convenience builder for the common square-input case.
+ *
+ * @param name   layer name
+ * @param n      input channels
+ * @param hw     input height and width
+ * @param m      output channels
+ * @param k      kernel size
+ * @param stride sliding stride
+ * @param pad    zero padding
+ */
+ConvLayerSpec makeConv(std::string name, std::uint32_t n,
+                       std::uint32_t hw, std::uint32_t m, std::uint32_t k,
+                       std::uint32_t stride = 1, std::uint32_t pad = 0);
+
+} // namespace rana
+
+#endif // RANA_NN_CONV_LAYER_SPEC_HH_

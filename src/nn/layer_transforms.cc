@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Implementation of the layer transformations.
+ */
+
+#include "nn/layer_transforms.hh"
+
+#include "nn/model_zoo.hh"
+
+namespace rana {
+
+ConvLayerSpec
+fullyConnectedAsConv(std::string name, std::uint32_t channels,
+                     std::uint32_t spatial, std::uint32_t outputs)
+{
+    // Kernel spans the whole input volume: one output position.
+    return makeConv(std::move(name), channels, spatial, outputs,
+                    spatial, 1, 0);
+}
+
+NetworkModel
+makeAlexNetWithClassifier()
+{
+    NetworkModel net = makeAlexNet();
+    NetworkModel extended("AlexNet+FC");
+    for (const auto &layer : net.layers())
+        extended.addLayer(layer);
+    // pool5 output: 256 x 6 x 6.
+    extended.addLayer(fullyConnectedAsConv("fc6", 256, 6, 4096));
+    extended.addLayer(fullyConnectedAsConv("fc7", 4096, 1, 4096));
+    extended.addLayer(fullyConnectedAsConv("fc8", 4096, 1, 1000));
+    return extended;
+}
+
+NetworkModel
+makeVgg16WithClassifier()
+{
+    NetworkModel net = makeVgg16();
+    NetworkModel extended("VGG+FC");
+    for (const auto &layer : net.layers())
+        extended.addLayer(layer);
+    // pool5 output: 512 x 7 x 7.
+    extended.addLayer(fullyConnectedAsConv("fc6", 512, 7, 4096));
+    extended.addLayer(fullyConnectedAsConv("fc7", 4096, 1, 4096));
+    extended.addLayer(fullyConnectedAsConv("fc8", 4096, 1, 1000));
+    return extended;
+}
+
+} // namespace rana

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Transformations of non-CONV layers into the CONV form (Section
+ * II-A: "other layers can be transformed to execute in a similar
+ * way with the CONV layer acceleration").
+ *
+ * A fully connected layer over a C x H x W activation volume is a
+ * convolution whose kernel covers the whole volume: N = C, K = H
+ * (square), stride 1, no padding, M output channels, producing a
+ * 1 x 1 output map. This lets the scheduler, lifetime analysis and
+ * refresh optimization treat classifier layers uniformly.
+ */
+
+#ifndef RANA_NN_LAYER_TRANSFORMS_HH_
+#define RANA_NN_LAYER_TRANSFORMS_HH_
+
+#include "nn/network_model.hh"
+
+namespace rana {
+
+/**
+ * Express a fully connected layer as a CONV layer.
+ *
+ * @param name     layer name
+ * @param channels input channels C of the incoming volume
+ * @param spatial  spatial size H = W of the incoming volume (1 for
+ *                 an already-flat vector)
+ * @param outputs  output features M
+ */
+ConvLayerSpec fullyConnectedAsConv(std::string name,
+                                   std::uint32_t channels,
+                                   std::uint32_t spatial,
+                                   std::uint32_t outputs);
+
+/**
+ * AlexNet including its three classifier layers (fc6/fc7/fc8)
+ * expressed as CONV layers. The paper's evaluation covers CONV
+ * layers only; this variant exercises the framework on the
+ * weight-dominated classifier stage as well.
+ */
+NetworkModel makeAlexNetWithClassifier();
+
+/** VGG-16 including fc6/fc7/fc8 as CONV layers. */
+NetworkModel makeVgg16WithClassifier();
+
+} // namespace rana
+
+#endif // RANA_NN_LAYER_TRANSFORMS_HH_

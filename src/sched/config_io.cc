@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Implementation of layerwise-configuration serialization.
+ */
+
+#include "sched/config_io.hh"
+
+#include <sstream>
+
+#include "nn/network_model.hh"
+#include "sched/layer_scheduler.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+namespace {
+
+ComputationPattern
+parsePattern(const std::string &token, const std::string &line)
+{
+    if (token == "ID")
+        return ComputationPattern::ID;
+    if (token == "OD")
+        return ComputationPattern::OD;
+    if (token == "WD")
+        return ComputationPattern::WD;
+    fatal("bad pattern '", token, "' in config line: ", line);
+}
+
+RefreshPolicy
+parsePolicy(const std::string &token, const std::string &line)
+{
+    if (token == "none")
+        return RefreshPolicy::None;
+    if (token == "conventional")
+        return RefreshPolicy::ConventionalAll;
+    if (token == "gated-global")
+        return RefreshPolicy::GatedGlobal;
+    if (token == "per-bank")
+        return RefreshPolicy::PerBank;
+    fatal("bad refresh policy '", token, "' in config line: ", line);
+}
+
+bool
+parseBit(const std::string &token, const std::string &line)
+{
+    if (token == "0")
+        return false;
+    if (token == "1")
+        return true;
+    fatal("bad flag '", token, "' in config line: ", line);
+}
+
+} // namespace
+
+NetworkConfigRecord
+toConfigRecord(const NetworkSchedule &schedule)
+{
+    NetworkConfigRecord record;
+    record.networkName = schedule.networkName;
+    record.refreshIntervalSeconds = schedule.refreshIntervalSeconds;
+    record.policy = schedule.policy;
+    record.layers.reserve(schedule.layers.size());
+    for (const LayerSchedule &layer : schedule.layers) {
+        LayerConfigRecord entry;
+        entry.layerName = layer.layerName;
+        entry.pattern = layer.pattern();
+        entry.tiling = layer.tiling();
+        entry.promoteInputs = layer.analysis.inputsPromoted;
+        entry.refreshFlags = layer.refreshFlags;
+        entry.gateOn = layer.gateOn;
+        record.layers.push_back(std::move(entry));
+    }
+    return record;
+}
+
+void
+writeConfig(std::ostream &os, const NetworkConfigRecord &record)
+{
+    os << "rana-config v1\n";
+    os << "network " << record.networkName << "\n";
+    os << "interval_us "
+       << record.refreshIntervalSeconds / microSecond << "\n";
+    os << "policy " << refreshPolicyName(record.policy) << "\n";
+    for (const LayerConfigRecord &layer : record.layers) {
+        os << "layer " << layer.layerName << " "
+           << patternName(layer.pattern) << " " << layer.tiling.tm
+           << " " << layer.tiling.tn << " " << layer.tiling.tr << " "
+           << layer.tiling.tc << " " << (layer.promoteInputs ? 1 : 0)
+           << " ";
+        for (bool flag : layer.refreshFlags)
+            os << (flag ? '1' : '0');
+        os << " " << (layer.gateOn ? 1 : 0) << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+writeConfigString(const NetworkConfigRecord &record)
+{
+    std::ostringstream oss;
+    writeConfig(oss, record);
+    return oss.str();
+}
+
+NetworkConfigRecord
+readConfig(std::istream &is)
+{
+    NetworkConfigRecord record;
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream tokens(line);
+        std::string keyword;
+        tokens >> keyword;
+        if (!saw_header) {
+            std::string version;
+            tokens >> version;
+            if (keyword != "rana-config" || version != "v1")
+                fatal("bad config header: ", line);
+            saw_header = true;
+            continue;
+        }
+        if (keyword == "network") {
+            tokens >> record.networkName;
+        } else if (keyword == "interval_us") {
+            double us = 0.0;
+            tokens >> us;
+            if (!tokens || us <= 0.0)
+                fatal("bad interval in config line: ", line);
+            record.refreshIntervalSeconds = us * microSecond;
+        } else if (keyword == "policy") {
+            std::string policy;
+            tokens >> policy;
+            record.policy = parsePolicy(policy, line);
+        } else if (keyword == "layer") {
+            LayerConfigRecord layer;
+            std::string pattern;
+            std::string promote;
+            std::string flags;
+            std::string gate;
+            tokens >> layer.layerName >> pattern >> layer.tiling.tm >>
+                layer.tiling.tn >> layer.tiling.tr >>
+                layer.tiling.tc >> promote >> flags >> gate;
+            if (!tokens)
+                fatal("truncated config line: ", line);
+            layer.pattern = parsePattern(pattern, line);
+            layer.promoteInputs = parseBit(promote, line);
+            if (flags.size() != numDataTypes)
+                fatal("bad refresh flags in config line: ", line);
+            for (std::size_t i = 0; i < numDataTypes; ++i) {
+                layer.refreshFlags[i] =
+                    parseBit(std::string(1, flags[i]), line);
+            }
+            layer.gateOn = parseBit(gate, line);
+            record.layers.push_back(std::move(layer));
+        } else if (keyword == "end") {
+            saw_end = true;
+            break;
+        } else {
+            fatal("unknown config keyword in line: ", line);
+        }
+    }
+    if (!saw_header || !saw_end)
+        fatal("incomplete rana-config stream");
+    return record;
+}
+
+NetworkConfigRecord
+readConfigString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return readConfig(iss);
+}
+
+NetworkSchedule
+rebuildSchedule(const AcceleratorConfig &config,
+                const NetworkModel &network,
+                const NetworkConfigRecord &record)
+{
+    if (record.layers.size() != network.size()) {
+        fatal("config has ", record.layers.size(),
+              " layers but network ", network.name(), " has ",
+              network.size());
+    }
+    SchedulerOptions options;
+    options.policy = record.policy;
+    options.refreshIntervalSeconds = record.refreshIntervalSeconds;
+
+    NetworkSchedule schedule;
+    schedule.networkName = record.networkName;
+    schedule.refreshIntervalSeconds = record.refreshIntervalSeconds;
+    schedule.policy = record.policy;
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        const LayerConfigRecord &entry = record.layers[i];
+        const ConvLayerSpec &layer = network.layer(i);
+        if (entry.layerName != layer.name) {
+            fatal("config layer '", entry.layerName,
+                  "' does not match network layer '", layer.name,
+                  "'");
+        }
+        const LayerAnalysis analysis =
+            analyzeLayer(config, layer, entry.pattern, entry.tiling,
+                         entry.promoteInputs);
+        if (!analysis.feasible) {
+            fatal("config layer '", entry.layerName,
+                  "' is infeasible on ", config.name, ": ",
+                  analysis.infeasibleReason);
+        }
+        LayerSchedule rebuilt = evaluateLayerChoice(
+            config, layer, entry.pattern, entry.tiling, options);
+        // evaluateLayerChoice does not know about promotion; rebuild
+        // the schedule record from the promoted analysis when the
+        // config requested it.
+        if (entry.promoteInputs) {
+            rebuilt.analysis = analysis;
+            rebuilt.counts = layerOperationCounts(
+                config, layer, analysis, options.policy,
+                options.refreshIntervalSeconds);
+            rebuilt.energy = computeEnergy(
+                rebuilt.counts,
+                energyTable65nm(config.buffer.technology));
+            rebuilt.refreshFlags = refreshFlagsForLayer(
+                refreshDemand(config, analysis),
+                options.refreshIntervalSeconds);
+            rebuilt.gateOn = rebuilt.refreshFlags[0] ||
+                             rebuilt.refreshFlags[1] ||
+                             rebuilt.refreshFlags[2];
+        }
+        schedule.layers.push_back(std::move(rebuilt));
+    }
+    return schedule;
+}
+
+} // namespace rana

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension: inter-layer output reuse.
+ *
+ * The paper's execution model always drains a layer's outputs to
+ * off-chip memory and reloads them as the next layer's inputs
+ * (Section II-B). With RANA's large eDRAM buffer that round trip is
+ * often avoidable: when consecutive layers chain directly (the
+ * producer's output volume is exactly the consumer's input volume)
+ * and the output set is fully buffer-resident in both layers'
+ * allocations, the outputs can simply stay on chip.
+ *
+ * The retention twist that makes this a RANA problem: kept outputs
+ * now live from their final accumulation in the producer until
+ * their last read in the consumer — a lifetime that spans layers
+ * and can exceed the tolerable retention time even when both
+ * layers' intra-layer lifetimes are safe. The reuse pass therefore
+ * recomputes the consumer's input lifetime as the carried lifetime
+ * and re-derives its refresh flags, trading the saved off-chip
+ * energy against any added refresh energy, and only keeps a fusion
+ * when it wins.
+ */
+
+#ifndef RANA_SCHED_INTERLAYER_REUSE_HH_
+#define RANA_SCHED_INTERLAYER_REUSE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network_model.hh"
+#include "sched/schedule_types.hh"
+#include "sim/accelerator_config.hh"
+
+namespace rana {
+
+/** One applied fusion. */
+struct FusedPair
+{
+    /** Producer layer index. */
+    std::size_t producer = 0;
+    /** Consumer layer index (producer + 1). */
+    std::size_t consumer = 0;
+    /** Off-chip words saved (producer writes + consumer reads). */
+    double savedDramWords = 0.0;
+    /** Refresh operations added on the consumer's input banks. */
+    std::uint64_t addedRefreshOps = 0;
+    /** Net energy saved in joules. */
+    double savedEnergy = 0.0;
+    /**
+     * Carried lifetime of the kept outputs (producer tail +
+     * consumer consumption), in seconds.
+     */
+    double carriedLifetimeSeconds = 0.0;
+};
+
+/** Result of the reuse pass. */
+struct InterLayerReuseResult
+{
+    /** Applied fusions in layer order. */
+    std::vector<FusedPair> fusions;
+    /** Adjusted per-layer operation counts. */
+    std::vector<OperationCounts> adjustedCounts;
+    /** Adjusted total energy. */
+    EnergyBreakdown adjustedEnergy;
+    /** Original total energy for comparison. */
+    EnergyBreakdown originalEnergy;
+
+    /** Total off-chip words removed. */
+    double totalSavedDramWords() const;
+    /** Net energy saving fraction. */
+    double savingFraction() const;
+};
+
+/**
+ * Whether two consecutive layers chain directly: the consumer reads
+ * exactly the producer's output volume.
+ */
+bool layersChain(const ConvLayerSpec &producer,
+                 const ConvLayerSpec &consumer);
+
+/**
+ * Apply inter-layer output reuse to a compiled schedule. The
+ * schedule itself is not modified; the result reports the adjusted
+ * counts and energy. Fusions are applied greedily in layer order,
+ * never chaining through an already-fused consumer (its inputs
+ * are already accounted), and only when the net energy saving is
+ * positive.
+ */
+InterLayerReuseResult
+applyInterLayerReuse(const AcceleratorConfig &config,
+                     const NetworkModel &network,
+                     const NetworkSchedule &schedule);
+
+} // namespace rana
+
+#endif // RANA_SCHED_INTERLAYER_REUSE_HH_

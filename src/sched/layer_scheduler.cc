@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Implementation of the layer-based scheduling scheme.
+ */
+
+#include "sched/layer_scheduler.hh"
+
+#include "sched/tiling_search.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+/** Build the full schedule record for a feasible analysis. */
+LayerSchedule
+makeSchedule(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+             const LayerAnalysis &analysis,
+             const SchedulerOptions &options)
+{
+    LayerSchedule schedule;
+    schedule.layerName = layer.name;
+    schedule.analysis = analysis;
+    schedule.counts = layerOperationCounts(
+        config, layer, analysis, options.policy,
+        options.refreshIntervalSeconds);
+    schedule.energy = computeEnergy(
+        schedule.counts, energyTable65nm(config.buffer.technology));
+    const LayerRefreshDemand demand = refreshDemand(config, analysis);
+    schedule.refreshFlags =
+        refreshFlagsForLayer(demand, options.refreshIntervalSeconds);
+    schedule.gateOn = schedule.refreshFlags[0] ||
+                      schedule.refreshFlags[1] ||
+                      schedule.refreshFlags[2];
+    return schedule;
+}
+
+} // namespace
+
+LayerSchedule
+scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+              const SchedulerOptions &options)
+{
+    RANA_ASSERT(!options.patterns.empty(),
+                "scheduler needs at least one pattern");
+
+    std::vector<Tiling> tilings;
+    if (options.fixedTiling) {
+        tilings.push_back(*options.fixedTiling);
+    } else {
+        tilings = tilingCandidates(config, layer);
+    }
+
+    bool found = false;
+    LayerSchedule best;
+    double best_energy = 0.0;
+    // Energies within this relative margin are considered equal and
+    // tie-broken by runtime: RANA does not change the core computing
+    // part, so among equal-energy configurations the scheduler keeps
+    // the one that preserves performance.
+    constexpr double energy_margin = 1e-3;
+    for (ComputationPattern pattern : options.patterns) {
+        for (const Tiling &tiling : tilings) {
+          for (int promote = 0; promote < 2; ++promote) {
+            if (promote && pattern != ComputationPattern::WD)
+                continue;
+            const LayerAnalysis analysis = analyzeLayer(
+                config, layer, pattern, tiling, promote != 0);
+            if (!analysis.feasible)
+                continue;
+            LayerSchedule candidate =
+                makeSchedule(config, layer, analysis, options);
+            const double energy = candidate.energy.total();
+            bool better = false;
+            if (!found) {
+                better = true;
+            } else if (energy < best_energy * (1.0 - energy_margin)) {
+                better = true;
+            } else if (energy <= best_energy * (1.0 + energy_margin) &&
+                       candidate.analysis.layerSeconds <
+                           best.analysis.layerSeconds) {
+                better = true;
+            }
+            if (better) {
+                // Keep the smallest energy seen as the reference so
+                // repeated margin tie-breaks cannot drift upward.
+                best_energy = found ? std::min(best_energy, energy)
+                                    : energy;
+                best = std::move(candidate);
+                found = true;
+            }
+          }
+        }
+    }
+    if (!found) {
+        fatal("no feasible schedule for layer ", layer.describe(),
+              " on ", config.name);
+    }
+    return best;
+}
+
+LayerSchedule
+evaluateLayerChoice(const AcceleratorConfig &config,
+                    const ConvLayerSpec &layer,
+                    ComputationPattern pattern, const Tiling &tiling,
+                    const SchedulerOptions &options)
+{
+    const LayerAnalysis analysis =
+        analyzeLayer(config, layer, pattern, tiling);
+    if (!analysis.feasible) {
+        fatal("infeasible layer choice for ", layer.name, ": ",
+              analysis.infeasibleReason);
+    }
+    return makeSchedule(config, layer, analysis, options);
+}
+
+NetworkSchedule
+scheduleNetwork(const AcceleratorConfig &config,
+                const NetworkModel &network,
+                const SchedulerOptions &options)
+{
+    NetworkSchedule schedule;
+    schedule.networkName = network.name();
+    schedule.refreshIntervalSeconds = options.refreshIntervalSeconds;
+    schedule.policy = options.policy;
+    schedule.layers.reserve(network.size());
+    for (const auto &layer : network.layers())
+        schedule.layers.push_back(scheduleLayer(config, layer, options));
+    return schedule;
+}
+
+} // namespace rana

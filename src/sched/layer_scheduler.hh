@@ -1,0 +1,50 @@
+/**
+ * @file
+ * RANA's layer-based scheduling scheme (Section IV-C3, Figure 13).
+ *
+ * For each layer, the scheduler explores the configured computation
+ * patterns and tiling parameters, estimates total system energy with
+ * the Equation-14 model under the design's refresh policy and
+ * interval, and picks the minimum-energy configuration. Applied to a
+ * whole network this yields the hybrid computation pattern and the
+ * layerwise configurations (pattern, tiling, refresh flags) loaded
+ * by the accelerator in the execution phase.
+ */
+
+#ifndef RANA_SCHED_LAYER_SCHEDULER_HH_
+#define RANA_SCHED_LAYER_SCHEDULER_HH_
+
+#include "nn/network_model.hh"
+#include "sched/schedule_types.hh"
+#include "sim/accelerator_config.hh"
+
+namespace rana {
+
+/**
+ * Schedule one layer: minimum-energy pattern and tiling under the
+ * options. Calls fatal() if no feasible configuration exists on the
+ * hardware.
+ */
+LayerSchedule scheduleLayer(const AcceleratorConfig &config,
+                            const ConvLayerSpec &layer,
+                            const SchedulerOptions &options);
+
+/**
+ * Evaluate one explicit (pattern, tiling) choice for a layer,
+ * producing the same record the scheduler would; useful for
+ * baselines and ablations. The analysis must be feasible.
+ */
+LayerSchedule evaluateLayerChoice(const AcceleratorConfig &config,
+                                  const ConvLayerSpec &layer,
+                                  ComputationPattern pattern,
+                                  const Tiling &tiling,
+                                  const SchedulerOptions &options);
+
+/** Schedule every layer of a network (the hybrid pattern). */
+NetworkSchedule scheduleNetwork(const AcceleratorConfig &config,
+                                const NetworkModel &network,
+                                const SchedulerOptions &options);
+
+} // namespace rana
+
+#endif // RANA_SCHED_LAYER_SCHEDULER_HH_

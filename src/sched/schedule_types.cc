@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of schedule aggregation helpers.
+ */
+
+#include "sched/schedule_types.hh"
+
+namespace rana {
+
+OperationCounts
+NetworkSchedule::totalCounts() const
+{
+    OperationCounts total;
+    for (const auto &layer : layers)
+        total += layer.counts;
+    return total;
+}
+
+EnergyBreakdown
+NetworkSchedule::totalEnergy() const
+{
+    EnergyBreakdown total;
+    for (const auto &layer : layers)
+        total += layer.energy;
+    return total;
+}
+
+double
+NetworkSchedule::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.analysis.layerSeconds;
+    return total;
+}
+
+std::size_t
+NetworkSchedule::patternCount(ComputationPattern pattern) const
+{
+    std::size_t count = 0;
+    for (const auto &layer : layers) {
+        if (layer.analysis.pattern == pattern)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace rana

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scheduling data types: options, per-layer decisions and the
+ * compiled layerwise configuration (Figure 13's output).
+ */
+
+#ifndef RANA_SCHED_SCHEDULE_TYPES_HH_
+#define RANA_SCHED_SCHEDULE_TYPES_HH_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edram/refresh_controller.hh"
+#include "energy/energy_table.hh"
+#include "sim/pattern.hh"
+#include "sim/pattern_analytics.hh"
+
+namespace rana {
+
+/** Inputs to the layer-based scheduling scheme. */
+struct SchedulerOptions
+{
+    /** Computation patterns explored per layer. */
+    std::vector<ComputationPattern> patterns = {ComputationPattern::OD,
+                                                ComputationPattern::WD};
+    /** Refresh policy of the target design's controller. */
+    RefreshPolicy policy = RefreshPolicy::GatedGlobal;
+    /**
+     * Programmed refresh interval (the tolerable retention time) in
+     * seconds.
+     */
+    double refreshIntervalSeconds = 45e-6;
+    /**
+     * Fixed tiling (DaDianNao-style architectures); when absent the
+     * tiling space is explored.
+     */
+    std::optional<Tiling> fixedTiling;
+};
+
+/**
+ * One layer's compiled configuration: the chosen pattern and tiling,
+ * the analysis behind the choice, its Equation-14 operation counts
+ * and energy, and the eDRAM refresh flags for the execution phase.
+ */
+struct LayerSchedule
+{
+    std::string layerName;
+    LayerAnalysis analysis;
+    OperationCounts counts;
+    EnergyBreakdown energy;
+    /** Per-datatype bank refresh flags (Section IV-D2). */
+    std::array<bool, numDataTypes> refreshFlags = {false, false, false};
+    /** Whether the gated-global controller refreshes this layer. */
+    bool gateOn = false;
+
+    /** Chosen computation pattern. */
+    ComputationPattern pattern() const { return analysis.pattern; }
+    /** Chosen tiling. */
+    const Tiling &tiling() const { return analysis.tiling; }
+};
+
+/** A whole network's schedule: the hybrid computation pattern. */
+struct NetworkSchedule
+{
+    std::string networkName;
+    /** Refresh interval the schedule was compiled for. */
+    double refreshIntervalSeconds = 0.0;
+    RefreshPolicy policy = RefreshPolicy::GatedGlobal;
+    std::vector<LayerSchedule> layers;
+
+    /** Sum of per-layer operation counts. */
+    OperationCounts totalCounts() const;
+    /** Sum of per-layer energies. */
+    EnergyBreakdown totalEnergy() const;
+    /** Total execution time in seconds. */
+    double totalSeconds() const;
+    /** Number of layers scheduled with the given pattern. */
+    std::size_t patternCount(ComputationPattern pattern) const;
+};
+
+} // namespace rana
+
+#endif // RANA_SCHED_SCHEDULE_TYPES_HH_

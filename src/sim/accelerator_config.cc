@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Accelerator design presets.
+ */
+
+#include "sim/accelerator_config.hh"
+
+#include <sstream>
+
+#include "energy/technology.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+double
+AcceleratorConfig::peakMacsPerSecond() const
+{
+    return static_cast<double>(macUnits()) * frequencyHz;
+}
+
+std::string
+AcceleratorConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << name << ": " << macUnits() << " PEs (" << peRows << "x"
+        << peCols << ") @ " << frequencyHz / megaHertz << "MHz, buffer "
+        << buffer.describe();
+    return oss.str();
+}
+
+AcceleratorConfig
+testAcceleratorSram()
+{
+    AcceleratorConfig config;
+    config.name = "test-accelerator-sram";
+    config.buffer.technology = MemoryTechnology::Sram;
+    config.buffer.numBanks = 12; // 384KB.
+    return config;
+}
+
+AcceleratorConfig
+testAcceleratorEdram()
+{
+    // Equal silicon area as the 12-bank SRAM buffer (Table II):
+    // 12 * 0.181mm^2 / 0.047mm^2 = 46 eDRAM banks ~= 1.45MB.
+    return testAcceleratorEdram(equalAreaEdramBanks(12));
+}
+
+AcceleratorConfig
+testAcceleratorEdram(std::uint32_t num_banks)
+{
+    AcceleratorConfig config;
+    config.name = "test-accelerator-edram";
+    config.buffer.technology = MemoryTechnology::Edram;
+    config.buffer.numBanks = num_banks;
+    return config;
+}
+
+AcceleratorConfig
+daDianNaoNode()
+{
+    AcceleratorConfig config;
+    config.name = "dadiannao-node";
+    config.peRows = 64;
+    config.peCols = 64;
+    config.mapping = ArrayMapping::InputChannelColumns;
+    config.frequencyHz = 606e6;
+    // DaDianNao's NFU pipelines Tn=64 inputs into Tm=64 outputs; the
+    // per-tile staging storage is generous, so local storage never
+    // constrains the fixed <64,64,1,1> tiling.
+    config.localInputWords = 1 << 16;
+    config.localOutputWords = 1 << 16;
+    config.localWeightWords = 1 << 20;
+    config.buffer.technology = MemoryTechnology::Edram;
+    config.buffer.numBanks = 1152; // 36MB of 32KB banks.
+    return config;
+}
+
+} // namespace rana

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Accelerator hardware configuration and the two evaluated designs:
+ * the 256-PE test accelerator (Section III-A, Figure 5) and one node
+ * of DaDianNao (Section V-C).
+ */
+
+#ifndef RANA_SIM_ACCELERATOR_CONFIG_HH_
+#define RANA_SIM_ACCELERATOR_CONFIG_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "edram/buffer_system.hh"
+
+namespace rana {
+
+/** How the core's tile time is modelled. */
+enum class TimingModel {
+    /**
+     * The paper's model: the core sustains a fixed fraction eta of
+     * peak MAC throughput for any tiling (Equations 4-5, 9-10 divide
+     * by MAC * Frequency * eta). Tile time is therefore independent
+     * of the loop ordering and tiling, so RANA preserves performance
+     * exactly.
+     */
+    AggregateEfficiency,
+    /**
+     * Detailed model: serialized row/column group passes on the PE
+     * array, exposing mapping losses when tiles do not fill the
+     * array (used by the timing-model ablation benchmark).
+     */
+    ArrayMapped,
+};
+
+/** How the 2D PE array maps loop dimensions to its columns. */
+enum class ArrayMapping {
+    /**
+     * Rows compute Tm output channels, columns cover spatial output
+     * positions (Envision-like, the test accelerator).
+     */
+    SpatialColumns,
+    /**
+     * Rows compute Tm output channels, columns reduce Tn input
+     * channels through an adder tree (DaDianNao-like).
+     */
+    InputChannelColumns,
+};
+
+/** Static hardware parameters of a CNN accelerator. */
+struct AcceleratorConfig
+{
+    /** Design name. */
+    std::string name;
+    /** PE array rows (parallel output channels). */
+    std::uint32_t peRows = 16;
+    /** PE array columns. */
+    std::uint32_t peCols = 16;
+    /** Column mapping style (ArrayMapped timing only). */
+    ArrayMapping mapping = ArrayMapping::SpatialColumns;
+    /** Tile timing model. */
+    TimingModel timing = TimingModel::AggregateEfficiency;
+    /** Working frequency in Hz. */
+    double frequencyHz = 200e6;
+    /**
+     * Fraction of peak MAC throughput sustained by the pipeline
+     * (fill/drain and control bubbles). The paper's measured layer
+     * lifetimes imply eta ~= 0.875 on the test accelerator.
+     */
+    double pipelineEfficiency = 0.875;
+    /** Core local input storage Ri, in 16-bit words. */
+    std::uint64_t localInputWords = 8192;
+    /** Core local output storage Ro, in 16-bit words. */
+    std::uint64_t localOutputWords = 4096;
+    /** Core local weight storage Rw, in 16-bit words. */
+    std::uint64_t localWeightWords = 6144;
+    /** On-chip unified buffer geometry. */
+    BufferGeometry buffer;
+
+    /** Total MAC units (= peRows * peCols). */
+    std::uint32_t macUnits() const { return peRows * peCols; }
+
+    /** Peak MAC throughput in operations per second. */
+    double peakMacsPerSecond() const;
+
+    /** Human-readable one-line summary. */
+    std::string describe() const;
+};
+
+/**
+ * The test CNN accelerator of Section III-A with an SRAM buffer:
+ * 256 PEs (16x16) at 200MHz, 36KB core local storage, 384KB SRAM
+ * buffer (12 x 32KB banks), 5.682mm^2 in 65nm.
+ */
+AcceleratorConfig testAcceleratorSram();
+
+/**
+ * The same test accelerator with the equal-area eDRAM buffer
+ * (46 x 32KB banks ~= 1.45MB, Table II's area ratio).
+ */
+AcceleratorConfig testAcceleratorEdram();
+
+/**
+ * The test accelerator with an arbitrary number of eDRAM banks
+ * (used by the Figure 18 buffer-capacity sweep).
+ */
+AcceleratorConfig testAcceleratorEdram(std::uint32_t num_banks);
+
+/**
+ * One node of DaDianNao: 4096 PEs in a 64x64 tree-like organization
+ * at 606MHz with 36MB of on-chip eDRAM; the fixed tiling is
+ * Tm = Tn = 64, Tr = Tc = 1.
+ */
+AcceleratorConfig daDianNaoNode();
+
+} // namespace rana
+
+#endif // RANA_SIM_ACCELERATOR_CONFIG_HH_

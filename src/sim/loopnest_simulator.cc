@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Implementation of the loop-nest trace simulator.
+ */
+
+#include "sim/loopnest_simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pe_array_model.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+constexpr std::size_t kInput = static_cast<std::size_t>(DataType::Input);
+constexpr std::size_t kOutput =
+    static_cast<std::size_t>(DataType::Output);
+constexpr std::size_t kWeight =
+    static_cast<std::size_t>(DataType::Weight);
+
+} // namespace
+
+LoopNestSimulator::LoopNestSimulator(const AcceleratorConfig &config,
+                                     RefreshPolicy policy,
+                                     double interval_seconds)
+    : config_(config),
+      policy_(policy),
+      interval_(interval_seconds),
+      controller_(config.buffer, policy, config.frequencyHz,
+                  interval_seconds)
+{
+}
+
+std::uint64_t
+LoopNestSimulator::totalRefreshOps() const
+{
+    return controller_.refreshOps();
+}
+
+std::uint64_t
+LoopNestSimulator::totalViolations() const
+{
+    return controller_.violations();
+}
+
+void
+LoopNestSimulator::emit(TraceEventKind kind, double seconds,
+                        DataType type, std::uint64_t words,
+                        std::uint64_t tile_index)
+{
+    if (trace_ != nullptr) {
+        TraceEvent event;
+        event.kind = kind;
+        event.seconds = seconds;
+        event.type = type;
+        event.words = words;
+        event.tileIndex = tile_index;
+        trace_->onEvent(event);
+    }
+}
+
+LayerSimResult
+LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
+                            const LayerAnalysis &analysis)
+{
+    RANA_ASSERT(analysis.feasible, "simulating an infeasible analysis");
+    const ComputationPattern pattern = analysis.pattern;
+    const Tiling &t = analysis.tiling;
+    const TileSizes tiles = tileSizes(layer, t);
+    const TripCounts trips = tripCounts(layer, t);
+    const TileTiming timing = tileTiming(config_, layer, t);
+    const auto order = loopOrder(pattern);
+    const std::uint64_t trip0 = tripOf(trips, order[0]);
+    const std::uint64_t trip1 = tripOf(trips, order[1]);
+    const std::uint64_t trip2 = tripOf(trips, order[2]);
+
+    const double layer_start = now_;
+    const double t_tile = timing.seconds;
+    const double t1 = static_cast<double>(trip2) * t_tile;
+    const double t2 = static_cast<double>(trip1) * t1;
+
+    // Layer configuration load: allocation and refresh flags from
+    // the analysis (the compiled layerwise configuration).
+    const LayerRefreshDemand demand = refreshDemand(config_, analysis);
+    const auto flags = refreshFlagsForLayer(demand, interval_);
+    const bool gate_on = flags[0] || flags[1] || flags[2];
+    const std::uint64_t refresh_before = controller_.refreshOps();
+    const std::uint64_t violations_before = controller_.violations();
+    controller_.beginLayer(demand.allocation, flags, gate_on,
+                           layer_start);
+    if (trace_ != nullptr)
+        trace_->onLayerBegin(layer.name);
+    emit(TraceEventKind::LayerBegin, layer_start, DataType::Input, 0,
+         0);
+
+    // Per-type staging times following the pattern's natural
+    // residency; fully streamed types are always freshly staged.
+    const std::array<double, numDataTypes> phi = {
+        analysis.types[kInput].residentFraction,
+        analysis.types[kOutput].residentFraction,
+        analysis.types[kWeight].residentFraction,
+    };
+    double input_write = layer_start;
+    double weight_write = layer_start;
+    controller_.onWrite(DataType::Input, layer_start);
+    controller_.onWrite(DataType::Weight, layer_start);
+    controller_.onWrite(DataType::Output, layer_start);
+
+    // Event tallies.
+    double core_load_in = 0.0;
+    double core_load_w = 0.0;
+    double core_store_out = 0.0;
+    double partial_reload_out = 0.0;
+    double natural_in_reads = 0.0;
+    double natural_out_writes = 0.0;
+    std::array<double, numDataTypes> max_age = {0.0, 0.0, 0.0};
+
+    const auto tile_in = static_cast<double>(tiles.input);
+    const auto tile_out = static_cast<double>(tiles.output);
+    const auto tile_w = static_cast<double>(tiles.weight);
+    const std::uint64_t th = layer.inputPatchH(t.tr);
+    const std::uint64_t tl = layer.inputPatchW(t.tc);
+
+    // Natural (fully resident) input fill: once for ID/OD and for
+    // WD with promoted inputs, one halo patch per RC scan for plain
+    // WD (tallied inside the loop).
+    if (pattern != ComputationPattern::WD || analysis.inputsPromoted)
+        natural_in_reads = static_cast<double>(layer.inputWords());
+
+    auto observe_read = [&](DataType type, double now,
+                            double write_time) {
+        controller_.onRead(type, now, write_time);
+        max_age[static_cast<std::size_t>(type)] =
+            std::max(max_age[static_cast<std::size_t>(type)],
+                     now - write_time);
+    };
+
+    std::uint64_t tile_index = 0;
+    for (std::uint64_t i0 = 0; i0 < trip0; ++i0) {
+        const double scan_start =
+            layer_start + static_cast<double>(i0) * t2;
+        // Staging at the outer loop boundary.
+        switch (pattern) {
+          case ComputationPattern::ID:
+            // Loop M: the m-group's weights are staged here.
+            weight_write = scan_start;
+            controller_.onWrite(DataType::Weight, scan_start);
+            break;
+          case ComputationPattern::OD:
+            // Loop N: the input slab is staged here.
+            input_write = scan_start;
+            controller_.onWrite(DataType::Input, scan_start);
+            break;
+          case ComputationPattern::WD:
+            if (analysis.inputsPromoted) {
+                // Inputs were staged whole at layer start.
+                break;
+            }
+            // Loop RC: the input halo patch is staged here.
+            input_write = scan_start;
+            controller_.onWrite(DataType::Input, scan_start);
+            natural_in_reads +=
+                static_cast<double>(layer.n) * th * tl;
+            break;
+        }
+        for (std::uint64_t i1 = 0; i1 < trip1; ++i1) {
+            const double pass_start =
+                scan_start + static_cast<double>(i1) * t1;
+            if (pattern == ComputationPattern::OD) {
+                // Loop M: the (n, m) weight tile is staged one
+                // 1st-level pass ahead of its use.
+                weight_write = std::max(layer_start, pass_start - t1);
+                controller_.onWrite(DataType::Weight, pass_start);
+                core_load_w += tile_w;
+                observe_read(DataType::Weight, pass_start,
+                             phi[kWeight] > 0.0 ? weight_write
+                                                : pass_start);
+                emit(TraceEventKind::CoreLoad, pass_start,
+                     DataType::Weight, tiles.weight, tile_index);
+            }
+            for (std::uint64_t i2 = 0; i2 < trip2; ++i2) {
+                const std::uint64_t tile_id = tile_index;
+                const double t_start =
+                    layer_start +
+                    static_cast<double>(tile_index) * t_tile;
+                const double t_end = t_start + t_tile;
+                ++tile_index;
+
+                // OD partial sums reload at the tile start: on every
+                // pass of Loop N but the first, the tile re-read now
+                // was written one full Loop-N pass (t2) ago.
+                if (pattern == ComputationPattern::OD && i0 > 0) {
+                    partial_reload_out += tile_out;
+                    observe_read(DataType::Output, t_start,
+                                 phi[kOutput] > 0.0 ? t_start - t2
+                                                    : t_start);
+                    emit(TraceEventKind::PartialReload, t_start,
+                         DataType::Output, tiles.output, tile_id);
+                }
+
+                // Inputs stream buffer -> core every tile.
+                core_load_in += tile_in;
+                observe_read(DataType::Input, t_end,
+                             phi[kInput] > 0.0 ? input_write : t_start);
+                emit(TraceEventKind::CoreLoad, t_start,
+                     DataType::Input, tiles.input, tile_id);
+
+                if (pattern != ComputationPattern::OD) {
+                    // Loop N innermost: weights re-read per tile.
+                    core_load_w += tile_w;
+                    observe_read(DataType::Weight, t_end,
+                                 phi[kWeight] > 0.0 ? weight_write
+                                                    : t_start);
+                    emit(TraceEventKind::CoreLoad, t_start,
+                         DataType::Weight, tiles.weight, tile_id);
+                }
+                emit(TraceEventKind::TileCompute, t_end,
+                     DataType::Input, timing.macs, tile_id);
+
+                switch (pattern) {
+                  case ComputationPattern::ID:
+                  case ComputationPattern::WD:
+                    // Outputs complete after the innermost N loop.
+                    if (i2 + 1 == trip2) {
+                        core_store_out += tile_out;
+                        natural_out_writes += tile_out;
+                        controller_.onWrite(DataType::Output, t_end);
+                        emit(TraceEventKind::CoreStore, t_end,
+                             DataType::Output, tiles.output, tile_id);
+                    }
+                    break;
+                  case ComputationPattern::OD:
+                    // Partial sums store on every pass of Loop N.
+                    core_store_out += tile_out;
+                    controller_.onWrite(DataType::Output, t_end);
+                    emit(TraceEventKind::CoreStore, t_end,
+                         DataType::Output, tiles.output, tile_id);
+                    if (i0 + 1 == trip0)
+                        natural_out_writes += tile_out;
+                    break;
+                }
+            }
+        }
+    }
+
+    const double layer_end =
+        layer_start + static_cast<double>(tile_index) * t_tile;
+    controller_.advanceTo(layer_end);
+    now_ = layer_end;
+    emit(TraceEventKind::LayerEnd, layer_end, DataType::Input, 0,
+         tile_index);
+
+    // Assemble DRAM traffic from the event tallies: resident
+    // fractions stream their complement on every reuse scan.
+    const double natural_w_reads =
+        static_cast<double>(layer.weightWords());
+    const double streamed_out_writes = core_store_out;
+
+    std::array<double, numDataTypes> dram_reads = {0.0, 0.0, 0.0};
+    std::array<double, numDataTypes> dram_writes = {0.0, 0.0, 0.0};
+    dram_reads[kInput] =
+        natural_in_reads +
+        (1.0 - phi[kInput]) * (core_load_in - natural_in_reads);
+    dram_reads[kWeight] =
+        natural_w_reads +
+        (1.0 - phi[kWeight]) * (core_load_w - natural_w_reads);
+    dram_reads[kOutput] = (1.0 - phi[kOutput]) * partial_reload_out;
+    dram_writes[kOutput] =
+        natural_out_writes +
+        (1.0 - phi[kOutput]) * (streamed_out_writes -
+                                natural_out_writes);
+
+    LayerSimResult result;
+    result.layerSeconds = layer_end - layer_start;
+    result.utilization =
+        static_cast<double>(layer.macs()) /
+        (result.layerSeconds * config_.peakMacsPerSecond());
+    result.refreshOps = controller_.refreshOps() - refresh_before;
+    result.violations = controller_.violations() - violations_before;
+    result.observedLifetime = max_age;
+
+    double buffer_words = core_load_in + core_load_w + core_store_out +
+                          partial_reload_out;
+    double dram_words = 0.0;
+    for (std::size_t i = 0; i < numDataTypes; ++i)
+        dram_words += dram_reads[i] + dram_writes[i];
+    buffer_words += dram_words; // Fills and drains stage via buffer.
+
+    result.counts.macOps = layer.macs();
+    result.counts.bufferAccesses =
+        static_cast<std::uint64_t>(std::llround(buffer_words));
+    result.counts.ddrAccesses =
+        static_cast<std::uint64_t>(std::llround(dram_words));
+    result.counts.refreshOps = result.refreshOps;
+    return result;
+}
+
+} // namespace rana

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace-driven loop-nest simulator of the accelerator's memory
+ * control part.
+ *
+ * The simulator walks the three memory-control loops of the chosen
+ * computation pattern tile by tile, advancing a cycle-derived clock,
+ * tallying core/buffer/DRAM traffic from individual events, staging
+ * data with the pattern's natural residency, and driving the
+ * event-driven eDRAM refresh controller (which counts refresh
+ * operations and detects retention violations: reads of data that
+ * aged past the tolerable retention time without a refresh).
+ *
+ * It is the operational counterpart of the closed-form
+ * PatternAnalytics model: the test suite asserts that both agree on
+ * runtime, traffic, lifetimes and refresh counts across randomized
+ * layers, tilings and patterns, and that correctly scheduled designs
+ * never read stale data.
+ */
+
+#ifndef RANA_SIM_LOOPNEST_SIMULATOR_HH_
+#define RANA_SIM_LOOPNEST_SIMULATOR_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "edram/refresh_controller.hh"
+#include "energy/energy_table.hh"
+#include "nn/conv_layer_spec.hh"
+#include "sim/accelerator_config.hh"
+#include "sim/pattern_analytics.hh"
+#include "sim/trace_export.hh"
+
+namespace rana {
+
+/** Results of simulating one layer. */
+struct LayerSimResult
+{
+    /** Equation-14 operation counts (including refresh ops). */
+    OperationCounts counts;
+    /** Layer execution time in seconds. */
+    double layerSeconds = 0.0;
+    /** Achieved PE utilization. */
+    double utilization = 0.0;
+    /** Refresh operations issued during this layer. */
+    std::uint64_t refreshOps = 0;
+    /** Retention violations observed during this layer. */
+    std::uint64_t violations = 0;
+    /**
+     * Largest observed read age per data type (the measured data
+     * lifetime), in seconds.
+     */
+    std::array<double, numDataTypes> observedLifetime = {0.0, 0.0, 0.0};
+};
+
+/**
+ * Simulates a sequence of layers against one refresh controller.
+ */
+class LoopNestSimulator
+{
+  public:
+    /**
+     * @param config           accelerator hardware
+     * @param policy           refresh policy of the buffer controller
+     * @param interval_seconds programmed refresh interval (the
+     *                         tolerable retention time)
+     */
+    LoopNestSimulator(const AcceleratorConfig &config,
+                      RefreshPolicy policy, double interval_seconds);
+
+    /**
+     * Simulate one layer under a previously computed analysis (which
+     * fixes the pattern, tiling and buffer residency).
+     */
+    LayerSimResult runLayer(const ConvLayerSpec &layer,
+                            const LayerAnalysis &analysis);
+
+    /** Total refresh ops across all layers simulated so far. */
+    std::uint64_t totalRefreshOps() const;
+
+    /** Total retention violations across all layers so far. */
+    std::uint64_t totalViolations() const;
+
+    /** Current simulated time in seconds. */
+    double now() const { return now_; }
+
+    /**
+     * Attach a trace sink receiving every event of subsequent
+     * layers (nullptr detaches). The sink is not owned.
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
+  private:
+    /** Emit one event to the attached sink, if any. */
+    void emit(TraceEventKind kind, double seconds, DataType type,
+              std::uint64_t words, std::uint64_t tile_index);
+
+    AcceleratorConfig config_;
+    RefreshPolicy policy_;
+    double interval_;
+    RefreshControllerSim controller_;
+    double now_ = 0.0;
+    TraceSink *trace_ = nullptr;
+};
+
+} // namespace rana
+
+#endif // RANA_SIM_LOOPNEST_SIMULATOR_HH_

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Implementation of the closed-form layer analysis.
+ */
+
+#include "sim/pattern_analytics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pe_array_model.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+constexpr std::size_t kInput = static_cast<std::size_t>(DataType::Input);
+constexpr std::size_t kOutput =
+    static_cast<std::size_t>(DataType::Output);
+constexpr std::size_t kWeight =
+    static_cast<std::size_t>(DataType::Weight);
+
+/** Natural and fully-streamed traffic for one data type. */
+struct TrafficBounds
+{
+    double naturalReads = 0.0;
+    double streamedReads = 0.0;
+    double naturalWrites = 0.0;
+    double streamedWrites = 0.0;
+};
+
+} // namespace
+
+const TypeAnalysis &
+LayerAnalysis::of(DataType type) const
+{
+    return types[static_cast<std::size_t>(type)];
+}
+
+TypeAnalysis &
+LayerAnalysis::of(DataType type)
+{
+    return types[static_cast<std::size_t>(type)];
+}
+
+double
+LayerAnalysis::totalDramWords() const
+{
+    double total = 0.0;
+    for (const auto &type : types)
+        total += type.dramReadWords + type.dramWriteWords;
+    return total;
+}
+
+double
+LayerAnalysis::totalBufferWords() const
+{
+    double total = 0.0;
+    for (const auto &type : types) {
+        total += type.coreLoadWords + type.coreStoreWords +
+                 type.dramReadWords + type.dramWriteWords;
+    }
+    return total;
+}
+
+bool
+LayerAnalysis::spilled() const
+{
+    for (const auto &type : types) {
+        if (type.residentFraction < 1.0)
+            return true;
+    }
+    return false;
+}
+
+std::array<double, numDataTypes>
+LayerAnalysis::lifetimes() const
+{
+    return {types[0].lifetimeSeconds, types[1].lifetimeSeconds,
+            types[2].lifetimeSeconds};
+}
+
+LayerAnalysis
+analyzeLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+             ComputationPattern pattern, const Tiling &tiling,
+             bool promote_inputs)
+{
+    const bool promote =
+        promote_inputs && pattern == ComputationPattern::WD;
+    LayerAnalysis analysis;
+    analysis.pattern = pattern;
+    analysis.inputsPromoted = promote;
+    analysis.tiling = clampTiling(tiling, layer);
+    const Tiling &t = analysis.tiling;
+
+    const TileSizes tiles = tileSizes(layer, t);
+
+    // Core local storage constraints (Figure 13).
+    if (tiles.input > config.localInputWords) {
+        analysis.infeasibleReason = "input tile exceeds Ri";
+        return analysis;
+    }
+    if (tiles.output > config.localOutputWords) {
+        analysis.infeasibleReason = "output tile exceeds Ro";
+        return analysis;
+    }
+    if (tiles.weight > config.localWeightWords) {
+        analysis.infeasibleReason = "weight tile exceeds Rw";
+        return analysis;
+    }
+
+    // Timing: tile time and the nested loop level times.
+    const TripCounts trips = tripCounts(layer, t);
+    const TileTiming timing = tileTiming(config, layer, t);
+    const auto order = loopOrder(pattern);
+    const double t1 =
+        static_cast<double>(tripOf(trips, order[2])) * timing.seconds;
+    const double t2 = static_cast<double>(tripOf(trips, order[1])) * t1;
+    const double t3 = static_cast<double>(tripOf(trips, order[0])) * t2;
+    analysis.levelSeconds = {t1, t2, t3};
+    analysis.layerSeconds = t3;
+    analysis.utilization = static_cast<double>(layer.macs()) /
+                           (t3 * config.peakMacsPerSecond());
+
+    const auto nm = static_cast<double>(trips.nm);
+    const auto nn = static_cast<double>(trips.nn);
+    const auto nrc = static_cast<double>(trips.nrc());
+    const auto total_tiles = static_cast<double>(trips.total());
+
+    const auto in_words = static_cast<double>(layer.inputWords());
+    const auto w_words = static_cast<double>(layer.weightWords());
+    const auto tile_in = static_cast<double>(tiles.input);
+    const auto tile_out = static_cast<double>(tiles.output);
+    const auto tile_w = static_cast<double>(tiles.weight);
+
+    // Core traffic (independent of buffer residency). A tile is
+    // re-fetched once per iteration of the innermost loop the data
+    // type depends on.
+    double core_load_in = total_tiles * tile_in;
+    double core_load_w = 0.0;
+    double core_store_out = 0.0;
+    double partial_reload_out = 0.0;
+    switch (pattern) {
+      case ComputationPattern::ID:
+      case ComputationPattern::WD:
+        // Loop N is innermost: weights re-fetched per tile; outputs
+        // complete their accumulation in the core and are stored
+        // once per (m, rc).
+        core_load_w = total_tiles * tile_w;
+        core_store_out = nm * nrc * tile_out;
+        break;
+      case ComputationPattern::OD:
+        // Loop RC is innermost: a weight tile depends on (m, n) only
+        // and is re-fetched once per (n, m) iteration. Outputs are
+        // partial sums: stored per pass of Loop N and reloaded for
+        // accumulation on every pass but the first.
+        core_load_w = nn * nm * tile_w;
+        core_store_out = total_tiles * tile_out;
+        partial_reload_out = (nn - 1.0) * nm * nrc * tile_out;
+        break;
+    }
+
+    // Natural buffer storage requirements (Equations 1-3, 6-8,
+    // 11-13) and traffic bounds per type.
+    std::array<std::uint64_t, numDataTypes> natural_bs = {0, 0, 0};
+    std::array<std::uint64_t, numDataTypes> floor_bs = {
+        tiles.input, tiles.output, tiles.weight};
+    std::array<TrafficBounds, numDataTypes> bounds;
+
+    const std::uint64_t th = layer.inputPatchH(t.tr);
+    const std::uint64_t tl = layer.inputPatchW(t.tc);
+
+    switch (pattern) {
+      case ComputationPattern::ID:
+        natural_bs[kInput] = layer.inputWords();
+        natural_bs[kOutput] = tiles.output;
+        natural_bs[kWeight] =
+            static_cast<std::uint64_t>(t.tm) * layer.n * layer.k *
+            layer.k;
+        bounds[kInput].naturalReads = in_words;
+        bounds[kWeight].naturalReads = w_words;
+        break;
+      case ComputationPattern::OD:
+        natural_bs[kInput] =
+            static_cast<std::uint64_t>(t.tn) * layer.h * layer.l;
+        natural_bs[kOutput] = layer.outputWords();
+        natural_bs[kWeight] = tiles.weight;
+        bounds[kInput].naturalReads = in_words;
+        bounds[kWeight].naturalReads = w_words;
+        break;
+      case ComputationPattern::WD:
+        if (promote) {
+            // Whole input set pinned: each input word loads once.
+            natural_bs[kInput] = layer.inputWords();
+            bounds[kInput].naturalReads = in_words;
+        } else {
+            natural_bs[kInput] =
+                static_cast<std::uint64_t>(layer.n) * th * tl;
+            // Input patches are re-read per RC tile with their halo.
+            bounds[kInput].naturalReads =
+                nrc * static_cast<double>(layer.n) * th * tl;
+        }
+        natural_bs[kOutput] = tiles.output;
+        natural_bs[kWeight] = layer.weightWords();
+        bounds[kWeight].naturalReads = w_words;
+        break;
+    }
+
+    // Fully-streamed bounds: traffic equals the core re-fetch count.
+    bounds[kInput].streamedReads = core_load_in;
+    bounds[kWeight].streamedReads = core_load_w;
+
+    // Outputs: final results always drain off-chip once; OD spills
+    // additionally write and re-read partial sums per Loop N pass.
+    bounds[kOutput].naturalWrites = nm * nrc * tile_out;
+    if (pattern == ComputationPattern::OD) {
+        bounds[kOutput].streamedWrites = total_tiles * tile_out;
+        bounds[kOutput].streamedReads = partial_reload_out;
+    } else {
+        bounds[kOutput].streamedWrites = bounds[kOutput].naturalWrites;
+        bounds[kOutput].streamedReads = 0.0;
+    }
+
+    // Residency solve. Residency is all-or-nothing per data type: a
+    // type either keeps its whole natural set in the buffer or
+    // streams it tile-by-tile from off-chip on every reuse scan
+    // (double-buffered tile working space only). Types are degraded
+    // from the largest natural requirement downward until the
+    // bank-granular allocation fits.
+    const std::uint64_t bank_words = config.buffer.bankWords();
+    std::array<std::uint64_t, numDataTypes> alloc = natural_bs;
+    auto banks_needed = [&alloc, bank_words]() {
+        std::uint64_t banks = 0;
+        for (std::uint64_t words : alloc)
+            banks += (words + bank_words - 1) / bank_words;
+        return banks;
+    };
+    if (banks_needed() > config.buffer.numBanks) {
+        std::array<std::size_t, numDataTypes> by_size = {0, 1, 2};
+        std::sort(by_size.begin(), by_size.end(),
+                  [&natural_bs](std::size_t a, std::size_t b) {
+                      return natural_bs[a] > natural_bs[b];
+                  });
+        for (std::size_t idx : by_size) {
+            if (banks_needed() <= config.buffer.numBanks)
+                break;
+            alloc[idx] = std::min(floor_bs[idx], natural_bs[idx]);
+        }
+        if (banks_needed() > config.buffer.numBanks) {
+            analysis.infeasibleReason =
+                "streamed working set exceeds buffer capacity";
+            return analysis;
+        }
+        if (promote && alloc[kInput] < natural_bs[kInput]) {
+            // Promotion requires the whole input set to stay
+            // resident; the caller falls back to the unpromoted
+            // variant.
+            analysis.infeasibleReason =
+                "promoted inputs do not fit the buffer";
+            return analysis;
+        }
+    }
+
+    // Natural lifetimes: the execution time of the loop level at
+    // which each data type is reused (Equations 4-5, 9-10).
+    std::array<double, numDataTypes> natural_lt = {0.0, 0.0, 0.0};
+    switch (pattern) {
+      case ComputationPattern::ID:
+        natural_lt = {t3, 0.0, t2};
+        break;
+      case ComputationPattern::OD:
+        natural_lt = {t2, t2, t1};
+        break;
+      case ComputationPattern::WD:
+        // Promoted inputs stay resident for the whole layer.
+        natural_lt = {promote ? t3 : t2, 0.0, t3};
+        break;
+    }
+
+    analysis.feasible = true;
+    for (std::size_t i = 0; i < numDataTypes; ++i) {
+        TypeAnalysis &type = analysis.types[i];
+        type.naturalStorageWords = natural_bs[i];
+        type.storageWords = alloc[i];
+        const std::uint64_t floor_words =
+            std::min(floor_bs[i], natural_bs[i]);
+        if (natural_bs[i] > floor_words) {
+            const double span =
+                static_cast<double>(natural_bs[i] - floor_words);
+            type.residentFraction =
+                static_cast<double>(alloc[i] - floor_words) / span;
+        } else {
+            type.residentFraction = 1.0;
+        }
+        const double phi = type.residentFraction;
+        const TrafficBounds &b = bounds[i];
+        type.dramReadWords =
+            b.naturalReads + (1.0 - phi) * (b.streamedReads -
+                                            b.naturalReads);
+        type.dramWriteWords =
+            b.naturalWrites + (1.0 - phi) * (b.streamedWrites -
+                                             b.naturalWrites);
+        type.lifetimeSeconds =
+            phi > 0.0 ? natural_lt[i] : timing.seconds;
+    }
+    analysis.of(DataType::Input).coreLoadWords = core_load_in;
+    analysis.of(DataType::Weight).coreLoadWords = core_load_w;
+    analysis.of(DataType::Output).coreLoadWords = partial_reload_out;
+    analysis.of(DataType::Output).coreStoreWords = core_store_out;
+
+    return analysis;
+}
+
+BankAllocation
+analysisBankAllocation(const AcceleratorConfig &config,
+                       const LayerAnalysis &analysis)
+{
+    RANA_ASSERT(analysis.feasible,
+                "bank allocation of an infeasible analysis");
+    return allocateBanks(config.buffer,
+                         analysis.of(DataType::Input).storageWords,
+                         analysis.of(DataType::Output).storageWords,
+                         analysis.of(DataType::Weight).storageWords);
+}
+
+LayerRefreshDemand
+refreshDemand(const AcceleratorConfig &config,
+              const LayerAnalysis &analysis)
+{
+    LayerRefreshDemand demand;
+    demand.layerSeconds = analysis.layerSeconds;
+    demand.lifetimeSeconds = analysis.lifetimes();
+    demand.allocation = analysisBankAllocation(config, analysis);
+    return demand;
+}
+
+OperationCounts
+layerOperationCounts(const AcceleratorConfig &config,
+                     const ConvLayerSpec &layer,
+                     const LayerAnalysis &analysis,
+                     RefreshPolicy policy,
+                     double refresh_interval_seconds)
+{
+    RANA_ASSERT(analysis.feasible,
+                "operation counts of an infeasible analysis");
+    OperationCounts counts;
+    counts.macOps = layer.macs();
+
+    double buffer_words = 0.0;
+    double dram_words = 0.0;
+    for (const auto &type : analysis.types) {
+        buffer_words += type.coreLoadWords + type.coreStoreWords +
+                        type.dramReadWords + type.dramWriteWords;
+        dram_words += type.dramReadWords + type.dramWriteWords;
+    }
+    counts.bufferAccesses =
+        static_cast<std::uint64_t>(std::llround(buffer_words));
+    counts.ddrAccesses =
+        static_cast<std::uint64_t>(std::llround(dram_words));
+
+    if (policy != RefreshPolicy::None) {
+        counts.refreshOps = refreshOpsForLayer(
+            policy, config.buffer, refreshDemand(config, analysis),
+            refresh_interval_seconds);
+    }
+    return counts;
+}
+
+} // namespace rana

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Closed-form buffer-storage / lifetime / memory-traffic analysis of
+ * a CONV layer under a computation pattern and tiling (Sections
+ * III-B and IV-C).
+ *
+ * For the pattern's loop order (L3 outer, L2, L1 inner around the
+ * core tile), the model derives for each data type:
+ *
+ *  - the natural buffer storage requirement (the paper's Equations
+ *    1-3 for ID, 6-8 for OD, 11-13 for WD);
+ *  - the data lifetime in the buffers (Equations 4-5, 9-10): the
+ *    execution time of the loop level at which the type is reused;
+ *  - off-chip (DDR) traffic and on-chip buffer traffic. A data
+ *    type's tile is re-fetched into the core once per iteration of
+ *    the innermost loop it depends on (inputs depend on Loops N and
+ *    RC, weights on M and N, outputs on M and RC), which is why OD
+ *    re-reads each weight tile only once per (n, m) iteration while
+ *    WD re-reads it every output tile.
+ *
+ * When the natural storage requirements exceed the buffer capacity,
+ * residency degrades: the overflowing type keeps a resident fraction
+ * phi of its natural set pinned in the buffer and streams the rest
+ * from off-chip on every reuse scan, linearly interpolating between
+ * the fully-resident and fully-streamed traffic. OD's outputs spill
+ * partial sums (read + write per Loop N pass), which is exactly the
+ * cost the WD pattern avoids on shallow layers (Section IV-C2).
+ */
+
+#ifndef RANA_SIM_PATTERN_ANALYTICS_HH_
+#define RANA_SIM_PATTERN_ANALYTICS_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "edram/buffer_system.hh"
+#include "edram/refresh_controller.hh"
+#include "energy/energy_table.hh"
+#include "nn/conv_layer_spec.hh"
+#include "sim/accelerator_config.hh"
+#include "sim/pattern.hh"
+
+namespace rana {
+
+/** Per-data-type results of the layer analysis. */
+struct TypeAnalysis
+{
+    /** Natural buffer storage requirement (paper equations), words. */
+    std::uint64_t naturalStorageWords = 0;
+    /** Allocated buffer storage after the residency solve, words. */
+    std::uint64_t storageWords = 0;
+    /** Resident fraction phi of the natural set (1 = no spill). */
+    double residentFraction = 1.0;
+    /** Buffer data lifetime in seconds. */
+    double lifetimeSeconds = 0.0;
+    /** Off-chip words read for this type. */
+    double dramReadWords = 0.0;
+    /** Off-chip words written for this type. */
+    double dramWriteWords = 0.0;
+    /** Buffer-to-core words loaded. */
+    double coreLoadWords = 0.0;
+    /** Core-to-buffer words stored. */
+    double coreStoreWords = 0.0;
+};
+
+/** Full analysis of one layer under one pattern and tiling. */
+struct LayerAnalysis
+{
+    ComputationPattern pattern = ComputationPattern::ID;
+    Tiling tiling;
+
+    /** Whether the configuration fits the hardware at all. */
+    bool feasible = false;
+    /** Reason when infeasible. */
+    std::string infeasibleReason;
+
+    /** Layer execution time in seconds. */
+    double layerSeconds = 0.0;
+    /** Achieved PE utilization. */
+    double utilization = 0.0;
+    /** Execution time of one pass of loop level 1/2/3 (T1,T2,T3). */
+    std::array<double, 3> levelSeconds = {0.0, 0.0, 0.0};
+
+    /** Per-type results, indexed by DataType. */
+    std::array<TypeAnalysis, numDataTypes> types;
+
+    /** Access to a type's results. */
+    const TypeAnalysis &of(DataType type) const;
+    TypeAnalysis &of(DataType type);
+
+    /** Total off-chip traffic in words (reads + writes). */
+    double totalDramWords() const;
+    /** Total on-chip buffer traffic in words (reads + writes). */
+    double totalBufferWords() const;
+    /** Whether any type had to spill (phi < 1). */
+    bool spilled() const;
+
+    /**
+     * Whether the inputs were promoted to full residency (WD only):
+     * the whole input set is pinned in spare buffer capacity so the
+     * per-RC-tile halo re-reads come from on-chip instead of DRAM,
+     * at the cost of a whole-layer input lifetime.
+     */
+    bool inputsPromoted = false;
+
+    /** Lifetimes as an array for refresh-demand assembly. */
+    std::array<double, numDataTypes> lifetimes() const;
+};
+
+/**
+ * Analyze a layer under a pattern and tiling on the given hardware.
+ *
+ * The result is marked infeasible when the tile exceeds the core's
+ * local storage (Tn*Th*Tl <= Ri, Tm*Tr*Tc <= Ro, Tm*Tn*K^2 <= Rw) or
+ * the minimum streamed working set exceeds the buffer.
+ *
+ * @param promote_inputs WD only: pin the whole input set in spare
+ *        buffer capacity (see LayerAnalysis::inputsPromoted). The
+ *        variant is infeasible when the promoted set does not fit.
+ *        ID and OD inputs already stream from DRAM exactly once, so
+ *        promotion is meaningful only for WD; requesting it for
+ *        other patterns is ignored.
+ */
+LayerAnalysis analyzeLayer(const AcceleratorConfig &config,
+                           const ConvLayerSpec &layer,
+                           ComputationPattern pattern,
+                           const Tiling &tiling,
+                           bool promote_inputs = false);
+
+/**
+ * Bank allocation for an analyzed layer (bank-granular); the
+ * residency solve guarantees it fits.
+ */
+BankAllocation analysisBankAllocation(const AcceleratorConfig &config,
+                                      const LayerAnalysis &analysis);
+
+/** Refresh demand record for the analyzed layer. */
+LayerRefreshDemand refreshDemand(const AcceleratorConfig &config,
+                                 const LayerAnalysis &analysis);
+
+/**
+ * Assemble Equation-14 operation counts for the analyzed layer,
+ * including refresh operations under the given policy and interval.
+ *
+ * Buffer accesses count: core loads and stores, OD partial-sum
+ * reloads, buffer fills from DRAM and drains to DRAM.
+ */
+OperationCounts layerOperationCounts(const AcceleratorConfig &config,
+                                     const ConvLayerSpec &layer,
+                                     const LayerAnalysis &analysis,
+                                     RefreshPolicy policy,
+                                     double refresh_interval_seconds);
+
+} // namespace rana
+
+#endif // RANA_SIM_PATTERN_ANALYTICS_HH_

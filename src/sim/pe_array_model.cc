@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the PE array timing model.
+ */
+
+#include "sim/pe_array_model.hh"
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+TileTiming
+tileTiming(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+           const Tiling &tiling)
+{
+    RANA_ASSERT(config.pipelineEfficiency > 0.0 &&
+                config.pipelineEfficiency <= 1.0,
+                "pipeline efficiency out of range");
+    const Tiling t = clampTiling(tiling, layer);
+    const std::uint64_t k2 =
+        static_cast<std::uint64_t>(layer.k) * layer.k;
+    const std::uint64_t tile_macs = static_cast<std::uint64_t>(t.tm) *
+                                    t.tn * t.tr * t.tc * k2;
+
+    if (config.timing == TimingModel::AggregateEfficiency) {
+        TileTiming timing;
+        timing.cycles = static_cast<double>(tile_macs) /
+                        (static_cast<double>(config.macUnits()) *
+                         config.pipelineEfficiency);
+        timing.seconds = timing.cycles / config.frequencyHz;
+        timing.macs = tile_macs;
+        return timing;
+    }
+
+    const std::uint64_t row_groups = ceilDiv(t.tm, config.peRows);
+
+    std::uint64_t active_cycles = 0;
+    switch (config.mapping) {
+      case ArrayMapping::SpatialColumns: {
+        const std::uint64_t col_groups =
+            ceilDiv(static_cast<std::uint64_t>(t.tr) * t.tc,
+                    config.peCols);
+        active_cycles = row_groups * col_groups * t.tn * k2;
+        break;
+      }
+      case ArrayMapping::InputChannelColumns: {
+        const std::uint64_t col_groups = ceilDiv(t.tn, config.peCols);
+        active_cycles = row_groups * col_groups *
+                        static_cast<std::uint64_t>(t.tr) * t.tc * k2;
+        break;
+      }
+    }
+
+    TileTiming timing;
+    timing.cycles = static_cast<double>(active_cycles) /
+                    config.pipelineEfficiency;
+    timing.seconds = timing.cycles / config.frequencyHz;
+    timing.macs = tile_macs;
+    return timing;
+}
+
+double
+layerSeconds(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+             const Tiling &tiling)
+{
+    const Tiling t = clampTiling(tiling, layer);
+    const TripCounts trips = tripCounts(layer, t);
+    return static_cast<double>(trips.total()) *
+           tileTiming(config, layer, t).seconds;
+}
+
+double
+layerUtilization(const AcceleratorConfig &config,
+                 const ConvLayerSpec &layer, const Tiling &tiling)
+{
+    const double seconds = layerSeconds(config, layer, tiling);
+    const double peak = config.peakMacsPerSecond();
+    return static_cast<double>(layer.macs()) / (seconds * peak);
+}
+
+} // namespace rana

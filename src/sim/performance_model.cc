@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the performance model extension.
+ */
+
+#include "sim/performance_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+double
+PerformanceReport::slowdown() const
+{
+    return computeSeconds > 0.0 ? boundedSeconds / computeSeconds
+                                : 1.0;
+}
+
+PerformanceReport
+evaluatePerformance(const AcceleratorConfig &config,
+                    const ConvLayerSpec &layer,
+                    const LayerAnalysis &analysis,
+                    RefreshPolicy policy, double interval_seconds,
+                    const PerformanceParams &params)
+{
+    (void)layer; // Shapes already folded into the analysis.
+    RANA_ASSERT(analysis.feasible,
+                "performance of an infeasible analysis");
+    RANA_ASSERT(params.dramBandwidthBytesPerSecond > 0.0,
+                "bandwidth must be positive");
+
+    PerformanceReport report;
+    report.computeSeconds = analysis.layerSeconds;
+    report.memorySeconds =
+        analysis.totalDramWords() * bytesPerWord /
+        params.dramBandwidthBytesPerSecond;
+
+    const std::uint64_t refresh_ops = refreshOpsForLayer(
+        policy, config.buffer, refreshDemand(config, analysis),
+        interval_seconds);
+    const double rows = static_cast<double>(refresh_ops) /
+                        static_cast<double>(params.wordsPerRow);
+    report.refreshBusySeconds =
+        rows * params.refreshCyclesPerRow / config.frequencyHz;
+
+    // Banks refresh in parallel with computation when the buffer is
+    // otherwise idle; the conservative bound charges the full busy
+    // time on top of the binding resource.
+    report.boundedSeconds =
+        std::max(report.computeSeconds, report.memorySeconds) +
+        report.refreshBusySeconds /
+            std::max<double>(1.0, config.buffer.numBanks);
+    return report;
+}
+
+PerformanceReport &
+operator+=(PerformanceReport &lhs, const PerformanceReport &rhs)
+{
+    lhs.computeSeconds += rhs.computeSeconds;
+    lhs.memorySeconds += rhs.memorySeconds;
+    lhs.refreshBusySeconds += rhs.refreshBusySeconds;
+    lhs.boundedSeconds += rhs.boundedSeconds;
+    return lhs;
+}
+
+} // namespace rana

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Performance model extension: bounds the paper's claim that RANA's
+ * performance loss is negligible.
+ *
+ * The baseline timing model assumes off-chip transfers and refresh
+ * are fully hidden behind computation (double-buffered tiles and
+ * idle-cycle refresh slots). This extension computes, per layer:
+ *
+ *  - the compute time (PE array model),
+ *  - the off-chip transfer time at a finite DDR3 bandwidth,
+ *  - the buffer time the refresh controller occupies banks,
+ *
+ * and reports the bandwidth-bound runtime max(compute, memory) plus
+ * the worst-case refresh interference, so a design point's true
+ * slowdown can be quantified instead of assumed away.
+ */
+
+#ifndef RANA_SIM_PERFORMANCE_MODEL_HH_
+#define RANA_SIM_PERFORMANCE_MODEL_HH_
+
+#include <cstdint>
+
+#include "edram/refresh_controller.hh"
+#include "sim/pattern_analytics.hh"
+
+namespace rana {
+
+/** Parameters of the performance extension. */
+struct PerformanceParams
+{
+    /** Sustained off-chip bandwidth in bytes per second (DDR3-1600
+     *  single channel ~= 12.8GB/s peak; default assumes 80%
+     *  efficiency). */
+    double dramBandwidthBytesPerSecond = 0.8 * 12.8e9;
+    /**
+     * Cycles one bank is busy refreshing one row of 64 words
+     * (retention-aware eDRAM macros refresh a row per pulse slot).
+     */
+    double refreshCyclesPerRow = 4.0;
+    /** Words per refreshed row. */
+    std::uint64_t wordsPerRow = 64;
+};
+
+/** Per-layer performance report. */
+struct PerformanceReport
+{
+    /** Compute-bound time (the baseline model's runtime). */
+    double computeSeconds = 0.0;
+    /** Off-chip transfer time at the configured bandwidth. */
+    double memorySeconds = 0.0;
+    /** Total time banks spend busy with refresh. */
+    double refreshBusySeconds = 0.0;
+    /**
+     * Bandwidth-bound runtime: max(compute, memory) plus the
+     * worst-case refresh interference (refresh cycles that cannot
+     * hide in bank idle slots, conservatively all of them when the
+     * layer is memory-bound).
+     */
+    double boundedSeconds = 0.0;
+
+    /** Slowdown of boundedSeconds over computeSeconds. */
+    double slowdown() const;
+
+    /** Whether the layer is limited by off-chip bandwidth. */
+    bool memoryBound() const { return memorySeconds > computeSeconds; }
+};
+
+/**
+ * Evaluate the performance report of one analyzed layer under a
+ * refresh policy and interval.
+ */
+PerformanceReport evaluatePerformance(const AcceleratorConfig &config,
+                                      const ConvLayerSpec &layer,
+                                      const LayerAnalysis &analysis,
+                                      RefreshPolicy policy,
+                                      double interval_seconds,
+                                      const PerformanceParams &params
+                                      = {});
+
+/** Accumulate reports (component-wise sums; slowdown recomputed). */
+PerformanceReport &operator+=(PerformanceReport &lhs,
+                              const PerformanceReport &rhs);
+
+} // namespace rana
+
+#endif // RANA_SIM_PERFORMANCE_MODEL_HH_

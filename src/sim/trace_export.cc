@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the trace sinks.
+ */
+
+#include "sim/trace_export.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::LayerBegin:
+        return "layer_begin";
+      case TraceEventKind::TileCompute:
+        return "tile_compute";
+      case TraceEventKind::CoreLoad:
+        return "core_load";
+      case TraceEventKind::CoreStore:
+        return "core_store";
+      case TraceEventKind::PartialReload:
+        return "partial_reload";
+      case TraceEventKind::LayerEnd:
+        return "layer_end";
+    }
+    panic("unreachable trace event kind");
+}
+
+CsvTraceWriter::CsvTraceWriter(std::ostream &os) : os_(os)
+{
+    os_ << "layer,kind,seconds,type,words,tile\n";
+}
+
+void
+CsvTraceWriter::onLayerBegin(const std::string &name)
+{
+    currentLayer_ = name;
+}
+
+void
+CsvTraceWriter::onEvent(const TraceEvent &event)
+{
+    os_ << currentLayer_ << "," << traceEventKindName(event.kind)
+        << "," << event.seconds << "," << dataTypeName(event.type)
+        << "," << event.words << "," << event.tileIndex << "\n";
+    ++rows_;
+}
+
+void
+CountingTraceSink::onLayerBegin(const std::string &)
+{
+    ++layers_;
+}
+
+void
+CountingTraceSink::onEvent(const TraceEvent &event)
+{
+    const auto index = static_cast<std::size_t>(event.kind);
+    RANA_ASSERT(index < numKinds, "trace kind out of range");
+    ++counts_[index];
+    words_[index] += event.words;
+}
+
+std::uint64_t
+CountingTraceSink::count(TraceEventKind kind) const
+{
+    return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+CountingTraceSink::wordsOf(TraceEventKind kind) const
+{
+    return words_[static_cast<std::size_t>(kind)];
+}
+
+} // namespace rana

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Memory-access trace export from the loop-nest simulator.
+ *
+ * The paper's evaluation platform performs "memory access tracing"
+ * on the RTL simulation; this module provides the equivalent for
+ * the trace simulator: an observer interface receiving every tile
+ * compute / buffer transfer event with its timestamp, and a CSV
+ * writer for offline analysis (lifetime histograms, traffic
+ * waterfalls, refresh-window visualization).
+ */
+
+#ifndef RANA_SIM_TRACE_EXPORT_HH_
+#define RANA_SIM_TRACE_EXPORT_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "edram/buffer_system.hh"
+
+namespace rana {
+
+/** Kind of a traced event. */
+enum class TraceEventKind {
+    /** A layer's configuration was loaded. */
+    LayerBegin,
+    /** One inner tile finished computing. */
+    TileCompute,
+    /** A tile moved buffer -> core. */
+    CoreLoad,
+    /** A tile moved core -> buffer. */
+    CoreStore,
+    /** An OD partial-sum tile was reloaded for accumulation. */
+    PartialReload,
+    /** A layer completed. */
+    LayerEnd,
+};
+
+/** Name string for a TraceEventKind. */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** One traced event. */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::TileCompute;
+    /** Simulated time in seconds. */
+    double seconds = 0.0;
+    /** Data type involved (meaningful for load/store events). */
+    DataType type = DataType::Input;
+    /** Words moved (or computed MACs for TileCompute). */
+    std::uint64_t words = 0;
+    /** Linear tile index within the layer. */
+    std::uint64_t tileIndex = 0;
+};
+
+/** Observer interface for simulator events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A new layer starts; `name` is the layer's name. */
+    virtual void onLayerBegin(const std::string &name) = 0;
+
+    /** One event within the current layer. */
+    virtual void onEvent(const TraceEvent &event) = 0;
+};
+
+/**
+ * Writes events as CSV rows:
+ * `layer,kind,seconds,type,words,tile`.
+ */
+class CsvTraceWriter : public TraceSink
+{
+  public:
+    /** @param os destination stream (kept by reference). */
+    explicit CsvTraceWriter(std::ostream &os);
+
+    void onLayerBegin(const std::string &name) override;
+    void onEvent(const TraceEvent &event) override;
+
+    /** Number of event rows written. */
+    std::uint64_t rowsWritten() const { return rows_; }
+
+  private:
+    std::ostream &os_;
+    std::string currentLayer_;
+    std::uint64_t rows_ = 0;
+};
+
+/**
+ * Counts events per kind without storing them (cheap aggregate
+ * sink for tests and sanity checks).
+ */
+class CountingTraceSink : public TraceSink
+{
+  public:
+    void onLayerBegin(const std::string &name) override;
+    void onEvent(const TraceEvent &event) override;
+
+    std::uint64_t layers() const { return layers_; }
+    std::uint64_t count(TraceEventKind kind) const;
+    std::uint64_t wordsOf(TraceEventKind kind) const;
+
+  private:
+    static constexpr std::size_t numKinds = 6;
+    std::uint64_t layers_ = 0;
+    std::uint64_t counts_[numKinds] = {};
+    std::uint64_t words_[numKinds] = {};
+};
+
+} // namespace rana
+
+#endif // RANA_SIM_TRACE_EXPORT_HH_

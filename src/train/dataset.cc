@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of the synthetic dataset.
+ */
+
+#include "train/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+SyntheticDataset::SyntheticDataset(const DatasetConfig &config)
+    : config_(config)
+{
+    RANA_ASSERT(config.numClasses >= 2, "need at least two classes");
+    Rng rng(config.seed);
+
+    // Class prototypes: mixtures of oriented sinusoids, distinct per
+    // class by construction of their random frequencies and phases.
+    const std::uint32_t s = config_.imageSize;
+    for (std::uint32_t cls = 0; cls < config_.numClasses; ++cls) {
+        Tensor proto({1, config_.channels, s, s});
+        struct Wave { double fx, fy, phase, amp; };
+        std::vector<Wave> waves;
+        for (int w = 0; w < 3; ++w) {
+            waves.push_back({rng.uniform(0.5, 3.0) / s,
+                             rng.uniform(0.5, 3.0) / s,
+                             rng.uniform(0.0, 2.0 * M_PI),
+                             rng.uniform(0.4, 1.0)});
+        }
+        for (std::uint32_t c = 0; c < config_.channels; ++c) {
+            for (std::uint32_t y = 0; y < s; ++y) {
+                for (std::uint32_t x = 0; x < s; ++x) {
+                    double v = 0.0;
+                    for (const Wave &wave : waves) {
+                        v += wave.amp *
+                             std::sin(2.0 * M_PI *
+                                          (wave.fx * x + wave.fy * y) +
+                                      wave.phase + c);
+                    }
+                    proto.at4(0, c, y, x) = static_cast<float>(v);
+                }
+            }
+        }
+        prototypes_.push_back(std::move(proto));
+    }
+
+    train_.reserve(config_.trainSamples);
+    for (std::uint32_t i = 0; i < config_.trainSamples; ++i) {
+        train_.push_back(makeSample(i % config_.numClasses, rng));
+    }
+    test_.reserve(config_.testSamples);
+    for (std::uint32_t i = 0; i < config_.testSamples; ++i) {
+        test_.push_back(makeSample(i % config_.numClasses, rng));
+    }
+    trainOrder_.resize(train_.size());
+    for (std::uint32_t i = 0; i < trainOrder_.size(); ++i)
+        trainOrder_[i] = i;
+}
+
+SyntheticDataset::Sample
+SyntheticDataset::makeSample(std::uint32_t label, Rng &rng) const
+{
+    const std::uint32_t s = config_.imageSize;
+    const Tensor &proto = prototypes_[label];
+    const auto shift = static_cast<std::int64_t>(config_.maxShift);
+    const std::int64_t dy = rng.uniformInt(-shift, shift);
+    const std::int64_t dx = rng.uniformInt(-shift, shift);
+    const double amp = rng.uniform(0.8, 1.2);
+
+    Sample sample;
+    sample.label = label;
+    sample.image = Tensor({1, config_.channels, s, s});
+    for (std::uint32_t c = 0; c < config_.channels; ++c) {
+        for (std::uint32_t y = 0; y < s; ++y) {
+            for (std::uint32_t x = 0; x < s; ++x) {
+                const auto sy = static_cast<std::uint32_t>(
+                    ((y + dy) % s + s) % s);
+                const auto sx = static_cast<std::uint32_t>(
+                    ((x + dx) % s + s) % s);
+                const double noise =
+                    rng.normal(0.0, config_.noise);
+                sample.image.at4(0, c, y, x) = static_cast<float>(
+                    amp * proto.at4(0, c, sy, sx) + noise);
+            }
+        }
+    }
+    return sample;
+}
+
+Batch
+SyntheticDataset::trainBatch(std::uint32_t offset,
+                             std::uint32_t batch_size) const
+{
+    RANA_ASSERT(batch_size > 0, "batch must be non-empty");
+    const std::uint32_t s = config_.imageSize;
+    Batch batch;
+    batch.images = Tensor({batch_size, config_.channels, s, s});
+    batch.labels.resize(batch_size);
+    for (std::uint32_t b = 0; b < batch_size; ++b) {
+        const std::uint32_t index =
+            trainOrder_[(offset + b) % train_.size()];
+        const Sample &sample = train_[index];
+        batch.labels[b] = sample.label;
+        for (std::uint32_t c = 0; c < config_.channels; ++c) {
+            for (std::uint32_t y = 0; y < s; ++y) {
+                for (std::uint32_t x = 0; x < s; ++x) {
+                    batch.images.at4(b, c, y, x) =
+                        sample.image.at4(0, c, y, x);
+                }
+            }
+        }
+    }
+    return batch;
+}
+
+Batch
+SyntheticDataset::testBatch() const
+{
+    const std::uint32_t s = config_.imageSize;
+    const auto count = static_cast<std::uint32_t>(test_.size());
+    Batch batch;
+    batch.images = Tensor({count, config_.channels, s, s});
+    batch.labels.resize(count);
+    for (std::uint32_t b = 0; b < count; ++b) {
+        const Sample &sample = test_[b];
+        batch.labels[b] = sample.label;
+        for (std::uint32_t c = 0; c < config_.channels; ++c) {
+            for (std::uint32_t y = 0; y < s; ++y) {
+                for (std::uint32_t x = 0; x < s; ++x) {
+                    batch.images.at4(b, c, y, x) =
+                        sample.image.at4(0, c, y, x);
+                }
+            }
+        }
+    }
+    return batch;
+}
+
+void
+SyntheticDataset::shuffleTrain(Rng &rng)
+{
+    for (std::size_t i = trainOrder_.size(); i > 1; --i) {
+        const std::size_t j = rng.uniformInt(std::uint64_t{i});
+        std::swap(trainOrder_[i - 1], trainOrder_[j]);
+    }
+}
+
+} // namespace rana

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Procedurally generated image-classification dataset.
+ *
+ * The paper retrains AlexNet/VGG/GoogLeNet/ResNet on ImageNet with
+ * Caffe; ImageNet is not available offline, so the training-level
+ * experiments run on a synthetic stand-in: each class is a random
+ * smooth spatial pattern (a mixture of oriented sinusoids), and each
+ * sample is its class pattern under a random shift, amplitude jitter
+ * and additive noise. The task is easy enough for the mini models
+ * to reach high accuracy in seconds yet rich enough that bit-level
+ * weight corruption measurably degrades it, which is all Figure 11
+ * needs (relative accuracy vs. injected retention failure rate).
+ */
+
+#ifndef RANA_TRAIN_DATASET_HH_
+#define RANA_TRAIN_DATASET_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/tensor.hh"
+#include "util/random.hh"
+
+namespace rana {
+
+/** One labelled batch. */
+struct Batch
+{
+    /** Images {B, C, H, W}. */
+    Tensor images;
+    /** Labels, one per batch row. */
+    std::vector<std::uint32_t> labels;
+};
+
+/** Configuration of the synthetic dataset. */
+struct DatasetConfig
+{
+    std::uint32_t numClasses = 8;
+    std::uint32_t imageSize = 16;
+    std::uint32_t channels = 1;
+    std::uint32_t trainSamples = 1536;
+    std::uint32_t testSamples = 512;
+    /** Additive noise amplitude. */
+    double noise = 0.25;
+    /** Maximum circular shift in pixels. */
+    std::uint32_t maxShift = 2;
+    std::uint64_t seed = 42;
+};
+
+/** Synthetic pattern-classification dataset. */
+class SyntheticDataset
+{
+  public:
+    explicit SyntheticDataset(const DatasetConfig &config);
+
+    const DatasetConfig &config() const { return config_; }
+
+    /** Number of training samples. */
+    std::uint32_t trainSize() const { return config_.trainSamples; }
+    /** Number of test samples. */
+    std::uint32_t testSize() const { return config_.testSamples; }
+
+    /**
+     * One training batch of `batch_size` samples starting at
+     * `offset` (wrapping), in generation order. Call
+     * shuffleTrain() between epochs.
+     */
+    Batch trainBatch(std::uint32_t offset,
+                     std::uint32_t batch_size) const;
+
+    /** The whole test set as one batch. */
+    Batch testBatch() const;
+
+    /** Reshuffle the training order. */
+    void shuffleTrain(Rng &rng);
+
+  private:
+    struct Sample
+    {
+        Tensor image;
+        std::uint32_t label;
+    };
+
+    Sample makeSample(std::uint32_t label, Rng &rng) const;
+
+    DatasetConfig config_;
+    std::vector<Tensor> prototypes_;
+    std::vector<Sample> train_;
+    std::vector<Sample> test_;
+    std::vector<std::uint32_t> trainOrder_;
+};
+
+} // namespace rana
+
+#endif // RANA_TRAIN_DATASET_HH_

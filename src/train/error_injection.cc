@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the bit-error injector.
+ */
+
+#include "train/error_injection.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+constexpr int wordBits = 16;
+
+} // namespace
+
+BitErrorInjector::BitErrorInjector(double failure_rate,
+                                   std::uint64_t seed)
+    : rate_(failure_rate), rng_(seed)
+{
+    RANA_ASSERT(failure_rate >= 0.0 && failure_rate <= 1.0,
+                "failure rate must be a probability");
+    // Probability that a 16-bit word has at least one failed bit.
+    wordRate_ = 1.0 - std::pow(1.0 - rate_, wordBits);
+}
+
+void
+BitErrorInjector::reseed(std::uint64_t seed)
+{
+    rng_.seed(seed);
+}
+
+std::int16_t
+BitErrorInjector::corruptWord(std::int16_t word)
+{
+    auto bits = static_cast<std::uint16_t>(word);
+    // A failed bit reads a uniformly random value, i.e. it flips
+    // with probability 1/2.
+    for (int b = 0; b < wordBits; ++b) {
+        if (rng_.bernoulli(rate_)) {
+            const std::uint16_t random_bit = rng_.next() & 1u;
+            bits = static_cast<std::uint16_t>(
+                (bits & ~(1u << b)) | (random_bit << b));
+        }
+    }
+    return static_cast<std::int16_t>(bits);
+}
+
+std::uint64_t
+BitErrorInjector::corruptTensor(Tensor &tensor,
+                                const FixedPointFormat &format)
+{
+    if (rate_ <= 0.0)
+        return 0;
+
+    float *data = tensor.data();
+    const std::size_t count = tensor.size();
+    std::uint64_t corrupted = 0;
+
+    if (wordRate_ < 0.05) {
+        // Sparse path: geometric jumps between affected words.
+        const double log_keep = std::log1p(-wordRate_);
+        std::size_t index = 0;
+        for (;;) {
+            const double u = 1.0 - rng_.uniform(); // (0, 1]
+            const double jump = std::floor(std::log(u) / log_keep);
+            if (jump >= static_cast<double>(count - index))
+                break;
+            index += static_cast<std::size_t>(jump);
+            const std::int16_t word = format.quantize(data[index]);
+            // Conditioned on >= 1 failure; approximate by failing
+            // one uniformly chosen bit (multi-bit failures in one
+            // word are negligible at sparse rates).
+            const int bit =
+                static_cast<int>(rng_.uniformInt(std::uint64_t{16}));
+            const std::uint16_t random_bit = rng_.next() & 1u;
+            auto bits = static_cast<std::uint16_t>(word);
+            bits = static_cast<std::uint16_t>(
+                (bits & ~(1u << bit)) | (random_bit << bit));
+            data[index] =
+                format.dequantize(static_cast<std::int16_t>(bits));
+            ++corrupted;
+            ++index;
+            if (index >= count)
+                break;
+        }
+    } else {
+        // Dense path: exact per-bit Bernoulli on every word. A word
+        // counts as corrupted when any bit failed, even if the
+        // random replacement happened to match the original value.
+        for (std::size_t i = 0; i < count; ++i) {
+            auto bits = static_cast<std::uint16_t>(
+                format.quantize(data[i]));
+            bool any_failed = false;
+            for (int b = 0; b < wordBits; ++b) {
+                if (rng_.bernoulli(rate_)) {
+                    any_failed = true;
+                    const std::uint16_t random_bit = rng_.next() & 1u;
+                    bits = static_cast<std::uint16_t>(
+                        (bits & ~(1u << b)) | (random_bit << b));
+                }
+            }
+            if (any_failed)
+                ++corrupted;
+            data[i] =
+                format.dequantize(static_cast<std::int16_t>(bits));
+        }
+    }
+    return corrupted;
+}
+
+} // namespace rana

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-level retention-error injection (Section IV-B, Figure 9).
+ *
+ * The training mask models eDRAM retention failures: each bit of
+ * each stored 16-bit word independently fails at rate r; a failed
+ * bit reads back a random value (0 or 1 with equal probability), so
+ * half of the injected failures are benign. The injector corrupts a
+ * tensor by quantizing it to the hardware's fixed-point format,
+ * flipping bits of the stored words, and dequantizing back.
+ *
+ * For small rates the injector skips between affected words with a
+ * geometric jump instead of testing every bit, keeping injection
+ * cheap at the 1e-5 operating point.
+ */
+
+#ifndef RANA_TRAIN_ERROR_INJECTION_HH_
+#define RANA_TRAIN_ERROR_INJECTION_HH_
+
+#include <cstdint>
+
+#include "train/fixed_point.hh"
+#include "train/tensor.hh"
+#include "util/random.hh"
+
+namespace rana {
+
+/** Injects bit-level retention errors into 16-bit words. */
+class BitErrorInjector
+{
+  public:
+    /**
+     * @param failure_rate per-bit retention failure rate r in [0, 1]
+     * @param seed         RNG seed (injection is deterministic per
+     *                     seed for reproducible experiments)
+     */
+    BitErrorInjector(double failure_rate, std::uint64_t seed);
+
+    /** Per-bit failure rate. */
+    double failureRate() const { return rate_; }
+
+    /** Corrupt one 16-bit word. */
+    std::int16_t corruptWord(std::int16_t word);
+
+    /**
+     * Corrupt a tensor in place: quantize to `format`, inject bit
+     * errors into the stored words, dequantize back.
+     * @return the number of words that had at least one failed bit.
+     */
+    std::uint64_t corruptTensor(Tensor &tensor,
+                                const FixedPointFormat &format);
+
+    /** Reseed the injector. */
+    void reseed(std::uint64_t seed);
+
+  private:
+    double rate_;
+    double wordRate_;
+    Rng rng_;
+};
+
+} // namespace rana
+
+#endif // RANA_TRAIN_ERROR_INJECTION_HH_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Layer interface of the from-scratch training framework.
+ *
+ * Layers implement forward/backward with cached activations. The
+ * ForwardContext carries the fixed-point quantization format and the
+ * retention-error injector: when present, every weighted layer
+ * quantizes its input and weights to 16-bit fixed point and injects
+ * bit-level retention failures before computing, exactly as the
+ * retention-aware training method prescribes (a mask on each layer's
+ * inputs and weights, Figure 9). Gradients flow through the
+ * corrupted values (straight-through estimation), and the optimizer
+ * updates the float master weights.
+ */
+
+#ifndef RANA_TRAIN_LAYER_HH_
+#define RANA_TRAIN_LAYER_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/error_injection.hh"
+#include "train/fixed_point.hh"
+#include "train/tensor.hh"
+#include "util/random.hh"
+
+namespace rana {
+
+/** Per-forward-pass execution options. */
+struct ForwardContext
+{
+    /** Quantize operands to fixed point (16-bit hardware model). */
+    const FixedPointFormat *quant = nullptr;
+    /** Inject retention failures into quantized operands. */
+    BitErrorInjector *injector = nullptr;
+    /** Whether activations are cached for a following backward. */
+    bool training = true;
+};
+
+/** One learnable parameter with its gradient accumulator. */
+struct Param
+{
+    Tensor *value = nullptr;
+    Tensor *grad = nullptr;
+};
+
+/** Abstract differentiable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute the layer's output for `input` under `ctx`. */
+    virtual Tensor forward(const Tensor &input,
+                           const ForwardContext &ctx) = 0;
+
+    /**
+     * Back-propagate `grad_output`, accumulating parameter
+     * gradients, and return the gradient w.r.t. the input.
+     */
+    virtual Tensor backward(const Tensor &grad_output) = 0;
+
+    /** Learnable parameters (empty for stateless layers). */
+    virtual std::vector<Param> params() { return {}; }
+
+    /** Short human-readable description. */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * Apply the context's quantization and error injection to an
+ * operand, returning the effective (possibly corrupted) tensor the
+ * hardware would compute with.
+ */
+Tensor effectiveOperand(const Tensor &operand,
+                        const ForwardContext &ctx);
+
+/** Initialize a tensor with He-uniform fan-in scaling. */
+void heInitialize(Tensor &tensor, std::uint32_t fan_in, Rng &rng);
+
+} // namespace rana
+
+#endif // RANA_TRAIN_LAYER_HH_

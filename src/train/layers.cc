@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Implementation of the training-framework layers.
+ */
+
+#include "train/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+Tensor
+effectiveOperand(const Tensor &operand, const ForwardContext &ctx)
+{
+    Tensor effective = operand;
+    if (ctx.quant != nullptr) {
+        quantizeTensor(effective, *ctx.quant);
+        if (ctx.injector != nullptr)
+            ctx.injector->corruptTensor(effective, *ctx.quant);
+    }
+    return effective;
+}
+
+void
+heInitialize(Tensor &tensor, std::uint32_t fan_in, Rng &rng)
+{
+    RANA_ASSERT(fan_in > 0, "fan-in must be positive");
+    const double bound =
+        std::sqrt(6.0 / static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < tensor.size(); ++i)
+        tensor[i] = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+// ---------------------------------------------------------------
+// Conv2dLayer
+// ---------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(std::uint32_t in_channels,
+                         std::uint32_t out_channels,
+                         std::uint32_t kernel, std::uint32_t stride,
+                         std::uint32_t pad, Rng &rng)
+    : inChannels_(in_channels),
+      outChannels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weights_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      weightGrad_({out_channels, in_channels, kernel, kernel}),
+      biasGrad_({out_channels})
+{
+    heInitialize(weights_, in_channels * kernel * kernel, rng);
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    RANA_ASSERT(input.shape().size() == 4 &&
+                input.dim(1) == inChannels_,
+                "conv input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h + 2 * pad_ >= kernel_ && w + 2 * pad_ >= kernel_,
+                "conv kernel larger than padded input");
+    const std::uint32_t r = (h + 2 * pad_ - kernel_) / stride_ + 1;
+    const std::uint32_t c = (w + 2 * pad_ - kernel_) / stride_ + 1;
+
+    const Tensor eff_input = effectiveOperand(input, ctx);
+    const Tensor eff_weights = effectiveOperand(weights_, ctx);
+    if (ctx.training) {
+        cachedInput_ = eff_input;
+        cachedWeights_ = eff_weights;
+    }
+
+    Tensor output({batch, outChannels_, r, c});
+    const float *in = eff_input.data();
+    const float *wt = eff_weights.data();
+    float *out = output.data();
+    const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+    const std::size_t in_sample = in_plane * inChannels_;
+    const std::size_t out_plane = static_cast<std::size_t>(r) * c;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel_) * kernel_;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t m = 0; m < outChannels_; ++m) {
+            float *out_row = out + (b * outChannels_ + m) * out_plane;
+            const float *wt_m = wt + m * inChannels_ * wt_kernel;
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    float acc = bias_[m];
+                    const std::int64_t base_y =
+                        static_cast<std::int64_t>(y) * stride_ - pad_;
+                    const std::int64_t base_x =
+                        static_cast<std::int64_t>(x) * stride_ - pad_;
+                    for (std::uint32_t n = 0; n < inChannels_; ++n) {
+                        const float *in_n =
+                            in + b * in_sample + n * in_plane;
+                        const float *wt_n = wt_m + n * wt_kernel;
+                        for (std::uint32_t ky = 0; ky < kernel_; ++ky) {
+                            const std::int64_t in_y = base_y + ky;
+                            if (in_y < 0 || in_y >= h)
+                                continue;
+                            const float *in_row = in_n + in_y * w;
+                            const float *wt_row = wt_n + ky * kernel_;
+                            for (std::uint32_t kx = 0; kx < kernel_;
+                                 ++kx) {
+                                const std::int64_t in_x = base_x + kx;
+                                if (in_x < 0 || in_x >= w)
+                                    continue;
+                                acc += in_row[in_x] * wt_row[kx];
+                            }
+                        }
+                    }
+                    out_row[y * c + x] = acc;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+Conv2dLayer::backward(const Tensor &grad_output)
+{
+    const std::uint32_t batch = cachedInput_.dim(0);
+    const std::uint32_t h = cachedInput_.dim(2);
+    const std::uint32_t w = cachedInput_.dim(3);
+    const std::uint32_t r = grad_output.dim(2);
+    const std::uint32_t c = grad_output.dim(3);
+
+    Tensor grad_input({batch, inChannels_, h, w});
+    const float *in = cachedInput_.data();
+    const float *wt = cachedWeights_.data();
+    const float *gout = grad_output.data();
+    float *gin = grad_input.data();
+    float *gwt = weightGrad_.data();
+    const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+    const std::size_t in_sample = in_plane * inChannels_;
+    const std::size_t out_plane = static_cast<std::size_t>(r) * c;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel_) * kernel_;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t m = 0; m < outChannels_; ++m) {
+            const float *gout_row =
+                gout + (b * outChannels_ + m) * out_plane;
+            const float *wt_m = wt + m * inChannels_ * wt_kernel;
+            float *gwt_m = gwt + m * inChannels_ * wt_kernel;
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    const float g = gout_row[y * c + x];
+                    biasGrad_[m] += g;
+                    const std::int64_t base_y =
+                        static_cast<std::int64_t>(y) * stride_ - pad_;
+                    const std::int64_t base_x =
+                        static_cast<std::int64_t>(x) * stride_ - pad_;
+                    for (std::uint32_t n = 0; n < inChannels_; ++n) {
+                        const float *in_n =
+                            in + b * in_sample + n * in_plane;
+                        float *gin_n =
+                            gin + b * in_sample + n * in_plane;
+                        const float *wt_n = wt_m + n * wt_kernel;
+                        float *gwt_n = gwt_m + n * wt_kernel;
+                        for (std::uint32_t ky = 0; ky < kernel_; ++ky) {
+                            const std::int64_t in_y = base_y + ky;
+                            if (in_y < 0 || in_y >= h)
+                                continue;
+                            const float *in_row = in_n + in_y * w;
+                            float *gin_row = gin_n + in_y * w;
+                            const float *wt_row = wt_n + ky * kernel_;
+                            float *gwt_row = gwt_n + ky * kernel_;
+                            for (std::uint32_t kx = 0; kx < kernel_;
+                                 ++kx) {
+                                const std::int64_t in_x = base_x + kx;
+                                if (in_x < 0 || in_x >= w)
+                                    continue;
+                                gwt_row[kx] += g * in_row[in_x];
+                                gin_row[in_x] += g * wt_row[kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Param>
+Conv2dLayer::params()
+{
+    return {{&weights_, &weightGrad_}, {&bias_, &biasGrad_}};
+}
+
+std::string
+Conv2dLayer::describe() const
+{
+    std::ostringstream oss;
+    oss << "conv" << kernel_ << "x" << kernel_ << "(" << inChannels_
+        << "->" << outChannels_ << ",s" << stride_ << ")";
+    return oss.str();
+}
+
+// ---------------------------------------------------------------
+// ReluLayer
+// ---------------------------------------------------------------
+
+Tensor
+ReluLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    if (ctx.training)
+        cachedInput_ = input;
+    Tensor output = input;
+    for (std::size_t i = 0; i < output.size(); ++i)
+        output[i] = std::max(0.0f, output[i]);
+    return output;
+}
+
+Tensor
+ReluLayer::backward(const Tensor &grad_output)
+{
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (cachedInput_[i] <= 0.0f)
+            grad[i] = 0.0f;
+    }
+    return grad;
+}
+
+// ---------------------------------------------------------------
+// MaxPool2dLayer
+// ---------------------------------------------------------------
+
+Tensor
+MaxPool2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t channels = input.dim(1);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h % 2 == 0 && w % 2 == 0,
+                "maxpool2x2 needs even spatial dims");
+    const std::uint32_t r = h / 2;
+    const std::uint32_t c = w / 2;
+
+    Tensor output({batch, channels, r, c});
+    if (ctx.training) {
+        inputShape_ = input.shape();
+        argmax_.assign(output.size(), 0);
+    }
+    std::size_t out_index = 0;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    float best = -1e30f;
+                    std::uint32_t best_off = 0;
+                    for (std::uint32_t dy = 0; dy < 2; ++dy) {
+                        for (std::uint32_t dx = 0; dx < 2; ++dx) {
+                            const float v = input.at4(b, ch, 2 * y + dy,
+                                                      2 * x + dx);
+                            if (v > best) {
+                                best = v;
+                                best_off = dy * 2 + dx;
+                            }
+                        }
+                    }
+                    output.at4(b, ch, y, x) = best;
+                    if (ctx.training)
+                        argmax_[out_index] = best_off;
+                    ++out_index;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+MaxPool2dLayer::backward(const Tensor &grad_output)
+{
+    Tensor grad_input(inputShape_);
+    const std::uint32_t batch = grad_output.dim(0);
+    const std::uint32_t channels = grad_output.dim(1);
+    const std::uint32_t r = grad_output.dim(2);
+    const std::uint32_t c = grad_output.dim(3);
+    std::size_t out_index = 0;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    const std::uint32_t off = argmax_[out_index];
+                    grad_input.at4(b, ch, 2 * y + off / 2,
+                                   2 * x + off % 2) +=
+                        grad_output.at4(b, ch, y, x);
+                    ++out_index;
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+// ---------------------------------------------------------------
+// AvgPool2dLayer
+// ---------------------------------------------------------------
+
+Tensor
+AvgPool2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t channels = input.dim(1);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h % 2 == 0 && w % 2 == 0,
+                "avgpool2x2 needs even spatial dims");
+    if (ctx.training)
+        inputShape_ = input.shape();
+    Tensor output({batch, channels, h / 2, w / 2});
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            for (std::uint32_t y = 0; y < h / 2; ++y) {
+                for (std::uint32_t x = 0; x < w / 2; ++x) {
+                    float sum = 0.0f;
+                    for (std::uint32_t dy = 0; dy < 2; ++dy)
+                        for (std::uint32_t dx = 0; dx < 2; ++dx)
+                            sum += input.at4(b, ch, 2 * y + dy,
+                                             2 * x + dx);
+                    output.at4(b, ch, y, x) = sum * 0.25f;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+AvgPool2dLayer::backward(const Tensor &grad_output)
+{
+    Tensor grad_input(inputShape_);
+    const std::uint32_t batch = grad_output.dim(0);
+    const std::uint32_t channels = grad_output.dim(1);
+    const std::uint32_t r = grad_output.dim(2);
+    const std::uint32_t c = grad_output.dim(3);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    const float g =
+                        grad_output.at4(b, ch, y, x) * 0.25f;
+                    for (std::uint32_t dy = 0; dy < 2; ++dy)
+                        for (std::uint32_t dx = 0; dx < 2; ++dx)
+                            grad_input.at4(b, ch, 2 * y + dy,
+                                           2 * x + dx) += g;
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+// ---------------------------------------------------------------
+// DenseLayer
+// ---------------------------------------------------------------
+
+DenseLayer::DenseLayer(std::uint32_t in_features,
+                       std::uint32_t out_features, Rng &rng)
+    : inFeatures_(in_features),
+      outFeatures_(out_features),
+      weights_({out_features, in_features}),
+      bias_({out_features}),
+      weightGrad_({out_features, in_features}),
+      biasGrad_({out_features})
+{
+    heInitialize(weights_, in_features, rng);
+}
+
+Tensor
+DenseLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    RANA_ASSERT(input.shape().size() == 2 &&
+                input.dim(1) == inFeatures_,
+                "dense input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+
+    const Tensor eff_input = effectiveOperand(input, ctx);
+    const Tensor eff_weights = effectiveOperand(weights_, ctx);
+    if (ctx.training) {
+        cachedInput_ = eff_input;
+        cachedWeights_ = eff_weights;
+    }
+
+    Tensor output({batch, outFeatures_});
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t o = 0; o < outFeatures_; ++o) {
+            float acc = bias_[o];
+            for (std::uint32_t i = 0; i < inFeatures_; ++i)
+                acc += eff_input.at2(b, i) * eff_weights.at2(o, i);
+            output.at2(b, o) = acc;
+        }
+    }
+    return output;
+}
+
+Tensor
+DenseLayer::backward(const Tensor &grad_output)
+{
+    const std::uint32_t batch = grad_output.dim(0);
+    Tensor grad_input({batch, inFeatures_});
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t o = 0; o < outFeatures_; ++o) {
+            const float g = grad_output.at2(b, o);
+            biasGrad_[o] += g;
+            for (std::uint32_t i = 0; i < inFeatures_; ++i) {
+                weightGrad_.at2(o, i) += g * cachedInput_.at2(b, i);
+                grad_input.at2(b, i) += g * cachedWeights_.at2(o, i);
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Param>
+DenseLayer::params()
+{
+    return {{&weights_, &weightGrad_}, {&bias_, &biasGrad_}};
+}
+
+std::string
+DenseLayer::describe() const
+{
+    std::ostringstream oss;
+    oss << "dense(" << inFeatures_ << "->" << outFeatures_ << ")";
+    return oss.str();
+}
+
+// ---------------------------------------------------------------
+// FlattenLayer
+// ---------------------------------------------------------------
+
+Tensor
+FlattenLayer::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    if (ctx.training)
+        inputShape_ = input.shape();
+    const std::uint32_t batch = input.dim(0);
+    const auto features =
+        static_cast<std::uint32_t>(input.size() / batch);
+    return input.reshaped({batch, features});
+}
+
+Tensor
+FlattenLayer::backward(const Tensor &grad_output)
+{
+    return grad_output.reshaped(inputShape_);
+}
+
+// ---------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------
+
+void
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Sequential::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    Tensor current = input;
+    for (auto &layer : layers_)
+        current = layer->forward(current, ctx);
+    return current;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_output)
+{
+    Tensor grad = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = (*it)->backward(grad);
+    return grad;
+}
+
+std::vector<Param>
+Sequential::params()
+{
+    std::vector<Param> all;
+    for (auto &layer : layers_) {
+        auto layer_params = layer->params();
+        all.insert(all.end(), layer_params.begin(), layer_params.end());
+    }
+    return all;
+}
+
+std::string
+Sequential::describe() const
+{
+    std::ostringstream oss;
+    oss << "sequential[";
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (i > 0)
+            oss << ", ";
+        oss << layers_[i]->describe();
+    }
+    oss << "]";
+    return oss.str();
+}
+
+// ---------------------------------------------------------------
+// ResidualBlock
+// ---------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> body)
+    : body_(std::move(body))
+{
+    RANA_ASSERT(body_ != nullptr, "residual body must exist");
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    Tensor branch = body_->forward(input, ctx);
+    RANA_ASSERT(branch.size() == input.size(),
+                "residual body must preserve the shape");
+    for (std::size_t i = 0; i < branch.size(); ++i)
+        branch[i] += input[i];
+    return branch;
+}
+
+Tensor
+ResidualBlock::backward(const Tensor &grad_output)
+{
+    Tensor grad = body_->backward(grad_output);
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] += grad_output[i];
+    return grad;
+}
+
+std::vector<Param>
+ResidualBlock::params()
+{
+    return body_->params();
+}
+
+// ---------------------------------------------------------------
+// InceptionConcat
+// ---------------------------------------------------------------
+
+InceptionConcat::InceptionConcat(
+    std::vector<std::unique_ptr<Sequential>> branches)
+    : branches_(std::move(branches))
+{
+    RANA_ASSERT(!branches_.empty(), "inception needs branches");
+}
+
+Tensor
+InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
+{
+    std::vector<Tensor> outputs;
+    outputs.reserve(branches_.size());
+    branchChannels_.clear();
+    std::uint32_t total_channels = 0;
+    for (auto &branch : branches_) {
+        outputs.push_back(branch->forward(input, ctx));
+        const Tensor &out = outputs.back();
+        RANA_ASSERT(out.shape().size() == 4,
+                    "inception branches must output 4-D maps");
+        RANA_ASSERT(out.dim(0) == outputs.front().dim(0) &&
+                    out.dim(2) == outputs.front().dim(2) &&
+                    out.dim(3) == outputs.front().dim(3),
+                    "inception branch output shapes must align");
+        branchChannels_.push_back(out.dim(1));
+        total_channels += out.dim(1);
+    }
+
+    const std::uint32_t batch = outputs.front().dim(0);
+    const std::uint32_t h = outputs.front().dim(2);
+    const std::uint32_t w = outputs.front().dim(3);
+    Tensor concat({batch, total_channels, h, w});
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        std::uint32_t channel_base = 0;
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+            for (std::uint32_t c = 0; c < branchChannels_[i]; ++c) {
+                for (std::uint32_t y = 0; y < h; ++y) {
+                    for (std::uint32_t x = 0; x < w; ++x) {
+                        concat.at4(b, channel_base + c, y, x) =
+                            outputs[i].at4(b, c, y, x);
+                    }
+                }
+            }
+            channel_base += branchChannels_[i];
+        }
+    }
+    return concat;
+}
+
+Tensor
+InceptionConcat::backward(const Tensor &grad_output)
+{
+    const std::uint32_t batch = grad_output.dim(0);
+    const std::uint32_t h = grad_output.dim(2);
+    const std::uint32_t w = grad_output.dim(3);
+
+    Tensor grad_input;
+    bool first = true;
+    std::uint32_t channel_base = 0;
+    for (std::size_t i = 0; i < branches_.size(); ++i) {
+        Tensor branch_grad({batch, branchChannels_[i], h, w});
+        for (std::uint32_t b = 0; b < batch; ++b) {
+            for (std::uint32_t c = 0; c < branchChannels_[i]; ++c) {
+                for (std::uint32_t y = 0; y < h; ++y) {
+                    for (std::uint32_t x = 0; x < w; ++x) {
+                        branch_grad.at4(b, c, y, x) =
+                            grad_output.at4(b, channel_base + c, y, x);
+                    }
+                }
+            }
+        }
+        channel_base += branchChannels_[i];
+        Tensor g = branches_[i]->backward(branch_grad);
+        if (first) {
+            grad_input = g;
+            first = false;
+        } else {
+            for (std::size_t j = 0; j < grad_input.size(); ++j)
+                grad_input[j] += g[j];
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Param>
+InceptionConcat::params()
+{
+    std::vector<Param> all;
+    for (auto &branch : branches_) {
+        auto branch_params = branch->params();
+        all.insert(all.end(), branch_params.begin(),
+                   branch_params.end());
+    }
+    return all;
+}
+
+} // namespace rana

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Concrete layers: convolution, pooling, activation, dense, flatten,
+ * plus the Sequential / Residual / InceptionConcat containers needed
+ * to express the four mini benchmark architectures.
+ */
+
+#ifndef RANA_TRAIN_LAYERS_HH_
+#define RANA_TRAIN_LAYERS_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/layer.hh"
+
+namespace rana {
+
+/** 2-D convolution with square kernels, stride and zero padding. */
+class Conv2dLayer : public Layer
+{
+  public:
+    /**
+     * @param in_channels  input channels
+     * @param out_channels output channels
+     * @param kernel       square kernel size
+     * @param stride       stride
+     * @param pad          zero padding
+     * @param rng          initializer RNG
+     */
+    Conv2dLayer(std::uint32_t in_channels, std::uint32_t out_channels,
+                std::uint32_t kernel, std::uint32_t stride,
+                std::uint32_t pad, Rng &rng);
+
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param> params() override;
+    std::string describe() const override;
+
+  private:
+    std::uint32_t inChannels_;
+    std::uint32_t outChannels_;
+    std::uint32_t kernel_;
+    std::uint32_t stride_;
+    std::uint32_t pad_;
+    Tensor weights_; // {M, N, K, K}
+    Tensor bias_;    // {M}
+    Tensor weightGrad_;
+    Tensor biasGrad_;
+    Tensor cachedInput_;
+    Tensor cachedWeights_;
+};
+
+/** Rectified linear unit. */
+class ReluLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::string describe() const override { return "relu"; }
+
+  private:
+    Tensor cachedInput_;
+};
+
+/** 2x2 max pooling with stride 2. */
+class MaxPool2dLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::string describe() const override { return "maxpool2x2"; }
+
+  private:
+    Tensor cachedInput_;
+    std::vector<std::uint32_t> argmax_;
+    std::vector<std::uint32_t> inputShape_;
+};
+
+/** 2x2 average pooling with stride 2. */
+class AvgPool2dLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::string describe() const override { return "avgpool2x2"; }
+
+  private:
+    std::vector<std::uint32_t> inputShape_;
+};
+
+/** Fully connected layer on flattened inputs. */
+class DenseLayer : public Layer
+{
+  public:
+    /** @param in_features input width, @param out_features output. */
+    DenseLayer(std::uint32_t in_features, std::uint32_t out_features,
+               Rng &rng);
+
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param> params() override;
+    std::string describe() const override;
+
+  private:
+    std::uint32_t inFeatures_;
+    std::uint32_t outFeatures_;
+    Tensor weights_; // {out, in}
+    Tensor bias_;    // {out}
+    Tensor weightGrad_;
+    Tensor biasGrad_;
+    Tensor cachedInput_;
+    Tensor cachedWeights_;
+};
+
+/** Flatten {B, C, H, W} to {B, C*H*W}. */
+class FlattenLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::string describe() const override { return "flatten"; }
+
+  private:
+    std::vector<std::uint32_t> inputShape_;
+};
+
+/** Ordered container of layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer. */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param> params() override;
+    std::string describe() const override;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** Residual block: output = body(x) + x (ResNet-style identity). */
+class ResidualBlock : public Layer
+{
+  public:
+    /** @param body inner layers; must preserve the input shape. */
+    explicit ResidualBlock(std::unique_ptr<Sequential> body);
+
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param> params() override;
+    std::string describe() const override { return "residual"; }
+
+  private:
+    std::unique_ptr<Sequential> body_;
+};
+
+/**
+ * Inception-style block: parallel branches over the same input,
+ * concatenated along the channel dimension.
+ */
+class InceptionConcat : public Layer
+{
+  public:
+    /** @param branches parallel branches (same spatial output). */
+    explicit InceptionConcat(
+        std::vector<std::unique_ptr<Sequential>> branches);
+
+    Tensor forward(const Tensor &input, const ForwardContext &ctx)
+        override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param> params() override;
+    std::string describe() const override { return "inception"; }
+
+  private:
+    std::vector<std::unique_ptr<Sequential>> branches_;
+    std::vector<std::uint32_t> branchChannels_;
+};
+
+} // namespace rana
+
+#endif // RANA_TRAIN_LAYERS_HH_

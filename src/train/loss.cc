@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the loss functions.
+ */
+
+#include "train/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<std::uint32_t> &labels)
+{
+    RANA_ASSERT(logits.shape().size() == 2, "logits must be 2-D");
+    const std::uint32_t batch = logits.dim(0);
+    const std::uint32_t classes = logits.dim(1);
+    RANA_ASSERT(labels.size() == batch, "one label per batch row");
+
+    LossResult result;
+    result.gradLogits = Tensor({batch, classes});
+    double total_loss = 0.0;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        float max_logit = logits.at2(b, 0);
+        std::uint32_t best = 0;
+        for (std::uint32_t c = 1; c < classes; ++c) {
+            if (logits.at2(b, c) > max_logit) {
+                max_logit = logits.at2(b, c);
+                best = c;
+            }
+        }
+        if (best == labels[b])
+            ++result.correct;
+
+        double denom = 0.0;
+        for (std::uint32_t c = 0; c < classes; ++c)
+            denom += std::exp(logits.at2(b, c) - max_logit);
+        const double log_denom = std::log(denom);
+        const double label_logit = logits.at2(b, labels[b]) - max_logit;
+        total_loss += log_denom - label_logit;
+
+        for (std::uint32_t c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(logits.at2(b, c) - max_logit) / denom;
+            const double target = c == labels[b] ? 1.0 : 0.0;
+            result.gradLogits.at2(b, c) =
+                static_cast<float>((p - target) / batch);
+        }
+    }
+    result.loss = total_loss / batch;
+    return result;
+}
+
+std::vector<std::uint32_t>
+argmaxRows(const Tensor &logits)
+{
+    const std::uint32_t batch = logits.dim(0);
+    const std::uint32_t classes = logits.dim(1);
+    std::vector<std::uint32_t> result(batch, 0);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        float best = logits.at2(b, 0);
+        for (std::uint32_t c = 1; c < classes; ++c) {
+            if (logits.at2(b, c) > best) {
+                best = logits.at2(b, c);
+                result[b] = c;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rana

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and classification accuracy.
+ */
+
+#ifndef RANA_TRAIN_LOSS_HH_
+#define RANA_TRAIN_LOSS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/tensor.hh"
+
+namespace rana {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    /** Mean cross-entropy over the batch. */
+    double loss = 0.0;
+    /** Gradient of the mean loss w.r.t. the logits. */
+    Tensor gradLogits;
+    /** Correct top-1 predictions in the batch. */
+    std::uint32_t correct = 0;
+};
+
+/**
+ * Softmax cross-entropy for a batch of logits {B, classes} against
+ * integer labels.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<std::uint32_t> &labels);
+
+/** Top-1 predicted class per batch row. */
+std::vector<std::uint32_t> argmaxRows(const Tensor &logits);
+
+} // namespace rana
+
+#endif // RANA_TRAIN_LOSS_HH_

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Implementation of the mini model zoo.
+ */
+
+#include "train/mini_models.hh"
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+std::unique_ptr<Sequential>
+seq()
+{
+    return std::make_unique<Sequential>();
+}
+
+/** conv -> relu. */
+void
+addConvRelu(Sequential &net, std::uint32_t in, std::uint32_t out,
+            std::uint32_t k, std::uint32_t stride, std::uint32_t pad,
+            Rng &rng)
+{
+    net.add(std::make_unique<Conv2dLayer>(in, out, k, stride, pad, rng));
+    net.add(std::make_unique<ReluLayer>());
+}
+
+/** flatten -> dense head. */
+void
+addHead(Sequential &net, std::uint32_t features,
+        std::uint32_t num_classes, Rng &rng)
+{
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<DenseLayer>(features, num_classes, rng));
+}
+
+} // namespace
+
+const char *
+miniModelName(MiniModelKind kind)
+{
+    switch (kind) {
+      case MiniModelKind::MiniAlex:
+        return "AlexNet";
+      case MiniModelKind::MiniVgg:
+        return "VGG";
+      case MiniModelKind::MiniInception:
+        return "GoogLeNet";
+      case MiniModelKind::MiniRes:
+        return "ResNet";
+    }
+    panic("unreachable mini model kind");
+}
+
+std::vector<MiniModelKind>
+allMiniModels()
+{
+    return {MiniModelKind::MiniAlex, MiniModelKind::MiniVgg,
+            MiniModelKind::MiniInception, MiniModelKind::MiniRes};
+}
+
+std::unique_ptr<Sequential>
+makeMiniModel(MiniModelKind kind, std::uint32_t image_size,
+              std::uint32_t num_classes, Rng &rng)
+{
+    RANA_ASSERT(image_size % 4 == 0,
+                "mini models pool twice; image size must divide by 4");
+    const std::uint32_t quarter = image_size / 4;
+    auto net = seq();
+
+    switch (kind) {
+      case MiniModelKind::MiniAlex: {
+        // Two large-kernel convolutions with pooling, one dense head.
+        addConvRelu(*net, 1, 8, 5, 1, 2, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addConvRelu(*net, 8, 16, 5, 1, 2, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addHead(*net, 16 * quarter * quarter, num_classes, rng);
+        break;
+      }
+      case MiniModelKind::MiniVgg: {
+        // Stacked 3x3 convolutions, two per stage.
+        addConvRelu(*net, 1, 8, 3, 1, 1, rng);
+        addConvRelu(*net, 8, 8, 3, 1, 1, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addConvRelu(*net, 8, 16, 3, 1, 1, rng);
+        addConvRelu(*net, 16, 16, 3, 1, 1, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addHead(*net, 16 * quarter * quarter, num_classes, rng);
+        break;
+      }
+      case MiniModelKind::MiniInception: {
+        // Stem, one inception block, pooled head.
+        addConvRelu(*net, 1, 8, 3, 1, 1, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        std::vector<std::unique_ptr<Sequential>> branches;
+        auto b1 = seq();
+        addConvRelu(*b1, 8, 8, 1, 1, 0, rng);
+        branches.push_back(std::move(b1));
+        auto b3 = seq();
+        addConvRelu(*b3, 8, 4, 1, 1, 0, rng);
+        addConvRelu(*b3, 4, 8, 3, 1, 1, rng);
+        branches.push_back(std::move(b3));
+        auto b5 = seq();
+        addConvRelu(*b5, 8, 2, 1, 1, 0, rng);
+        addConvRelu(*b5, 2, 4, 5, 1, 2, rng);
+        branches.push_back(std::move(b5));
+        net->add(std::make_unique<InceptionConcat>(std::move(branches)));
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addHead(*net, 20 * quarter * quarter, num_classes, rng);
+        break;
+      }
+      case MiniModelKind::MiniRes: {
+        // Stem plus two residual blocks with identity shortcuts.
+        addConvRelu(*net, 1, 12, 3, 1, 1, rng);
+        net->add(std::make_unique<MaxPool2dLayer>());
+        for (int block = 0; block < 2; ++block) {
+            auto body = seq();
+            addConvRelu(*body, 12, 12, 3, 1, 1, rng);
+            body->add(std::make_unique<Conv2dLayer>(12, 12, 3, 1, 1,
+                                                    rng));
+            net->add(
+                std::make_unique<ResidualBlock>(std::move(body)));
+            net->add(std::make_unique<ReluLayer>());
+        }
+        net->add(std::make_unique<MaxPool2dLayer>());
+        addHead(*net, 12 * quarter * quarter, num_classes, rng);
+        break;
+      }
+    }
+    return net;
+}
+
+} // namespace rana

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Four mini CNN architectures standing in for the paper's four
+ * benchmarks in the training-level experiments:
+ *
+ *  - MiniAlex:      plain convolutions with large-ish kernels
+ *                   (AlexNet-style).
+ *  - MiniVgg:       stacked 3x3 convolutions (VGG-style).
+ *  - MiniInception: parallel 1x1 / 3x3 / 5x5 branches concatenated
+ *                   (GoogLeNet-style).
+ *  - MiniRes:       residual blocks with identity shortcuts
+ *                   (ResNet-style).
+ *
+ * All four consume the synthetic dataset's {1, S, S} images and emit
+ * `numClasses` logits. The error-resilience phenomenon that Figure
+ * 11 demonstrates (no accuracy loss at a 1e-5 bit failure rate,
+ * gradual decay from 1e-4) is architecture-generic, which is why the
+ * substitution preserves the experiment's shape.
+ */
+
+#ifndef RANA_TRAIN_MINI_MODELS_HH_
+#define RANA_TRAIN_MINI_MODELS_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/layers.hh"
+
+namespace rana {
+
+/** Identifier of a mini benchmark model. */
+enum class MiniModelKind {
+    MiniAlex,
+    MiniVgg,
+    MiniInception,
+    MiniRes,
+};
+
+/** Paper-benchmark name the mini model stands in for. */
+const char *miniModelName(MiniModelKind kind);
+
+/**
+ * Build one mini model for `image_size` x `image_size` single-channel
+ * inputs and `num_classes` outputs.
+ */
+std::unique_ptr<Sequential> makeMiniModel(MiniModelKind kind,
+                                          std::uint32_t image_size,
+                                          std::uint32_t num_classes,
+                                          Rng &rng);
+
+/** All four kinds in the paper's benchmark order. */
+std::vector<MiniModelKind> allMiniModels();
+
+} // namespace rana
+
+#endif // RANA_TRAIN_MINI_MODELS_HH_

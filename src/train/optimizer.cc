@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of SGD with momentum.
+ */
+
+#include "train/optimizer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+SgdOptimizer::SgdOptimizer(std::vector<Param> params,
+                           double learning_rate, double momentum,
+                           double weight_decay, double grad_clip)
+    : params_(std::move(params)),
+      learningRate_(learning_rate),
+      momentum_(momentum),
+      weightDecay_(weight_decay),
+      gradClip_(grad_clip)
+{
+    velocity_.reserve(params_.size());
+    for (const Param &param : params_) {
+        RANA_ASSERT(param.value != nullptr && param.grad != nullptr,
+                    "parameter tensors must exist");
+        RANA_ASSERT(param.value->size() == param.grad->size(),
+                    "gradient shape mismatch");
+        velocity_.emplace_back(param.value->shape());
+    }
+}
+
+void
+SgdOptimizer::step()
+{
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        Tensor &value = *params_[p].value;
+        Tensor &grad = *params_[p].grad;
+        Tensor &velocity = velocity_[p];
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            double g =
+                grad[i] + weightDecay_ * static_cast<double>(value[i]);
+            if (gradClip_ > 0.0)
+                g = std::clamp(g, -gradClip_, gradClip_);
+            velocity[i] = static_cast<float>(
+                momentum_ * velocity[i] - learningRate_ * g);
+            value[i] += velocity[i];
+        }
+    }
+}
+
+void
+SgdOptimizer::zeroGrad()
+{
+    for (const Param &param : params_)
+        param.grad->fill(0.0f);
+}
+
+void
+SgdOptimizer::setLearningRate(double learning_rate)
+{
+    learningRate_ = learning_rate;
+}
+
+} // namespace rana

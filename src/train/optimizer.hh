@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SGD with momentum, operating on the float master parameters of a
+ * fixed-point-trained network (the "weight adjustment" step of the
+ * retention-aware training loop, Figure 9).
+ */
+
+#ifndef RANA_TRAIN_OPTIMIZER_HH_
+#define RANA_TRAIN_OPTIMIZER_HH_
+
+#include <vector>
+
+#include "train/layer.hh"
+
+namespace rana {
+
+/** Stochastic gradient descent with classical momentum. */
+class SgdOptimizer
+{
+  public:
+    /**
+     * @param params        parameters to optimize
+     * @param learning_rate step size
+     * @param momentum      momentum coefficient
+     * @param weight_decay  L2 regularization coefficient
+     * @param grad_clip     per-element gradient clamp (0 disables).
+     *                      Injected retention failures can flip
+     *                      high-order bits and produce large
+     *                      activation outliers; clipping keeps the
+     *                      resulting gradient spikes from destroying
+     *                      the weights during retraining.
+     */
+    SgdOptimizer(std::vector<Param> params, double learning_rate,
+                 double momentum = 0.9, double weight_decay = 0.0,
+                 double grad_clip = 0.0);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Zero all gradient accumulators. */
+    void zeroGrad();
+
+    /** Change the learning rate (for decay schedules). */
+    void setLearningRate(double learning_rate);
+
+    /** Current learning rate. */
+    double learningRate() const { return learningRate_; }
+
+  private:
+    std::vector<Param> params_;
+    std::vector<Tensor> velocity_;
+    double learningRate_;
+    double momentum_;
+    double weightDecay_;
+    double gradClip_;
+};
+
+} // namespace rana
+
+#endif // RANA_TRAIN_OPTIMIZER_HH_

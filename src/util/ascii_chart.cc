@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Implementation of the terminal charts.
+ */
+
+#include "util/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+/** Fill characters for stacked segments, in definition order. */
+constexpr char kFills[] = {'#', '=', '%', '.', '+', '~'};
+constexpr std::size_t kNumFills = sizeof(kFills);
+
+} // namespace
+
+BarChart::BarChart(std::string title, std::uint32_t width)
+    : title_(std::move(title)), width_(std::max(10u, width))
+{
+}
+
+void
+BarChart::segments(std::vector<std::string> names)
+{
+    RANA_ASSERT(names.size() <= kNumFills,
+                "too many stacked segments");
+    segments_ = std::move(names);
+}
+
+void
+BarChart::bar(const std::string &label,
+              const std::vector<double> &values)
+{
+    RANA_ASSERT(segments_.empty() ||
+                values.size() == segments_.size(),
+                "segment count mismatch in bar '", label, "'");
+    rows_.push_back({label, values, false});
+}
+
+void
+BarChart::separator()
+{
+    rows_.push_back({"", {}, true});
+}
+
+std::string
+BarChart::render() const
+{
+    double max_total = 0.0;
+    std::size_t label_width = 0;
+    for (const Row &row : rows_) {
+        if (row.isSeparator)
+            continue;
+        double total = 0.0;
+        for (double v : row.values)
+            total += std::max(0.0, v);
+        max_total = std::max(max_total, total);
+        label_width = std::max(label_width, row.label.size());
+    }
+
+    std::ostringstream oss;
+    oss << title_ << "\n";
+    if (!segments_.empty()) {
+        oss << "  legend:";
+        for (std::size_t i = 0; i < segments_.size(); ++i)
+            oss << " [" << kFills[i] << "] " << segments_[i];
+        oss << "\n";
+    }
+    if (max_total <= 0.0)
+        return oss.str();
+
+    for (const Row &row : rows_) {
+        if (row.isSeparator) {
+            oss << std::string(label_width + width_ + 4, '-') << "\n";
+            continue;
+        }
+        oss << row.label
+            << std::string(label_width - row.label.size() + 2, ' ')
+            << "|";
+        double total = 0.0;
+        std::uint32_t drawn = 0;
+        for (std::size_t s = 0; s < row.values.size(); ++s) {
+            total += std::max(0.0, row.values[s]);
+            const auto target = static_cast<std::uint32_t>(
+                std::llround(total / max_total * width_));
+            const char fill =
+                kFills[std::min(s, kNumFills - 1)];
+            for (; drawn < target; ++drawn)
+                oss << fill;
+        }
+        oss << std::string(width_ - drawn, ' ') << "| "
+            << std::defaultfloat << total << "\n";
+    }
+    return oss.str();
+}
+
+void
+BarChart::print(std::ostream &os) const
+{
+    os << render();
+}
+
+LogScatter::LogScatter(std::string title, double min_x, double max_x,
+                       std::uint32_t width)
+    : title_(std::move(title)),
+      minX_(min_x),
+      maxX_(max_x),
+      width_(std::max(10u, width))
+{
+    RANA_ASSERT(min_x > 0.0 && max_x > min_x,
+                "log scatter needs a positive increasing range");
+}
+
+std::uint32_t
+LogScatter::columnOf(double x) const
+{
+    const double clamped = std::clamp(x, minX_, maxX_);
+    const double position = (std::log10(clamped) - std::log10(minX_)) /
+                            (std::log10(maxX_) - std::log10(minX_));
+    return static_cast<std::uint32_t>(
+        std::llround(position * (width_ - 1)));
+}
+
+void
+LogScatter::point(const std::string &label, double x, char marker)
+{
+    points_.push_back({label, x, marker});
+}
+
+void
+LogScatter::referenceLine(const std::string &label, double x)
+{
+    references_.push_back({label, x});
+}
+
+std::string
+LogScatter::render() const
+{
+    std::size_t label_width = 0;
+    for (const Point &p : points_)
+        label_width = std::max(label_width, p.label.size());
+
+    std::ostringstream oss;
+    oss << title_ << "\n";
+    for (const Reference &ref : references_) {
+        oss << std::string(label_width + 2, ' ');
+        const std::uint32_t column = columnOf(ref.x);
+        oss << std::string(column, ' ') << "| " << ref.label << "\n";
+    }
+    for (const Point &p : points_) {
+        oss << p.label
+            << std::string(label_width - p.label.size() + 2, ' ');
+        std::string line(width_, ' ');
+        for (const Reference &ref : references_)
+            line[columnOf(ref.x)] = '|';
+        line[columnOf(p.x)] = p.marker;
+        oss << line << "\n";
+    }
+    return oss.str();
+}
+
+void
+LogScatter::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace rana

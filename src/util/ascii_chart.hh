@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Terminal bar charts for the figure-reproduction harnesses.
+ *
+ * Two chart forms cover the paper's figures: grouped/stacked
+ * horizontal bars (the normalized-energy figures 15/17/18/19) and
+ * a log-scale scatter line (the lifetime and retention figures
+ * 7/8/16).
+ */
+
+#ifndef RANA_UTIL_ASCII_CHART_HH_
+#define RANA_UTIL_ASCII_CHART_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rana {
+
+/** A horizontal bar chart with stacked segments per row. */
+class BarChart
+{
+  public:
+    /**
+     * @param title chart title
+     * @param width bar area width in characters
+     */
+    explicit BarChart(std::string title, std::uint32_t width = 60);
+
+    /**
+     * Define the stacked segment names (each gets a distinct fill
+     * character in definition order).
+     */
+    void segments(std::vector<std::string> names);
+
+    /**
+     * Append one bar.
+     * @param label  row label
+     * @param values one value per segment (same order as segments())
+     */
+    void bar(const std::string &label,
+             const std::vector<double> &values);
+
+    /** Append a separator row. */
+    void separator();
+
+    /** Render; bars are scaled to the maximum row total. */
+    std::string render() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        std::string label;
+        std::vector<double> values;
+        bool isSeparator = false;
+    };
+
+    std::string title_;
+    std::uint32_t width_;
+    std::vector<std::string> segments_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * A log10-x scatter chart: one labelled marker row per series
+ * point (used for lifetime-vs-retention style figures).
+ */
+class LogScatter
+{
+  public:
+    /**
+     * @param title chart title
+     * @param min_x smallest plotted x value (> 0)
+     * @param max_x largest plotted x value
+     * @param width plot width in characters
+     */
+    LogScatter(std::string title, double min_x, double max_x,
+               std::uint32_t width = 64);
+
+    /** Add a labelled point. */
+    void point(const std::string &label, double x, char marker = 'o');
+
+    /** Add a labelled vertical reference line. */
+    void referenceLine(const std::string &label, double x);
+
+    /** Render. */
+    std::string render() const;
+    void print(std::ostream &os) const;
+
+  private:
+    std::uint32_t columnOf(double x) const;
+
+    struct Point
+    {
+        std::string label;
+        double x;
+        char marker;
+    };
+    struct Reference
+    {
+        std::string label;
+        double x;
+    };
+
+    std::string title_;
+    double minX_;
+    double maxX_;
+    std::uint32_t width_;
+    std::vector<Point> points_;
+    std::vector<Reference> references_;
+};
+
+} // namespace rana
+
+#endif // RANA_UTIL_ASCII_CHART_HH_

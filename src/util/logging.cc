@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+namespace rana {
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Info:
+        prefix = "info: ";
+        break;
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        break;
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        break;
+    }
+    std::cerr << prefix << msg << "\n";
+}
+
+} // namespace detail
+} // namespace rana

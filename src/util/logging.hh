@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * Four severity levels are provided:
+ *  - inform(): normal operating messages.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - fatal():  the run cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits with
+ *              status 1.
+ *  - panic():  the run cannot continue because of an internal bug;
+ *              aborts so a core dump / debugger can be attached.
+ */
+
+#ifndef RANA_UTIL_LOGGING_HH_
+#define RANA_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rana {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Info,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/** Stream a pack of arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one formatted log line to stderr. */
+void emitLog(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Print a normal status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Info,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration or arguments)
+ * and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog(LogLevel::Fatal,
+                    detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog(LogLevel::Panic,
+                    detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Panic unless a condition holds. */
+#define RANA_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::rana::panic("assertion failed: ", #cond, " ",             \
+                          ::rana::detail::concat(__VA_ARGS__), " (",    \
+                          __FILE__, ":", __LINE__, ")");                \
+        }                                                               \
+    } while (0)
+
+} // namespace rana
+
+#endif // RANA_UTIL_LOGGING_HH_

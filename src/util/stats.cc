@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the statistics helpers.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+double
+mean(const std::vector<double> &values)
+{
+    RANA_ASSERT(!values.empty(), "mean of empty sample");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    RANA_ASSERT(!values.empty(), "geomean of empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        RANA_ASSERT(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    RANA_ASSERT(!values.empty(), "min of empty sample");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    RANA_ASSERT(!values.empty(), "max of empty sample");
+    return *std::max_element(values.begin(), values.end());
+}
+
+void
+RunningStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+RunningStat::mean() const
+{
+    RANA_ASSERT(count_ > 0, "mean of empty RunningStat");
+    return sum_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::min() const
+{
+    RANA_ASSERT(count_ > 0, "min of empty RunningStat");
+    return min_;
+}
+
+double
+RunningStat::max() const
+{
+    RANA_ASSERT(count_ > 0, "max of empty RunningStat");
+    return max_;
+}
+
+} // namespace rana

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers used when summarizing experiment series
+ * (the paper reports geometric means across benchmarks, e.g. the
+ * GMEAN column in Figure 15).
+ */
+
+#ifndef RANA_UTIL_STATS_HH_
+#define RANA_UTIL_STATS_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace rana {
+
+/** Arithmetic mean. @pre values non-empty. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean. @pre values non-empty and all positive. */
+double geomean(const std::vector<double> &values);
+
+/** Population standard deviation. @pre values non-empty. */
+double stddev(const std::vector<double> &values);
+
+/** Minimum element. @pre values non-empty. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum element. @pre values non-empty. */
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Running accumulator for counts/min/max/mean without storing the
+ * full sample.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of the samples added so far. @pre count() > 0. */
+    double mean() const;
+
+    /** Smallest sample. @pre count() > 0. */
+    double min() const;
+
+    /** Largest sample. @pre count() > 0. */
+    double max() const;
+
+    /** Sum of the samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace rana
+
+#endif // RANA_UTIL_STATS_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the ASCII table printer.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace rana {
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::rule()
+{
+    ruleAfter_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over header and body.
+    std::vector<std::size_t> width;
+    auto grow = [&width](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    std::ostringstream oss;
+    auto emitRule = [&oss, total]() {
+        oss << std::string(total, '-') << "\n";
+    };
+    auto emitRow = [&oss, &width](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            oss << cell << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        oss << "\n";
+    };
+
+    if (!title_.empty()) {
+        oss << title_ << "\n";
+        emitRule();
+    }
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        emitRow(rows_[i]);
+        if (std::find(ruleAfter_.begin(), ruleAfter_.end(), i + 1) !=
+            ruleAfter_.end()) {
+            emitRule();
+        }
+    }
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace rana

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A small fixed-column ASCII table printer used by the benchmark
+ * harnesses to regenerate the paper's tables and figure series in a
+ * readable, diffable text form.
+ */
+
+#ifndef RANA_UTIL_TABLE_HH_
+#define RANA_UTIL_TABLE_HH_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rana {
+
+/**
+ * Collects rows of string cells and renders them with aligned
+ * columns. The first row added via header() is separated from the
+ * body by a rule.
+ */
+class TextTable
+{
+  public:
+    /** Optional table title printed above the header. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between body rows. */
+    void rule();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of body rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> ruleAfter_;
+};
+
+} // namespace rana
+
+#endif // RANA_UTIL_TABLE_HH_

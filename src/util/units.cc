@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the formatting helpers.
+ */
+
+#include "util/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rana {
+
+namespace {
+
+/** snprintf into a std::string. */
+template <typename... Args>
+std::string
+format(const char *fmt, Args... args)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return std::string(buf);
+}
+
+} // namespace
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const double b = static_cast<double>(bytes);
+    if (b >= static_cast<double>(mib))
+        return format("%.3fMB", b / static_cast<double>(mib));
+    if (b >= static_cast<double>(kib))
+        return format("%.1fKB", b / static_cast<double>(kib));
+    return format("%lluB", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatTime(double seconds)
+{
+    const double abs = std::fabs(seconds);
+    if (abs >= 1.0)
+        return format("%.3fs", seconds);
+    if (abs >= milliSecond)
+        return format("%.3fms", seconds / milliSecond);
+    if (abs >= microSecond)
+        return format("%.1fus", seconds / microSecond);
+    return format("%.1fns", seconds / nanoSecond);
+}
+
+std::string
+formatEnergy(double joules)
+{
+    const double abs = std::fabs(joules);
+    if (abs >= 1.0)
+        return format("%.3fJ", joules);
+    if (abs >= milliJoule)
+        return format("%.3fmJ", joules / milliJoule);
+    if (abs >= microJoule)
+        return format("%.2fuJ", joules / microJoule);
+    return format("%.2fpJ", joules / picoJoule);
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    return format("%.*f", decimals, value);
+}
+
+std::string
+formatPercent(double fraction)
+{
+    return format("%.1f%%", fraction * 100.0);
+}
+
+} // namespace rana

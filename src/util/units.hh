@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit constants and human-readable formatting for bytes, time and
+ * energy.
+ *
+ * Conventions used throughout the library:
+ *  - storage is counted in 16-bit words unless a name says "bytes";
+ *  - time is held in seconds (double); helper constants express
+ *    micro/nano seconds;
+ *  - energy is held in joules (double); basic per-operation costs are
+ *    quoted in picojoules as in the paper's Table III.
+ */
+
+#ifndef RANA_UTIL_UNITS_HH_
+#define RANA_UTIL_UNITS_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace rana {
+
+/** Bytes per 16-bit data word (the paper evaluates 16-bit precision). */
+constexpr std::uint64_t bytesPerWord = 2;
+
+constexpr std::uint64_t kib = 1024;
+constexpr std::uint64_t mib = 1024 * 1024;
+
+constexpr double picoJoule = 1e-12;
+constexpr double microJoule = 1e-6;
+constexpr double milliJoule = 1e-3;
+
+constexpr double nanoSecond = 1e-9;
+constexpr double microSecond = 1e-6;
+constexpr double milliSecond = 1e-3;
+
+constexpr double megaHertz = 1e6;
+
+/** Convert a count of 16-bit words to bytes. */
+constexpr std::uint64_t
+wordsToBytes(std::uint64_t words)
+{
+    return words * bytesPerWord;
+}
+
+/** Convert a byte count to 16-bit words, rounding up. */
+constexpr std::uint64_t
+bytesToWords(std::uint64_t bytes)
+{
+    return (bytes + bytesPerWord - 1) / bytesPerWord;
+}
+
+/** Format a byte count as a human-readable string, e.g. "1.45MB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format seconds as a human-readable string, e.g. "45.0us". */
+std::string formatTime(double seconds);
+
+/** Format joules as a human-readable string, e.g. "3.2mJ". */
+std::string formatEnergy(double joules);
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double value, int decimals);
+
+/**
+ * Format a ratio as a percentage string with one decimal, e.g.
+ * "66.2%".
+ */
+std::string formatPercent(double fraction);
+
+} // namespace rana
+
+#endif // RANA_UTIL_UNITS_HH_

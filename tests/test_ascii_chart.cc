@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the terminal chart renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ascii_chart.hh"
+
+namespace rana {
+namespace {
+
+TEST(BarChartTest, RendersLegendAndBars)
+{
+    BarChart chart("Demo", 20);
+    chart.segments({"a", "b"});
+    chart.bar("one", {0.5, 0.5});
+    chart.bar("two", {0.25, 0.25});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("legend"), std::string::npos);
+    EXPECT_NE(out.find("one"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(BarChartTest, ScalesToLargestRow)
+{
+    BarChart chart("Demo", 40);
+    chart.segments({"x"});
+    chart.bar("full", {2.0});
+    chart.bar("half", {1.0});
+    const std::string out = chart.render();
+    // Count fill characters per row.
+    std::size_t full_fill = 0;
+    std::size_t half_fill = 0;
+    std::istringstream iss(out);
+    std::string line;
+    while (std::getline(iss, line)) {
+        const std::size_t fills =
+            static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), '#'));
+        if (line.rfind("full", 0) == 0)
+            full_fill = fills;
+        if (line.rfind("half", 0) == 0)
+            half_fill = fills;
+    }
+    EXPECT_EQ(full_fill, 40u);
+    EXPECT_NEAR(static_cast<double>(half_fill), 20.0, 1.0);
+}
+
+TEST(BarChartTest, SeparatorAndEmpty)
+{
+    BarChart chart("Demo", 20);
+    chart.segments({"x"});
+    chart.bar("a", {1.0});
+    chart.separator();
+    chart.bar("b", {1.0});
+    EXPECT_NE(chart.render().find("---"), std::string::npos);
+
+    BarChart empty("Empty", 20);
+    EXPECT_NE(empty.render().find("Empty"), std::string::npos);
+}
+
+TEST(LogScatterTest, MarkersAndReferences)
+{
+    LogScatter scatter("Scatter", 1e-6, 1e-3, 30);
+    scatter.referenceLine("ref", 1e-4);
+    scatter.point("p1", 1e-5);
+    scatter.point("p2", 1e-3, 'x');
+    const std::string out = scatter.render();
+    EXPECT_NE(out.find("Scatter"), std::string::npos);
+    EXPECT_NE(out.find("ref"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find('x'), std::string::npos);
+    EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(LogScatterTest, MonotonePlacement)
+{
+    LogScatter scatter("S", 1e-6, 1e-2, 50);
+    scatter.point("small", 1e-5);
+    scatter.point("large", 1e-3);
+    const std::string out = scatter.render();
+    std::istringstream iss(out);
+    std::string line;
+    std::size_t small_col = 0;
+    std::size_t large_col = 0;
+    while (std::getline(iss, line)) {
+        const std::size_t col = line.find('o');
+        if (line.rfind("small", 0) == 0)
+            small_col = col;
+        if (line.rfind("large", 0) == 0)
+            large_col = col;
+    }
+    EXPECT_LT(small_col, large_col);
+}
+
+TEST(LogScatterTest, ClampsOutOfRange)
+{
+    LogScatter scatter("S", 1e-5, 1e-3, 30);
+    scatter.point("below", 1e-9);
+    scatter.point("above", 1.0);
+    EXPECT_NO_THROW(scatter.render());
+}
+
+} // namespace
+} // namespace rana

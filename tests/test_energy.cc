@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the energy library: Table II/III constants and the
+ * Equation-14 system energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_table.hh"
+#include "energy/technology.hh"
+#include "util/units.hh"
+
+namespace rana {
+namespace {
+
+TEST(Technology, TableTwoSram)
+{
+    const MemoryMacroParams sram = sramMacro65nm();
+    EXPECT_EQ(sram.capacityBytes, 32u * kib);
+    EXPECT_DOUBLE_EQ(sram.areaMm2, 0.181);
+    EXPECT_FALSE(sram.needsRefresh);
+    EXPECT_DOUBLE_EQ(sram.refreshEnergyPerBank, 0.0);
+}
+
+TEST(Technology, TableTwoEdram)
+{
+    const MemoryMacroParams edram = edramMacro65nm();
+    EXPECT_DOUBLE_EQ(edram.areaMm2, 0.047);
+    EXPECT_TRUE(edram.needsRefresh);
+    EXPECT_NEAR(edram.refreshEnergyPerBank, 0.788e-6, 1e-12);
+    // eDRAM area is 26.0% of SRAM (Section I).
+    EXPECT_NEAR(edram.areaMm2 / sramMacro65nm().areaMm2, 0.26, 0.005);
+}
+
+TEST(Technology, EqualAreaCapacity)
+{
+    // 12 SRAM banks (384KB) -> 46 eDRAM banks (~1.45MB).
+    EXPECT_EQ(equalAreaEdramBanks(12), 46u);
+}
+
+TEST(Technology, RefreshEnergyConsistency)
+{
+    // Table II's 0.788uJ/bank equals Table III's 48.1pJ/word times
+    // the 16K words of a 32KB bank.
+    const double per_word = 48.1e-12;
+    const double per_bank = per_word * (32.0 * 1024 / 2);
+    EXPECT_NEAR(per_bank, 0.788e-6, 0.001e-6);
+}
+
+TEST(EnergyTable, TableThreeEdram)
+{
+    const EnergyTable table = energyTable65nm(MemoryTechnology::Edram);
+    EXPECT_NEAR(table.macOp, 1.3e-12, 1e-15);
+    EXPECT_NEAR(table.bufferAccess, 10.6e-12, 1e-15);
+    EXPECT_NEAR(table.refreshOp, 48.1e-12, 1e-15);
+    EXPECT_NEAR(table.ddrAccess, 2112.9e-12, 1e-15);
+}
+
+TEST(EnergyTable, TableThreeRelativeCosts)
+{
+    const EnergyTable edram = energyTable65nm(MemoryTechnology::Edram);
+    const EnergyTable sram = energyTable65nm(MemoryTechnology::Sram);
+    EXPECT_NEAR(sram.relativeCost(sram.bufferAccess), 14.0, 0.4);
+    EXPECT_NEAR(edram.relativeCost(edram.bufferAccess), 8.2, 0.2);
+    EXPECT_NEAR(edram.relativeCost(edram.refreshOp), 37.0, 1.0);
+    EXPECT_NEAR(edram.relativeCost(edram.ddrAccess), 1625.3, 30.0);
+}
+
+TEST(EnergyTable, SramHasNoRefresh)
+{
+    EXPECT_DOUBLE_EQ(energyTable65nm(MemoryTechnology::Sram).refreshOp,
+                     0.0);
+}
+
+TEST(EnergyModel, EquationFourteen)
+{
+    const EnergyTable table = energyTable65nm(MemoryTechnology::Edram);
+    OperationCounts counts;
+    counts.macOps = 1000;
+    counts.bufferAccesses = 100;
+    counts.refreshOps = 10;
+    counts.ddrAccesses = 1;
+    const EnergyBreakdown energy = computeEnergy(counts, table);
+    EXPECT_NEAR(energy.computing, 1000 * 1.3e-12, 1e-18);
+    EXPECT_NEAR(energy.bufferAccess, 100 * 10.6e-12, 1e-18);
+    EXPECT_NEAR(energy.refresh, 10 * 48.1e-12, 1e-18);
+    EXPECT_NEAR(energy.offChipAccess, 2112.9e-12, 1e-18);
+    EXPECT_NEAR(energy.total(),
+                energy.computing + energy.bufferAccess +
+                    energy.refresh + energy.offChipAccess,
+                1e-18);
+    EXPECT_NEAR(energy.acceleratorEnergy(),
+                energy.total() - energy.offChipAccess, 1e-18);
+}
+
+TEST(EnergyModel, CountAccumulation)
+{
+    OperationCounts a;
+    a.macOps = 1;
+    a.bufferAccesses = 2;
+    OperationCounts b;
+    b.macOps = 10;
+    b.refreshOps = 5;
+    const OperationCounts sum = a + b;
+    EXPECT_EQ(sum.macOps, 11u);
+    EXPECT_EQ(sum.bufferAccesses, 2u);
+    EXPECT_EQ(sum.refreshOps, 5u);
+}
+
+TEST(EnergyModel, BreakdownAccumulation)
+{
+    EnergyBreakdown a;
+    a.computing = 1.0;
+    EnergyBreakdown b;
+    b.refresh = 2.0;
+    const EnergyBreakdown sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.total(), 3.0);
+    EXPECT_NE(sum.describe().find("total"), std::string::npos);
+}
+
+} // namespace
+} // namespace rana

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the training substrate: tensors, fixed point,
+ * error injection, loss and the synthetic dataset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/dataset.hh"
+#include "train/error_injection.hh"
+#include "train/fixed_point.hh"
+#include "train/loss.hh"
+#include "train/tensor.hh"
+
+namespace rana {
+namespace {
+
+TEST(TensorTest, ShapeAndAccess)
+{
+    Tensor t({2, 3, 4, 5});
+    EXPECT_EQ(t.size(), 2u * 3 * 4 * 5);
+    EXPECT_EQ(t.dim(2), 4u);
+    t.at4(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at4(1, 2, 3, 4), 7.0f);
+    EXPECT_FLOAT_EQ(t[t.size() - 1], 7.0f);
+}
+
+TEST(TensorTest, FillAndReshape)
+{
+    Tensor t({2, 6});
+    t.fill(3.0f);
+    const Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.dim(0), 3u);
+    EXPECT_FLOAT_EQ(r.at2(2, 3), 3.0f);
+    EXPECT_EQ(t.describeShape(), "{2,6}");
+}
+
+TEST(FixedPoint, RoundTripRepresentable)
+{
+    const FixedPointFormat format{12};
+    EXPECT_FLOAT_EQ(format.roundTrip(1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(format.roundTrip(-2.5f), -2.5f);
+    EXPECT_FLOAT_EQ(format.dequantize(format.quantize(0.0f)), 0.0f);
+}
+
+TEST(FixedPoint, QuantizationStep)
+{
+    const FixedPointFormat format{12};
+    EXPECT_DOUBLE_EQ(format.scale(), 4096.0);
+    const float step = 1.0f / 4096.0f;
+    EXPECT_NEAR(format.roundTrip(step * 0.6f), step, 1e-9);
+}
+
+TEST(FixedPoint, Saturation)
+{
+    const FixedPointFormat format{12};
+    EXPECT_NEAR(format.roundTrip(100.0f), format.maxValue(), 1e-3);
+    EXPECT_NEAR(format.roundTrip(-100.0f), format.minValue(), 1e-3);
+}
+
+TEST(FixedPoint, TensorQuantization)
+{
+    const FixedPointFormat format{12};
+    Tensor t({4});
+    t[0] = 0.123456f;
+    t[1] = -1.5f;
+    t[2] = 99.0f;
+    t[3] = 0.0f;
+    quantizeTensor(t, format);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], format.roundTrip(t[i]));
+    EXPECT_NEAR(t[2], format.maxValue(), 1e-3);
+}
+
+TEST(ErrorInjection, ZeroRateIsIdentity)
+{
+    BitErrorInjector injector(0.0, 1);
+    Tensor t({100});
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = 0.5f;
+    EXPECT_EQ(injector.corruptTensor(t, FixedPointFormat{12}), 0u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.5f);
+}
+
+TEST(ErrorInjection, DeterministicPerSeed)
+{
+    const FixedPointFormat format{12};
+    Tensor a({1000});
+    Tensor b({1000});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = b[i] = 0.25f;
+    BitErrorInjector inj_a(1e-3, 42);
+    BitErrorInjector inj_b(1e-3, 42);
+    inj_a.corruptTensor(a, format);
+    inj_b.corruptTensor(b, format);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+/** Statistical check of the corruption rate across sparse/dense. */
+class InjectionRate : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(InjectionRate, MatchesExpectation)
+{
+    const double rate = GetParam();
+    const FixedPointFormat format{12};
+    const std::size_t words = 200000;
+    Tensor t({static_cast<std::uint32_t>(words)});
+    t.fill(0.5f);
+    BitErrorInjector injector(rate, 123);
+    const std::uint64_t corrupted = injector.corruptTensor(t, format);
+    const double word_rate = 1.0 - std::pow(1.0 - rate, 16);
+    const double expected = word_rate * static_cast<double>(words);
+    // Five-sigma statistical bound.
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(static_cast<double>(corrupted), expected,
+                5.0 * sigma + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InjectionRate,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2,
+                                           1e-1));
+
+TEST(ErrorInjection, CorruptedValuesStayRepresentable)
+{
+    const FixedPointFormat format{12};
+    Tensor t({10000});
+    t.fill(1.0f);
+    BitErrorInjector injector(1e-2, 7);
+    injector.corruptTensor(t, format);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], format.minValue() - 1e-9);
+        EXPECT_LE(t[i], format.maxValue() + 1e-9);
+    }
+}
+
+TEST(ErrorInjection, HalfOfFailedBitsAreBenign)
+{
+    // A failed bit reads a random value: with all-zero words, about
+    // half the failures leave the word unchanged.
+    BitErrorInjector injector(1.0, 5);
+    int flipped_bits = 0;
+    const int words = 2000;
+    for (int i = 0; i < words; ++i) {
+        const std::int16_t noisy = injector.corruptWord(0);
+        flipped_bits += __builtin_popcount(
+            static_cast<std::uint16_t>(noisy));
+    }
+    // Expect ~8 of 16 bits set per word.
+    EXPECT_NEAR(static_cast<double>(flipped_bits) / words, 8.0, 0.3);
+}
+
+TEST(Loss, SoftmaxCrossEntropyHandComputed)
+{
+    Tensor logits({1, 2});
+    logits.at2(0, 0) = 0.0f;
+    logits.at2(0, 1) = 0.0f;
+    const LossResult result = softmaxCrossEntropy(logits, {1});
+    EXPECT_NEAR(result.loss, std::log(2.0), 1e-6);
+    EXPECT_NEAR(result.gradLogits.at2(0, 0), 0.5, 1e-6);
+    EXPECT_NEAR(result.gradLogits.at2(0, 1), -0.5, 1e-6);
+}
+
+TEST(Loss, GradientSumsToZero)
+{
+    Tensor logits({3, 5});
+    Rng rng(3);
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        logits[i] = static_cast<float>(rng.normal());
+    const LossResult result =
+        softmaxCrossEntropy(logits, {0, 2, 4});
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        double sum = 0.0;
+        for (std::uint32_t c = 0; c < 5; ++c)
+            sum += result.gradLogits.at2(b, c);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(Loss, CorrectCounting)
+{
+    Tensor logits({2, 3});
+    logits.at2(0, 2) = 5.0f;
+    logits.at2(1, 0) = 5.0f;
+    const LossResult result = softmaxCrossEntropy(logits, {2, 1});
+    EXPECT_EQ(result.correct, 1u);
+    const auto preds = argmaxRows(logits);
+    EXPECT_EQ(preds[0], 2u);
+    EXPECT_EQ(preds[1], 0u);
+}
+
+TEST(Dataset, ShapesAndLabels)
+{
+    DatasetConfig config;
+    config.trainSamples = 64;
+    config.testSamples = 32;
+    SyntheticDataset dataset(config);
+    const Batch batch = dataset.trainBatch(0, 16);
+    EXPECT_EQ(batch.images.dim(0), 16u);
+    EXPECT_EQ(batch.images.dim(1), config.channels);
+    EXPECT_EQ(batch.images.dim(2), config.imageSize);
+    EXPECT_EQ(batch.labels.size(), 16u);
+    for (std::uint32_t label : batch.labels)
+        EXPECT_LT(label, config.numClasses);
+    const Batch test = dataset.testBatch();
+    EXPECT_EQ(test.images.dim(0), 32u);
+}
+
+TEST(Dataset, ClassesAreBalanced)
+{
+    DatasetConfig config;
+    config.trainSamples = 160;
+    config.testSamples = 80;
+    config.numClasses = 8;
+    SyntheticDataset dataset(config);
+    std::vector<int> histogram(config.numClasses, 0);
+    const Batch batch = dataset.trainBatch(0, 160);
+    for (std::uint32_t label : batch.labels)
+        ++histogram[label];
+    for (int count : histogram)
+        EXPECT_EQ(count, 20);
+}
+
+TEST(Dataset, DeterministicPerSeed)
+{
+    DatasetConfig config;
+    config.trainSamples = 32;
+    config.testSamples = 16;
+    SyntheticDataset a(config);
+    SyntheticDataset b(config);
+    const Batch ba = a.trainBatch(0, 8);
+    const Batch bb = b.trainBatch(0, 8);
+    for (std::size_t i = 0; i < ba.images.size(); ++i)
+        EXPECT_FLOAT_EQ(ba.images[i], bb.images[i]);
+}
+
+TEST(Dataset, ShuffleChangesOrder)
+{
+    DatasetConfig config;
+    config.trainSamples = 256;
+    config.testSamples = 16;
+    SyntheticDataset dataset(config);
+    const Batch before = dataset.trainBatch(0, 32);
+    Rng rng(77);
+    dataset.shuffleTrain(rng);
+    const Batch after = dataset.trainBatch(0, 32);
+    bool differs = false;
+    for (std::size_t i = 0; i < before.labels.size(); ++i)
+        differs |= before.labels[i] != after.labels[i];
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace rana

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Gradient and shape tests for the training-framework layers: every
+ * differentiable layer is verified against central finite
+ * differences on random small tensors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "train/layers.hh"
+#include "train/loss.hh"
+#include "util/random.hh"
+
+namespace rana {
+namespace {
+
+/** Fill a tensor with small random values. */
+void
+randomize(Tensor &tensor, Rng &rng)
+{
+    for (std::size_t i = 0; i < tensor.size(); ++i)
+        tensor[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+/** Scalar objective: sum of squares of the layer output. */
+double
+objective(Layer &layer, const Tensor &input)
+{
+    ForwardContext ctx;
+    ctx.training = true;
+    const Tensor out = layer.forward(input, ctx);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        total += 0.5 * static_cast<double>(out[i]) * out[i];
+    return total;
+}
+
+/**
+ * Verify d(objective)/d(input) and d(objective)/d(params) from
+ * backward() against central finite differences.
+ */
+void
+checkGradients(Layer &layer, Tensor input, double tolerance = 2e-2)
+{
+    ForwardContext ctx;
+    ctx.training = true;
+    const Tensor out = layer.forward(input, ctx);
+    Tensor grad_out = out; // d(0.5*sum(out^2))/d(out) = out.
+    for (Param param : layer.params())
+        param.grad->fill(0.0f);
+    const Tensor grad_in = layer.backward(grad_out);
+
+    const double eps = 1e-3;
+
+    // Input gradient: probe a handful of elements.
+    Rng rng(31);
+    for (int probe = 0; probe < 8; ++probe) {
+        const std::size_t i = rng.uniformInt(
+            static_cast<std::uint64_t>(input.size()));
+        Tensor plus = input;
+        Tensor minus = input;
+        plus[i] += static_cast<float>(eps);
+        minus[i] -= static_cast<float>(eps);
+        const double numeric =
+            (objective(layer, plus) - objective(layer, minus)) /
+            (2.0 * eps);
+        EXPECT_NEAR(grad_in[i], numeric,
+                    tolerance * std::max(1.0, std::abs(numeric)))
+            << "input element " << i;
+    }
+
+    // Parameter gradients.
+    for (Param param : layer.params()) {
+        for (int probe = 0; probe < 6; ++probe) {
+            const std::size_t i = rng.uniformInt(
+                static_cast<std::uint64_t>(param.value->size()));
+            const float saved = (*param.value)[i];
+            (*param.value)[i] = saved + static_cast<float>(eps);
+            const double plus = objective(layer, input);
+            (*param.value)[i] = saved - static_cast<float>(eps);
+            const double minus = objective(layer, input);
+            (*param.value)[i] = saved;
+            const double numeric = (plus - minus) / (2.0 * eps);
+            EXPECT_NEAR((*param.grad)[i], numeric,
+                        tolerance * std::max(1.0, std::abs(numeric)))
+                << "param element " << i;
+        }
+    }
+}
+
+TEST(LayerGradients, Conv2dNoPad)
+{
+    Rng rng(1);
+    Conv2dLayer layer(2, 3, 3, 1, 0, rng);
+    Tensor input({2, 2, 6, 6});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, Conv2dPaddedStrided)
+{
+    Rng rng(2);
+    Conv2dLayer layer(3, 2, 3, 2, 1, rng);
+    Tensor input({1, 3, 7, 7});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, Conv2dOneByOne)
+{
+    Rng rng(3);
+    Conv2dLayer layer(4, 4, 1, 1, 0, rng);
+    Tensor input({2, 4, 4, 4});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, AvgPool)
+{
+    Rng rng(12);
+    AvgPool2dLayer layer;
+    Tensor input({2, 2, 4, 4});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerShapes, AvgPoolAverages)
+{
+    AvgPool2dLayer pool;
+    Tensor input({1, 1, 2, 2});
+    input.at4(0, 0, 0, 0) = 1.0f;
+    input.at4(0, 0, 0, 1) = 2.0f;
+    input.at4(0, 0, 1, 0) = 3.0f;
+    input.at4(0, 0, 1, 1) = 6.0f;
+    ForwardContext ctx;
+    const Tensor out = pool.forward(input, ctx);
+    EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 3.0f);
+}
+
+TEST(LayerGradients, Dense)
+{
+    Rng rng(4);
+    DenseLayer layer(10, 5, rng);
+    Tensor input({3, 10});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, Residual)
+{
+    Rng rng(5);
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Conv2dLayer>(2, 2, 3, 1, 1, rng));
+    ResidualBlock layer(std::move(body));
+    Tensor input({1, 2, 5, 5});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, Inception)
+{
+    Rng rng(6);
+    std::vector<std::unique_ptr<Sequential>> branches;
+    auto b1 = std::make_unique<Sequential>();
+    b1->add(std::make_unique<Conv2dLayer>(2, 2, 1, 1, 0, rng));
+    branches.push_back(std::move(b1));
+    auto b2 = std::make_unique<Sequential>();
+    b2->add(std::make_unique<Conv2dLayer>(2, 3, 3, 1, 1, rng));
+    branches.push_back(std::move(b2));
+    InceptionConcat layer(std::move(branches));
+    Tensor input({1, 2, 4, 4});
+    randomize(input, rng);
+    checkGradients(layer, input);
+}
+
+TEST(LayerGradients, SequentialComposite)
+{
+    Rng rng(7);
+    Sequential net;
+    net.add(std::make_unique<Conv2dLayer>(1, 2, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPool2dLayer>());
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<DenseLayer>(2 * 3 * 3, 4, rng));
+    Tensor input({2, 1, 6, 6});
+    randomize(input, rng);
+    checkGradients(net, input);
+}
+
+TEST(LayerShapes, ConvOutput)
+{
+    Rng rng(8);
+    Conv2dLayer layer(3, 8, 5, 2, 2, rng);
+    Tensor input({2, 3, 16, 16});
+    ForwardContext ctx;
+    const Tensor out = layer.forward(input, ctx);
+    EXPECT_EQ(out.dim(0), 2u);
+    EXPECT_EQ(out.dim(1), 8u);
+    EXPECT_EQ(out.dim(2), 8u);
+    EXPECT_EQ(out.dim(3), 8u);
+}
+
+TEST(LayerShapes, MaxPoolHalves)
+{
+    MaxPool2dLayer pool;
+    Tensor input({1, 2, 6, 6});
+    Rng rng(9);
+    randomize(input, rng);
+    ForwardContext ctx;
+    const Tensor out = pool.forward(input, ctx);
+    EXPECT_EQ(out.dim(2), 3u);
+    EXPECT_EQ(out.dim(3), 3u);
+    // Each output is the max of its 2x2 window.
+    for (std::uint32_t y = 0; y < 3; ++y) {
+        for (std::uint32_t x = 0; x < 3; ++x) {
+            float expected = -1e30f;
+            for (std::uint32_t dy = 0; dy < 2; ++dy)
+                for (std::uint32_t dx = 0; dx < 2; ++dx)
+                    expected = std::max(
+                        expected,
+                        input.at4(0, 1, 2 * y + dy, 2 * x + dx));
+            EXPECT_FLOAT_EQ(out.at4(0, 1, y, x), expected);
+        }
+    }
+}
+
+TEST(LayerShapes, ReluClamps)
+{
+    ReluLayer relu;
+    Tensor input({4});
+    input[0] = -1.0f;
+    input[1] = 2.0f;
+    input[2] = 0.0f;
+    input[3] = -0.5f;
+    ForwardContext ctx;
+    const Tensor out = relu.forward(input, ctx);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(LayerShapes, QuantizedForwardDiffersSlightly)
+{
+    // With quantization enabled the conv result moves by at most a
+    // few quantization steps.
+    Rng rng(10);
+    Conv2dLayer layer(2, 2, 3, 1, 1, rng);
+    Tensor input({1, 2, 6, 6});
+    randomize(input, rng);
+    ForwardContext plain;
+    plain.training = false;
+    const Tensor exact = layer.forward(input, plain);
+    const FixedPointFormat format{12};
+    ForwardContext quantized;
+    quantized.quant = &format;
+    quantized.training = false;
+    const Tensor approx = layer.forward(input, quantized);
+    for (std::size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(approx[i], exact[i], 0.05f);
+}
+
+TEST(LayerShapes, ParamsEnumerateAllLayers)
+{
+    Rng rng(11);
+    Sequential net;
+    net.add(std::make_unique<Conv2dLayer>(1, 2, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<DenseLayer>(4, 2, rng));
+    // conv weights+bias, dense weights+bias.
+    EXPECT_EQ(net.params().size(), 4u);
+}
+
+} // namespace
+} // namespace rana

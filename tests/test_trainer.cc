@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-end tests of the retention-aware training method on small
+ * configurations: models learn the synthetic task, error injection
+ * at the paper's 1e-5 operating point costs no accuracy, and heavy
+ * injection degrades accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "train/trainer.hh"
+
+namespace rana {
+namespace {
+
+DatasetConfig
+tinyDataset()
+{
+    DatasetConfig config;
+    config.trainSamples = 256;
+    config.testSamples = 128;
+    config.imageSize = 12;
+    config.numClasses = 4;
+    return config;
+}
+
+TrainerConfig
+tinyTrainer()
+{
+    TrainerConfig config;
+    config.pretrainEpochs = 6;
+    config.retrainEpochs = 2;
+    config.evalRepeats = 2;
+    return config;
+}
+
+TEST(Trainer, PretrainLearnsTheTask)
+{
+    RetentionAwareTrainer trainer(MiniModelKind::MiniAlex,
+                                  tinyDataset(), tinyTrainer());
+    const double accuracy = trainer.pretrain();
+    EXPECT_GT(accuracy, 0.8);
+    EXPECT_DOUBLE_EQ(trainer.baselineAccuracy(), accuracy);
+}
+
+TEST(Trainer, NoLossAtPaperOperatingPoint)
+{
+    // Figure 11: every benchmark shows no accuracy loss at 1e-5.
+    RetentionAwareTrainer trainer(MiniModelKind::MiniVgg,
+                                  tinyDataset(), tinyTrainer());
+    trainer.pretrain();
+    const AccuracyPoint point = trainer.retrainAndEvaluate(1e-5);
+    EXPECT_GE(point.relativeAccuracy, 0.97);
+}
+
+TEST(Trainer, HeavyInjectionDegradesAccuracy)
+{
+    RetentionAwareTrainer trainer(MiniModelKind::MiniVgg,
+                                  tinyDataset(), tinyTrainer());
+    trainer.pretrain();
+    const AccuracyPoint heavy = trainer.retrainAndEvaluate(1e-1);
+    EXPECT_LT(heavy.relativeAccuracy, 0.9);
+}
+
+TEST(Trainer, SweepIsMonotoneAtTheEnds)
+{
+    RetentionAwareTrainer trainer(MiniModelKind::MiniRes,
+                                  tinyDataset(), tinyTrainer());
+    trainer.pretrain();
+    const auto points = trainer.sweep({1e-5, 1e-1});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_GT(points[0].relativeAccuracy,
+              points[1].relativeAccuracy);
+}
+
+TEST(Trainer, FindTolerableFailureRate)
+{
+    RetentionAwareTrainer trainer(MiniModelKind::MiniAlex,
+                                  tinyDataset(), tinyTrainer());
+    trainer.pretrain();
+    const double rate =
+        trainer.findTolerableFailureRate({1e-5, 1e-1}, 0.97);
+    // 1e-5 must be tolerable; 1e-1 must not certify.
+    EXPECT_DOUBLE_EQ(rate, 1e-5);
+}
+
+TEST(Trainer, AllMiniModelsTrain)
+{
+    for (MiniModelKind kind : allMiniModels()) {
+        RetentionAwareTrainer trainer(kind, tinyDataset(),
+                                      tinyTrainer());
+        EXPECT_GT(trainer.pretrain(), 0.7) << miniModelName(kind);
+    }
+}
+
+TEST(Trainer, MiniModelNamesMatchBenchmarks)
+{
+    EXPECT_STREQ(miniModelName(MiniModelKind::MiniAlex), "AlexNet");
+    EXPECT_STREQ(miniModelName(MiniModelKind::MiniVgg), "VGG");
+    EXPECT_STREQ(miniModelName(MiniModelKind::MiniInception),
+                 "GoogLeNet");
+    EXPECT_STREQ(miniModelName(MiniModelKind::MiniRes), "ResNet");
+}
+
+} // namespace
+} // namespace rana

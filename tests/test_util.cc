@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the util library: RNG, stats, units, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace rana {
+namespace {
+
+TEST(Random, DeterministicPerSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, UniformIntInRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(std::uint64_t{7});
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, UniformIntSignedBoundsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(std::int64_t{-3}, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Random, BernoulliRate)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+    EXPECT_DOUBLE_EQ(minOf(v), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 4.0);
+}
+
+TEST(Stats, Geomean)
+{
+    const std::vector<double> v = {1.0, 4.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+}
+
+TEST(Stats, RunningStat)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    stat.add(2.0);
+    stat.add(6.0);
+    stat.add(4.0);
+    EXPECT_EQ(stat.count(), 3u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 6.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 12.0);
+}
+
+TEST(Units, WordConversions)
+{
+    EXPECT_EQ(wordsToBytes(4), 8u);
+    EXPECT_EQ(bytesToWords(8), 4u);
+    EXPECT_EQ(bytesToWords(9), 5u);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(32 * kib), "32.0KB");
+    EXPECT_EQ(formatBytes(mib + mib / 2), "1.500MB");
+}
+
+TEST(Units, FormatTime)
+{
+    EXPECT_EQ(formatTime(45e-6), "45.0us");
+    EXPECT_EQ(formatTime(1.5e-3), "1.500ms");
+    EXPECT_EQ(formatTime(2.0), "2.000s");
+}
+
+TEST(Units, FormatEnergy)
+{
+    EXPECT_EQ(formatEnergy(1.3e-12), "1.30pJ");
+    EXPECT_EQ(formatEnergy(3.2e-3), "3.200mJ");
+}
+
+TEST(Units, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.662), "66.2%");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table("Demo");
+    table.header({"a", "long-col"});
+    table.row({"xx", "1"});
+    table.row({"y", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("long-col"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    TextTable table;
+    table.header({"a", "b", "c"});
+    table.row({"1"});
+    EXPECT_NO_THROW(table.render());
+}
+
+} // namespace
+} // namespace rana

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * rana_compile — command-line front end for the RANA compilation
+ * phase.
+ *
+ * Compiles a benchmark network for a Table-IV design point and
+ * writes (or verifies) the layerwise configuration artifact:
+ *
+ *   rana_compile <network> [options]
+ *
+ *   <network>            AlexNet | VGG | GoogLeNet | ResNet
+ *   --design NAME        S+ID | eD+ID | eD+OD | RANA0 | RANAE5 |
+ *                        RANA*  (default RANA*)
+ *   --failure-rate R     override the tolerable failure rate
+ *   --output FILE        write the config (default stdout)
+ *   --verify FILE        load FILE, rebuild the schedule and execute
+ *                        it on the trace simulator
+ *   --summary            print the energy summary after compiling
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/design_point.hh"
+#include "core/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "sched/config_io.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace rana;
+
+DesignKind
+parseDesign(const std::string &name)
+{
+    if (name == "S+ID")
+        return DesignKind::SramId;
+    if (name == "eD+ID")
+        return DesignKind::EdramId;
+    if (name == "eD+OD")
+        return DesignKind::EdramOd;
+    if (name == "RANA0")
+        return DesignKind::Rana0;
+    if (name == "RANAE5")
+        return DesignKind::RanaE5;
+    if (name == "RANA*")
+        return DesignKind::RanaStarE5;
+    fatal("unknown design '", name,
+          "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 or RANA*)");
+}
+
+void
+printSummary(const DesignPoint &design, const NetworkModel &network,
+             const NetworkSchedule &schedule)
+{
+    EnergyBreakdown energy;
+    for (const auto &layer : schedule.layers)
+        energy += layer.energy;
+    std::cerr << "compiled " << network.name() << " for "
+              << design.name << " ("
+              << design.config.buffer.describe() << ")\n"
+              << "  refresh interval: "
+              << formatTime(schedule.refreshIntervalSeconds) << "\n"
+              << "  pattern mix OD/WD/ID: "
+              << schedule.patternCount(ComputationPattern::OD) << "/"
+              << schedule.patternCount(ComputationPattern::WD) << "/"
+              << schedule.patternCount(ComputationPattern::ID) << "\n"
+              << "  energy: " << energy.describe() << "\n"
+              << "  runtime: " << formatTime(schedule.totalSeconds())
+              << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: rana_compile <network> [--design NAME] "
+                     "[--failure-rate R] [--output FILE] "
+                     "[--verify FILE] [--summary]\n";
+        return 1;
+    }
+
+    const std::string network_name = argv[1];
+    std::string design_name = "RANA*";
+    std::string output_path;
+    std::string verify_path;
+    double failure_rate = -1.0;
+    bool summary = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--design") {
+            design_name = next();
+        } else if (arg == "--failure-rate") {
+            failure_rate = std::stod(next());
+        } else if (arg == "--output") {
+            output_path = next();
+        } else if (arg == "--verify") {
+            verify_path = next();
+        } else if (arg == "--summary") {
+            summary = true;
+        } else {
+            fatal("unknown option ", arg);
+        }
+    }
+
+    const NetworkModel network = makeBenchmark(network_name);
+    const RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+    DesignPoint design =
+        makeDesignPoint(parseDesign(design_name), retention);
+    if (failure_rate >= 0.0) {
+        design.failureRate = failure_rate;
+        design.options.refreshIntervalSeconds =
+            failure_rate > 0.0
+                ? retention.retentionTimeFor(failure_rate)
+                : retention.worstCaseRetention();
+    }
+
+    if (!verify_path.empty()) {
+        std::ifstream in(verify_path);
+        if (!in)
+            fatal("cannot open ", verify_path);
+        const NetworkConfigRecord record = readConfig(in);
+        const NetworkSchedule schedule =
+            rebuildSchedule(design.config, network, record);
+        const ExecutionResult executed =
+            executeSchedule(design, network, schedule);
+        std::cerr << "verified " << verify_path << ": "
+                  << schedule.layers.size() << " layers, "
+                  << executed.violations << " retention violations, "
+                  << "energy " << executed.energy.describe() << "\n";
+        return executed.violations == 0 ? 0 : 2;
+    }
+
+    const DesignResult result = runDesign(design, network);
+    const NetworkConfigRecord record =
+        toConfigRecord(result.schedule);
+    if (output_path.empty()) {
+        writeConfig(std::cout, record);
+    } else {
+        std::ofstream out(output_path);
+        if (!out)
+            fatal("cannot open ", output_path, " for writing");
+        writeConfig(out, record);
+        std::cerr << "wrote " << output_path << "\n";
+    }
+    if (summary)
+        printSummary(design, network, result.schedule);
+    return 0;
+}
