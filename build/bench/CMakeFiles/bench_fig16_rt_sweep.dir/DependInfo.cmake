@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_rt_sweep.cc" "bench/CMakeFiles/bench_fig16_rt_sweep.dir/bench_fig16_rt_sweep.cc.o" "gcc" "bench/CMakeFiles/bench_fig16_rt_sweep.dir/bench_fig16_rt_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rana_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/rana_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rana_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rana_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rana_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/rana_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rana_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

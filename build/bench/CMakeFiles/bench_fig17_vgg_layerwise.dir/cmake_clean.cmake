@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_vgg_layerwise.dir/bench_fig17_vgg_layerwise.cc.o"
+  "CMakeFiles/bench_fig17_vgg_layerwise.dir/bench_fig17_vgg_layerwise.cc.o.d"
+  "bench_fig17_vgg_layerwise"
+  "bench_fig17_vgg_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_vgg_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

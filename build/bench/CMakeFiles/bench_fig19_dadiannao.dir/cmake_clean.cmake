@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_dadiannao.dir/bench_fig19_dadiannao.cc.o"
+  "CMakeFiles/bench_fig19_dadiannao.dir/bench_fig19_dadiannao.cc.o.d"
+  "bench_fig19_dadiannao"
+  "bench_fig19_dadiannao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_dadiannao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

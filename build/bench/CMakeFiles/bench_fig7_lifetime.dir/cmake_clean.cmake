@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lifetime.dir/bench_fig7_lifetime.cc.o"
+  "CMakeFiles/bench_fig7_lifetime.dir/bench_fig7_lifetime.cc.o.d"
+  "bench_fig7_lifetime"
+  "bench_fig7_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interlayer_reuse.dir/bench_interlayer_reuse.cc.o"
+  "CMakeFiles/bench_interlayer_reuse.dir/bench_interlayer_reuse.cc.o.d"
+  "bench_interlayer_reuse"
+  "bench_interlayer_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interlayer_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resolution_sweep.dir/bench_resolution_sweep.cc.o"
+  "CMakeFiles/bench_resolution_sweep.dir/bench_resolution_sweep.cc.o.d"
+  "bench_resolution_sweep"
+  "bench_resolution_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resolution_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

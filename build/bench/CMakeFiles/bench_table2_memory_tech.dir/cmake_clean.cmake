@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_memory_tech.dir/bench_table2_memory_tech.cc.o"
+  "CMakeFiles/bench_table2_memory_tech.dir/bench_table2_memory_tech.cc.o.d"
+  "bench_table2_memory_tech"
+  "bench_table2_memory_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_memory_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

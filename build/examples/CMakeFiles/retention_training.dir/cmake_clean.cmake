@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_training.dir/retention_training.cpp.o"
+  "CMakeFiles/retention_training.dir/retention_training.cpp.o.d"
+  "retention_training"
+  "retention_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for retention_training.
+# This may be replaced when dependencies are built.

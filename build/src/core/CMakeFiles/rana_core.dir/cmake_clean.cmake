@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_core.dir/design_point.cc.o"
+  "CMakeFiles/rana_core.dir/design_point.cc.o.d"
+  "CMakeFiles/rana_core.dir/experiments.cc.o"
+  "CMakeFiles/rana_core.dir/experiments.cc.o.d"
+  "CMakeFiles/rana_core.dir/rana_pipeline.cc.o"
+  "CMakeFiles/rana_core.dir/rana_pipeline.cc.o.d"
+  "CMakeFiles/rana_core.dir/report.cc.o"
+  "CMakeFiles/rana_core.dir/report.cc.o.d"
+  "librana_core.a"
+  "librana_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_dram.dir/ddr3_model.cc.o"
+  "CMakeFiles/rana_dram.dir/ddr3_model.cc.o.d"
+  "librana_dram.a"
+  "librana_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

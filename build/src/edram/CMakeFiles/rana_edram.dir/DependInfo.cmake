@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edram/buffer_system.cc" "src/edram/CMakeFiles/rana_edram.dir/buffer_system.cc.o" "gcc" "src/edram/CMakeFiles/rana_edram.dir/buffer_system.cc.o.d"
+  "/root/repo/src/edram/clock_divider.cc" "src/edram/CMakeFiles/rana_edram.dir/clock_divider.cc.o" "gcc" "src/edram/CMakeFiles/rana_edram.dir/clock_divider.cc.o.d"
+  "/root/repo/src/edram/refresh_controller.cc" "src/edram/CMakeFiles/rana_edram.dir/refresh_controller.cc.o" "gcc" "src/edram/CMakeFiles/rana_edram.dir/refresh_controller.cc.o.d"
+  "/root/repo/src/edram/retention_binning.cc" "src/edram/CMakeFiles/rana_edram.dir/retention_binning.cc.o" "gcc" "src/edram/CMakeFiles/rana_edram.dir/retention_binning.cc.o.d"
+  "/root/repo/src/edram/retention_distribution.cc" "src/edram/CMakeFiles/rana_edram.dir/retention_distribution.cc.o" "gcc" "src/edram/CMakeFiles/rana_edram.dir/retention_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rana_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

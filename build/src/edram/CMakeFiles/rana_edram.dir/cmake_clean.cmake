@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_edram.dir/buffer_system.cc.o"
+  "CMakeFiles/rana_edram.dir/buffer_system.cc.o.d"
+  "CMakeFiles/rana_edram.dir/clock_divider.cc.o"
+  "CMakeFiles/rana_edram.dir/clock_divider.cc.o.d"
+  "CMakeFiles/rana_edram.dir/refresh_controller.cc.o"
+  "CMakeFiles/rana_edram.dir/refresh_controller.cc.o.d"
+  "CMakeFiles/rana_edram.dir/retention_binning.cc.o"
+  "CMakeFiles/rana_edram.dir/retention_binning.cc.o.d"
+  "CMakeFiles/rana_edram.dir/retention_distribution.cc.o"
+  "CMakeFiles/rana_edram.dir/retention_distribution.cc.o.d"
+  "librana_edram.a"
+  "librana_edram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_edram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

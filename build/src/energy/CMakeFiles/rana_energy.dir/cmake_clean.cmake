@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_energy.dir/energy_table.cc.o"
+  "CMakeFiles/rana_energy.dir/energy_table.cc.o.d"
+  "CMakeFiles/rana_energy.dir/technology.cc.o"
+  "CMakeFiles/rana_energy.dir/technology.cc.o.d"
+  "librana_energy.a"
+  "librana_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv_layer_spec.cc" "src/nn/CMakeFiles/rana_nn.dir/conv_layer_spec.cc.o" "gcc" "src/nn/CMakeFiles/rana_nn.dir/conv_layer_spec.cc.o.d"
+  "/root/repo/src/nn/layer_transforms.cc" "src/nn/CMakeFiles/rana_nn.dir/layer_transforms.cc.o" "gcc" "src/nn/CMakeFiles/rana_nn.dir/layer_transforms.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/rana_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/rana_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/network_model.cc" "src/nn/CMakeFiles/rana_nn.dir/network_model.cc.o" "gcc" "src/nn/CMakeFiles/rana_nn.dir/network_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_nn.dir/conv_layer_spec.cc.o"
+  "CMakeFiles/rana_nn.dir/conv_layer_spec.cc.o.d"
+  "CMakeFiles/rana_nn.dir/layer_transforms.cc.o"
+  "CMakeFiles/rana_nn.dir/layer_transforms.cc.o.d"
+  "CMakeFiles/rana_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/rana_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/rana_nn.dir/network_model.cc.o"
+  "CMakeFiles/rana_nn.dir/network_model.cc.o.d"
+  "librana_nn.a"
+  "librana_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librana_nn.a"
+)

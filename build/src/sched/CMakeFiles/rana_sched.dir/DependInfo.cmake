@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/config_io.cc" "src/sched/CMakeFiles/rana_sched.dir/config_io.cc.o" "gcc" "src/sched/CMakeFiles/rana_sched.dir/config_io.cc.o.d"
+  "/root/repo/src/sched/interlayer_reuse.cc" "src/sched/CMakeFiles/rana_sched.dir/interlayer_reuse.cc.o" "gcc" "src/sched/CMakeFiles/rana_sched.dir/interlayer_reuse.cc.o.d"
+  "/root/repo/src/sched/layer_scheduler.cc" "src/sched/CMakeFiles/rana_sched.dir/layer_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/rana_sched.dir/layer_scheduler.cc.o.d"
+  "/root/repo/src/sched/schedule_types.cc" "src/sched/CMakeFiles/rana_sched.dir/schedule_types.cc.o" "gcc" "src/sched/CMakeFiles/rana_sched.dir/schedule_types.cc.o.d"
+  "/root/repo/src/sched/tiling_search.cc" "src/sched/CMakeFiles/rana_sched.dir/tiling_search.cc.o" "gcc" "src/sched/CMakeFiles/rana_sched.dir/tiling_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rana_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/rana_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rana_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

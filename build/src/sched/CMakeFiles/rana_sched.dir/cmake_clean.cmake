@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_sched.dir/config_io.cc.o"
+  "CMakeFiles/rana_sched.dir/config_io.cc.o.d"
+  "CMakeFiles/rana_sched.dir/interlayer_reuse.cc.o"
+  "CMakeFiles/rana_sched.dir/interlayer_reuse.cc.o.d"
+  "CMakeFiles/rana_sched.dir/layer_scheduler.cc.o"
+  "CMakeFiles/rana_sched.dir/layer_scheduler.cc.o.d"
+  "CMakeFiles/rana_sched.dir/schedule_types.cc.o"
+  "CMakeFiles/rana_sched.dir/schedule_types.cc.o.d"
+  "CMakeFiles/rana_sched.dir/tiling_search.cc.o"
+  "CMakeFiles/rana_sched.dir/tiling_search.cc.o.d"
+  "librana_sched.a"
+  "librana_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator_config.cc" "src/sim/CMakeFiles/rana_sim.dir/accelerator_config.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/accelerator_config.cc.o.d"
+  "/root/repo/src/sim/loopnest_simulator.cc" "src/sim/CMakeFiles/rana_sim.dir/loopnest_simulator.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/loopnest_simulator.cc.o.d"
+  "/root/repo/src/sim/pattern.cc" "src/sim/CMakeFiles/rana_sim.dir/pattern.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/pattern.cc.o.d"
+  "/root/repo/src/sim/pattern_analytics.cc" "src/sim/CMakeFiles/rana_sim.dir/pattern_analytics.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/pattern_analytics.cc.o.d"
+  "/root/repo/src/sim/pe_array_model.cc" "src/sim/CMakeFiles/rana_sim.dir/pe_array_model.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/pe_array_model.cc.o.d"
+  "/root/repo/src/sim/performance_model.cc" "src/sim/CMakeFiles/rana_sim.dir/performance_model.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/performance_model.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/rana_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/rana_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rana_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rana_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/rana_edram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

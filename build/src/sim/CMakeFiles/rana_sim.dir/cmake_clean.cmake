@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_sim.dir/accelerator_config.cc.o"
+  "CMakeFiles/rana_sim.dir/accelerator_config.cc.o.d"
+  "CMakeFiles/rana_sim.dir/loopnest_simulator.cc.o"
+  "CMakeFiles/rana_sim.dir/loopnest_simulator.cc.o.d"
+  "CMakeFiles/rana_sim.dir/pattern.cc.o"
+  "CMakeFiles/rana_sim.dir/pattern.cc.o.d"
+  "CMakeFiles/rana_sim.dir/pattern_analytics.cc.o"
+  "CMakeFiles/rana_sim.dir/pattern_analytics.cc.o.d"
+  "CMakeFiles/rana_sim.dir/pe_array_model.cc.o"
+  "CMakeFiles/rana_sim.dir/pe_array_model.cc.o.d"
+  "CMakeFiles/rana_sim.dir/performance_model.cc.o"
+  "CMakeFiles/rana_sim.dir/performance_model.cc.o.d"
+  "CMakeFiles/rana_sim.dir/trace_export.cc.o"
+  "CMakeFiles/rana_sim.dir/trace_export.cc.o.d"
+  "librana_sim.a"
+  "librana_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

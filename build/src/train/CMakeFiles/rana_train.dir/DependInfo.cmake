@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/dataset.cc" "src/train/CMakeFiles/rana_train.dir/dataset.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/dataset.cc.o.d"
+  "/root/repo/src/train/error_injection.cc" "src/train/CMakeFiles/rana_train.dir/error_injection.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/error_injection.cc.o.d"
+  "/root/repo/src/train/fixed_point.cc" "src/train/CMakeFiles/rana_train.dir/fixed_point.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/fixed_point.cc.o.d"
+  "/root/repo/src/train/layers.cc" "src/train/CMakeFiles/rana_train.dir/layers.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/layers.cc.o.d"
+  "/root/repo/src/train/loss.cc" "src/train/CMakeFiles/rana_train.dir/loss.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/loss.cc.o.d"
+  "/root/repo/src/train/mini_models.cc" "src/train/CMakeFiles/rana_train.dir/mini_models.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/mini_models.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/train/CMakeFiles/rana_train.dir/optimizer.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/optimizer.cc.o.d"
+  "/root/repo/src/train/tensor.cc" "src/train/CMakeFiles/rana_train.dir/tensor.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/tensor.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/rana_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/rana_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

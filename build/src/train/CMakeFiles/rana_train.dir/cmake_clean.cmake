@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_train.dir/dataset.cc.o"
+  "CMakeFiles/rana_train.dir/dataset.cc.o.d"
+  "CMakeFiles/rana_train.dir/error_injection.cc.o"
+  "CMakeFiles/rana_train.dir/error_injection.cc.o.d"
+  "CMakeFiles/rana_train.dir/fixed_point.cc.o"
+  "CMakeFiles/rana_train.dir/fixed_point.cc.o.d"
+  "CMakeFiles/rana_train.dir/layers.cc.o"
+  "CMakeFiles/rana_train.dir/layers.cc.o.d"
+  "CMakeFiles/rana_train.dir/loss.cc.o"
+  "CMakeFiles/rana_train.dir/loss.cc.o.d"
+  "CMakeFiles/rana_train.dir/mini_models.cc.o"
+  "CMakeFiles/rana_train.dir/mini_models.cc.o.d"
+  "CMakeFiles/rana_train.dir/optimizer.cc.o"
+  "CMakeFiles/rana_train.dir/optimizer.cc.o.d"
+  "CMakeFiles/rana_train.dir/tensor.cc.o"
+  "CMakeFiles/rana_train.dir/tensor.cc.o.d"
+  "CMakeFiles/rana_train.dir/trainer.cc.o"
+  "CMakeFiles/rana_train.dir/trainer.cc.o.d"
+  "librana_train.a"
+  "librana_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/rana_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/rana_util.dir/logging.cc.o"
+  "CMakeFiles/rana_util.dir/logging.cc.o.d"
+  "CMakeFiles/rana_util.dir/random.cc.o"
+  "CMakeFiles/rana_util.dir/random.cc.o.d"
+  "CMakeFiles/rana_util.dir/stats.cc.o"
+  "CMakeFiles/rana_util.dir/stats.cc.o.d"
+  "CMakeFiles/rana_util.dir/table.cc.o"
+  "CMakeFiles/rana_util.dir/table.cc.o.d"
+  "CMakeFiles/rana_util.dir/units.cc.o"
+  "CMakeFiles/rana_util.dir/units.cc.o.d"
+  "librana_util.a"
+  "librana_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytics.cc" "tests/CMakeFiles/rana_tests.dir/test_analytics.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_analytics.cc.o.d"
+  "/root/repo/tests/test_ascii_chart.cc" "tests/CMakeFiles/rana_tests.dir/test_ascii_chart.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_ascii_chart.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/rana_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/rana_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_edram.cc" "tests/CMakeFiles/rana_tests.dir/test_edram.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_edram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/rana_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/rana_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_interlayer_reuse.cc" "tests/CMakeFiles/rana_tests.dir/test_interlayer_reuse.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_interlayer_reuse.cc.o.d"
+  "/root/repo/tests/test_nn.cc" "tests/CMakeFiles/rana_tests.dir/test_nn.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_nn.cc.o.d"
+  "/root/repo/tests/test_pattern.cc" "tests/CMakeFiles/rana_tests.dir/test_pattern.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_pattern.cc.o.d"
+  "/root/repo/tests/test_pipeline_properties.cc" "tests/CMakeFiles/rana_tests.dir/test_pipeline_properties.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_pipeline_properties.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/rana_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_retention.cc" "tests/CMakeFiles/rana_tests.dir/test_retention.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_retention.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/rana_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sim_equivalence.cc" "tests/CMakeFiles/rana_tests.dir/test_sim_equivalence.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_sim_equivalence.cc.o.d"
+  "/root/repo/tests/test_trace_export.cc" "tests/CMakeFiles/rana_tests.dir/test_trace_export.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_trace_export.cc.o.d"
+  "/root/repo/tests/test_train_core.cc" "tests/CMakeFiles/rana_tests.dir/test_train_core.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_train_core.cc.o.d"
+  "/root/repo/tests/test_train_layers.cc" "tests/CMakeFiles/rana_tests.dir/test_train_layers.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_train_layers.cc.o.d"
+  "/root/repo/tests/test_trainer.cc" "tests/CMakeFiles/rana_tests.dir/test_trainer.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_trainer.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/rana_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/rana_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/rana_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rana_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/rana_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rana_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rana_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/rana_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rana_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rana_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

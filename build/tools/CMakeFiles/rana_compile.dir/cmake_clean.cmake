@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rana_compile.dir/rana_compile.cc.o"
+  "CMakeFiles/rana_compile.dir/rana_compile.cc.o.d"
+  "rana_compile"
+  "rana_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rana_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
