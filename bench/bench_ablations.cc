@@ -154,7 +154,7 @@ promotionAblation()
         // Rebuild the baseline schedule without exploring promotion
         // by re-evaluating the same tiling choices unpromoted.
         DesignPoint design = designs[0];
-        const NetworkSchedule schedule = scheduleNetwork(
+        const NetworkSchedule schedule = scheduleNetworkOrDie(
             design.config, net, design.options);
         OperationCounts counts;
         for (std::size_t i = 0; i < net.size(); ++i) {
@@ -187,7 +187,7 @@ performanceAblation()
     table.header({"Design", "Compute", "Memory", "Refresh busy",
                   "Bounded", "Slowdown"});
     for (const DesignPoint &design : tableIvDesigns(retention())) {
-        const NetworkSchedule schedule = scheduleNetwork(
+        const NetworkSchedule schedule = scheduleNetworkOrDie(
             design.config, net, design.options);
         PerformanceReport total;
         for (std::size_t i = 0; i < net.size(); ++i) {

@@ -24,9 +24,9 @@ main()
     const DesignPoint rana_design =
         makeDesignPoint(DesignKind::Rana0, retention());
     const NetworkSchedule od =
-        scheduleNetwork(od_design.config, net, od_design.options);
+        scheduleNetworkOrDie(od_design.config, net, od_design.options);
     const NetworkSchedule rana =
-        scheduleNetwork(rana_design.config, net, rana_design.options);
+        scheduleNetworkOrDie(rana_design.config, net, rana_design.options);
 
     TextTable table;
     table.header({"Layer", "eD+OD", "RANA (0)", "RANA pattern",

@@ -26,7 +26,7 @@ main()
         makeDesignPoint(DesignKind::EdramId, retention());
     const NetworkModel net = makeResNet50();
     const NetworkSchedule schedule =
-        scheduleNetwork(design.config, net, design.options);
+        scheduleNetworkOrDie(design.config, net, design.options);
 
     const double rt_typical = 45e-6;
     const double rt_tolerable = retention().retentionTimeFor(1e-5);

@@ -30,7 +30,7 @@ main()
     for (const NetworkModel &net : nets) {
         const DesignPoint design =
             makeDesignPoint(DesignKind::RanaStarE5, retention());
-        const NetworkSchedule schedule = scheduleNetwork(
+        const NetworkSchedule schedule = scheduleNetworkOrDie(
             design.config, net, design.options);
         const InterLayerReuseResult result =
             applyInterLayerReuse(design.config, net, schedule);
@@ -55,7 +55,7 @@ main()
         makeDesignPoint(DesignKind::RanaStarE5, retention());
     const NetworkModel vgg = makeVgg16();
     const NetworkSchedule schedule =
-        scheduleNetwork(design.config, vgg, design.options);
+        scheduleNetworkOrDie(design.config, vgg, design.options);
     const InterLayerReuseResult result =
         applyInterLayerReuse(design.config, vgg, schedule);
     TextTable detail;

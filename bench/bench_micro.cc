@@ -40,7 +40,7 @@ BM_ScheduleLayer(benchmark::State &state)
     options.policy = RefreshPolicy::PerBank;
     options.refreshIntervalSeconds = 734e-6;
     for (auto _ : state)
-        benchmark::DoNotOptimize(scheduleLayer(config, layer, options));
+        benchmark::DoNotOptimize(scheduleLayerOrDie(config, layer, options));
 }
 BENCHMARK(BM_ScheduleLayer);
 
@@ -54,7 +54,7 @@ BM_ScheduleResNet(benchmark::State &state)
     options.refreshIntervalSeconds = 734e-6;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            scheduleNetwork(config, net, options));
+            scheduleNetworkOrDie(config, net, options));
     }
 }
 BENCHMARK(BM_ScheduleResNet)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Scheduler scaling harness: wall-clock time of the parallel
+ * scheduling engine vs. worker lanes, plus the effect of the
+ * evaluation memoization cache.
+ *
+ * Schedules VGG-16 (the heaviest design-space search of the four
+ * benchmark networks) on the eDRAM test accelerator with
+ * jobs = 1, 2, 4, ..., hardware width, asserting along the way that
+ * every parallel schedule is byte-identical to the serial one. The
+ * speedup column is the headline number: on an N-core host the
+ * search should scale to roughly N until candidate evaluation is no
+ * longer the bottleneck.
+ *
+ * RANA_SCHED_REPEAT overrides the per-point repetition count
+ * (default 3, best-of is reported).
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rana.hh"
+
+namespace {
+
+using namespace rana;
+
+/** Best-of-N wall-clock seconds of one scheduleNetwork call. */
+double
+timeSchedule(const AcceleratorConfig &config, const NetworkModel &net,
+             const SchedulerOptions &options, int repeat)
+{
+    double best = 1e300;
+    for (int i = 0; i < repeat; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const NetworkSchedule schedule =
+            scheduleNetworkOrDie(config, net, options);
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(
+            best,
+            std::chrono::duration<double>(stop - start).count());
+        if (schedule.layers.size() != net.size())
+            fatal("scheduler dropped layers");
+    }
+    return best;
+}
+
+std::string
+seconds(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs", value);
+    return buf;
+}
+
+std::string
+times(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", value);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rana::bench;
+
+    banner("Scheduler scaling - parallel engine vs. worker lanes");
+
+    const AcceleratorConfig config = testAcceleratorEdram();
+    const NetworkModel net = makeVgg16();
+    int repeat = 3;
+    if (const char *env = std::getenv("RANA_SCHED_REPEAT"))
+        repeat = std::max(1, std::atoi(env));
+
+    std::vector<unsigned> lanes = {1, 2, 4};
+    const unsigned hw = hardwareJobs();
+    if (std::find(lanes.begin(), lanes.end(), hw) == lanes.end() &&
+        hw > 4)
+        lanes.push_back(hw);
+
+    const SchedulerOptions serial_options =
+        SchedulerOptionsBuilder().jobs(1).memoize(false).build();
+    const std::string serial_bytes = writeConfigString(toConfigRecord(
+        scheduleNetworkOrDie(config, net, serial_options)));
+
+    std::cout << "host: " << hw << " hardware thread(s); "
+              << net.name() << ", " << net.size()
+              << " layers; best of " << repeat << "\n\n";
+
+    TextTable table("scheduleNetwork wall-clock vs. jobs");
+    table.header({"jobs", "wall-clock", "speedup", "identical"});
+    double serial_seconds = 0.0;
+    for (unsigned jobs : lanes) {
+        const SchedulerOptions options = SchedulerOptionsBuilder()
+                                             .jobs(jobs)
+                                             .memoize(false)
+                                             .build();
+        const double best = timeSchedule(config, net, options, repeat);
+        if (jobs == 1)
+            serial_seconds = best;
+        const std::string bytes = writeConfigString(toConfigRecord(
+            scheduleNetworkOrDie(config, net, options)));
+        table.row({std::to_string(jobs), seconds(best),
+                   times(serial_seconds / best),
+                   bytes == serial_bytes ? "yes" : "NO"});
+        if (bytes != serial_bytes)
+            fatal("jobs=", jobs,
+                  " schedule differs from the serial schedule");
+    }
+    table.print(std::cout);
+
+    // The memoization cache: a second compile of the same design
+    // point replays the per-layer search results.
+    EvalCache::global().clear();
+    const SchedulerOptions cached_options =
+        SchedulerOptionsBuilder().jobs(hw).memoize(true).build();
+    const double cold =
+        timeSchedule(config, net, cached_options, 1);
+    const double warm =
+        timeSchedule(config, net, cached_options, 1);
+    const EvalCache::Stats stats = EvalCache::global().stats();
+
+    std::cout << "\nEvaluation cache (jobs=" << hw << "):\n"
+              << "  cold compile: " << seconds(cold) << "\n"
+              << "  warm compile: " << seconds(warm) << " ("
+              << times(cold / std::max(warm, 1e-9)) << ")\n"
+              << "  " << stats.hits << " hits / " << stats.misses
+              << " misses, " << stats.entries << " entries\n";
+    return 0;
+}

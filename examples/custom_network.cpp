@@ -8,10 +8,7 @@
 
 #include <iostream>
 
-#include "core/rana_pipeline.hh"
-#include "nn/network_model.hh"
-#include "util/table.hh"
-#include "util/units.hh"
+#include "rana.hh"
 
 int
 main()

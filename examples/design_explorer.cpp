@@ -10,11 +10,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/design_point.hh"
-#include "core/experiments.hh"
-#include "nn/model_zoo.hh"
-#include "util/table.hh"
-#include "util/units.hh"
+#include "rana.hh"
 
 int
 main(int argc, char **argv)

@@ -13,10 +13,7 @@
 
 #include <iostream>
 
-#include "core/rana_pipeline.hh"
-#include "nn/model_zoo.hh"
-#include "util/table.hh"
-#include "util/units.hh"
+#include "rana.hh"
 
 int
 main()

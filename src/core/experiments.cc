@@ -10,18 +10,27 @@
 
 namespace rana {
 
-DesignResult
-runDesign(const DesignPoint &design, const NetworkModel &network)
+Result<DesignResult>
+runDesignChecked(const DesignPoint &design, const NetworkModel &network)
 {
     DesignResult result;
     result.designName = design.name;
     result.networkName = network.name();
-    result.schedule =
+    Result<NetworkSchedule> schedule =
         scheduleNetwork(design.config, network, design.options);
+    if (!schedule.ok())
+        return schedule.error();
+    result.schedule = std::move(schedule).value();
     result.counts = result.schedule.totalCounts();
     result.energy = result.schedule.totalEnergy();
     result.seconds = result.schedule.totalSeconds();
     return result;
+}
+
+DesignResult
+runDesign(const DesignPoint &design, const NetworkModel &network)
+{
+    return runDesignChecked(design, network).valueOrDie();
 }
 
 std::vector<DesignResult>

@@ -31,7 +31,14 @@ struct DesignResult
     double seconds = 0.0;
 };
 
-/** Schedule and evaluate a design on a network. */
+/**
+ * Schedule and evaluate a design on a network; fails with the
+ * scheduler's error when the design cannot run the network.
+ */
+Result<DesignResult> runDesignChecked(const DesignPoint &design,
+                                      const NetworkModel &network);
+
+/** runDesignChecked, but fatal() on failure. */
 DesignResult runDesign(const DesignPoint &design,
                        const NetworkModel &network);
 

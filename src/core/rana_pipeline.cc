@@ -39,8 +39,8 @@ runRanaPipeline(const NetworkModel &network,
     result.design.options.refreshIntervalSeconds =
         result.tolerableRetentionSeconds;
 
-    result.schedule = scheduleNetwork(config, network,
-                                      result.design.options);
+    result.schedule = scheduleNetworkOrDie(config, network,
+                                           result.design.options);
     result.scheduledEnergy = result.schedule.totalEnergy();
 
     if (inputs.execute) {

@@ -177,15 +177,15 @@ readConfigString(const std::string &text)
     return readConfig(iss);
 }
 
-NetworkSchedule
-rebuildSchedule(const AcceleratorConfig &config,
-                const NetworkModel &network,
-                const NetworkConfigRecord &record)
+Result<NetworkSchedule>
+rebuildScheduleChecked(const AcceleratorConfig &config,
+                       const NetworkModel &network,
+                       const NetworkConfigRecord &record)
 {
     if (record.layers.size() != network.size()) {
-        fatal("config has ", record.layers.size(),
-              " layers but network ", network.name(), " has ",
-              network.size());
+        return makeError(ErrorCode::Mismatch, "config has ",
+                         record.layers.size(), " layers but network ",
+                         network.name(), " has ", network.size());
     }
     SchedulerOptions options;
     options.policy = record.policy;
@@ -199,41 +199,28 @@ rebuildSchedule(const AcceleratorConfig &config,
         const LayerConfigRecord &entry = record.layers[i];
         const ConvLayerSpec &layer = network.layer(i);
         if (entry.layerName != layer.name) {
-            fatal("config layer '", entry.layerName,
-                  "' does not match network layer '", layer.name,
-                  "'");
+            return makeError(ErrorCode::Mismatch, "config layer '",
+                             entry.layerName,
+                             "' does not match network layer '",
+                             layer.name, "'");
         }
-        const LayerAnalysis analysis =
-            analyzeLayer(config, layer, entry.pattern, entry.tiling,
-                         entry.promoteInputs);
-        if (!analysis.feasible) {
-            fatal("config layer '", entry.layerName,
-                  "' is infeasible on ", config.name, ": ",
-                  analysis.infeasibleReason);
-        }
-        LayerSchedule rebuilt = evaluateLayerChoice(
-            config, layer, entry.pattern, entry.tiling, options);
-        // evaluateLayerChoice does not know about promotion; rebuild
-        // the schedule record from the promoted analysis when the
-        // config requested it.
-        if (entry.promoteInputs) {
-            rebuilt.analysis = analysis;
-            rebuilt.counts = layerOperationCounts(
-                config, layer, analysis, options.policy,
-                options.refreshIntervalSeconds);
-            rebuilt.energy = computeEnergy(
-                rebuilt.counts,
-                energyTable65nm(config.buffer.technology));
-            rebuilt.refreshFlags = refreshFlagsForLayer(
-                refreshDemand(config, analysis),
-                options.refreshIntervalSeconds);
-            rebuilt.gateOn = rebuilt.refreshFlags[0] ||
-                             rebuilt.refreshFlags[1] ||
-                             rebuilt.refreshFlags[2];
-        }
-        schedule.layers.push_back(std::move(rebuilt));
+        Result<LayerSchedule> rebuilt = evaluateLayerChoice(
+            config, layer, entry.pattern, entry.tiling, options,
+            entry.promoteInputs);
+        if (!rebuilt.ok())
+            return rebuilt.error();
+        schedule.layers.push_back(std::move(rebuilt).value());
     }
     return schedule;
+}
+
+NetworkSchedule
+rebuildSchedule(const AcceleratorConfig &config,
+                const NetworkModel &network,
+                const NetworkConfigRecord &record)
+{
+    return rebuildScheduleChecked(config, network, record)
+        .valueOrDie();
 }
 
 } // namespace rana

@@ -27,6 +27,7 @@
 #include "nn/network_model.hh"
 #include "sched/schedule_types.hh"
 #include "sim/accelerator_config.hh"
+#include "util/result.hh"
 
 namespace rana {
 
@@ -77,9 +78,16 @@ NetworkConfigRecord readConfigString(const std::string &text);
  * Rebuild a full NetworkSchedule from a record by re-analyzing each
  * layer of `network` on `config` (the analysis is deterministic
  * given pattern/tiling/promotion, so the rebuilt schedule matches
- * the original). Calls fatal() when the record does not match the
- * network.
+ * the original). Fails with ErrorCode::Mismatch when the record does
+ * not describe the network, ErrorCode::Infeasible when a recorded
+ * choice does not fit the hardware.
  */
+Result<NetworkSchedule>
+rebuildScheduleChecked(const AcceleratorConfig &config,
+                       const NetworkModel &network,
+                       const NetworkConfigRecord &record);
+
+/** rebuildScheduleChecked, but fatal() on failure. */
 NetworkSchedule rebuildSchedule(const AcceleratorConfig &config,
                                 const NetworkModel &network,
                                 const NetworkConfigRecord &record);

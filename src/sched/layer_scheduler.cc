@@ -5,12 +5,39 @@
 
 #include "sched/layer_scheduler.hh"
 
+#include <optional>
+#include <vector>
+
+#include "sched/eval_cache.hh"
 #include "sched/tiling_search.hh"
-#include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rana {
 
 namespace {
+
+/** One point of the per-layer design space, in serial search order. */
+struct Candidate
+{
+    ComputationPattern pattern;
+    Tiling tiling;
+    bool promote;
+};
+
+/** Compact per-candidate result kept during the parallel sweep. */
+struct CandidateEval
+{
+    bool feasible = false;
+    double energy = 0.0;
+    double layerSeconds = 0.0;
+};
+
+/** Resolve jobs = 0 ("auto") to the hardware width. */
+unsigned
+effectiveJobs(const SchedulerOptions &options)
+{
+    return options.jobs == 0 ? hardwareJobs() : options.jobs;
+}
 
 /** Build the full schedule record for a feasible analysis. */
 LayerSchedule
@@ -35,15 +62,18 @@ makeSchedule(const AcceleratorConfig &config, const ConvLayerSpec &layer,
     return schedule;
 }
 
-} // namespace
-
-LayerSchedule
-scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
-              const SchedulerOptions &options)
+/**
+ * The candidate space in the order the serial scheduler visits it:
+ * patterns outer, tilings inner, the WD input-promotion variant
+ * directly after its unpromoted twin. The reduction tie-breaks on
+ * this index, which is what keeps the parallel result byte-identical
+ * to the serial one.
+ */
+std::vector<Candidate>
+candidateSpace(const AcceleratorConfig &config,
+               const ConvLayerSpec &layer,
+               const SchedulerOptions &options)
 {
-    RANA_ASSERT(!options.patterns.empty(),
-                "scheduler needs at least one pattern");
-
     std::vector<Tiling> tilings;
     if (options.fixedTiling) {
         tilings.push_back(*options.fixedTiling);
@@ -51,82 +81,197 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
         tilings = tilingCandidates(config, layer);
     }
 
-    bool found = false;
-    LayerSchedule best;
-    double best_energy = 0.0;
-    // Energies within this relative margin are considered equal and
-    // tie-broken by runtime: RANA does not change the core computing
-    // part, so among equal-energy configurations the scheduler keeps
-    // the one that preserves performance.
-    constexpr double energy_margin = 1e-3;
+    std::vector<Candidate> candidates;
+    candidates.reserve(tilings.size() * options.patterns.size() * 2);
     for (ComputationPattern pattern : options.patterns) {
         for (const Tiling &tiling : tilings) {
-          for (int promote = 0; promote < 2; ++promote) {
-            if (promote && pattern != ComputationPattern::WD)
-                continue;
-            const LayerAnalysis analysis = analyzeLayer(
-                config, layer, pattern, tiling, promote != 0);
-            if (!analysis.feasible)
-                continue;
-            LayerSchedule candidate =
-                makeSchedule(config, layer, analysis, options);
-            const double energy = candidate.energy.total();
-            bool better = false;
-            if (!found) {
-                better = true;
-            } else if (energy < best_energy * (1.0 - energy_margin)) {
-                better = true;
-            } else if (energy <= best_energy * (1.0 + energy_margin) &&
-                       candidate.analysis.layerSeconds <
-                           best.analysis.layerSeconds) {
-                better = true;
-            }
-            if (better) {
-                // Keep the smallest energy seen as the reference so
-                // repeated margin tie-breaks cannot drift upward.
-                best_energy = found ? std::min(best_energy, energy)
-                                    : energy;
-                best = std::move(candidate);
-                found = true;
-            }
-          }
+            candidates.push_back({pattern, tiling, false});
+            if (pattern == ComputationPattern::WD)
+                candidates.push_back({pattern, tiling, true});
         }
     }
-    if (!found) {
-        fatal("no feasible schedule for layer ", layer.describe(),
-              " on ", config.name);
+    return candidates;
+}
+
+} // namespace
+
+Result<LayerSchedule>
+scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
+              const SchedulerOptions &options)
+{
+    if (options.patterns.empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "scheduler needs at least one pattern (layer ",
+                         layer.name, ")");
+    }
+
+    std::string search_key;
+    if (options.memoize) {
+        search_key = searchCacheKey(config, layer, options);
+        if (auto cached = EvalCache::global().lookup(search_key))
+            return *std::move(cached);
+    }
+
+    const std::vector<Candidate> candidates =
+        candidateSpace(config, layer, options);
+
+    // Sweep: evaluate every candidate into an indexed slot. Only the
+    // scalars the reduction needs are kept; the winner's full record
+    // is rebuilt once below, so a VGG-sized sweep never holds tens
+    // of thousands of LayerSchedules at once.
+    std::vector<CandidateEval> evals(candidates.size());
+    parallelFor(candidates.size(), effectiveJobs(options),
+                [&](std::size_t i) {
+                    const Candidate &c = candidates[i];
+                    const LayerAnalysis analysis = analyzeLayer(
+                        config, layer, c.pattern, c.tiling, c.promote);
+                    if (!analysis.feasible)
+                        return;
+                    const LayerSchedule schedule =
+                        makeSchedule(config, layer, analysis, options);
+                    evals[i] = {true, schedule.energy.total(),
+                                analysis.layerSeconds};
+                });
+
+    // Reduction, strictly in candidate order. Energies within this
+    // relative margin are considered equal and tie-broken by
+    // runtime: RANA does not change the core computing part, so
+    // among equal-energy configurations the scheduler keeps the one
+    // that preserves performance.
+    constexpr double energy_margin = 1e-3;
+    std::optional<std::size_t> best_index;
+    double best_energy = 0.0;
+    double best_seconds = 0.0;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        const CandidateEval &eval = evals[i];
+        if (!eval.feasible)
+            continue;
+        bool better = false;
+        if (!best_index) {
+            better = true;
+        } else if (eval.energy < best_energy * (1.0 - energy_margin)) {
+            better = true;
+        } else if (eval.energy <= best_energy * (1.0 + energy_margin) &&
+                   eval.layerSeconds < best_seconds) {
+            better = true;
+        }
+        if (better) {
+            // Keep the smallest energy seen as the reference so
+            // repeated margin tie-breaks cannot drift upward.
+            best_energy = best_index
+                              ? std::min(best_energy, eval.energy)
+                              : eval.energy;
+            best_seconds = eval.layerSeconds;
+            best_index = i;
+        }
+    }
+    if (!best_index) {
+        return makeError(ErrorCode::Infeasible,
+                         "no feasible schedule for layer ",
+                         layer.describe(), " on ", config.name);
+    }
+
+    const Candidate &winner = candidates[*best_index];
+    LayerSchedule best = makeSchedule(
+        config, layer,
+        analyzeLayer(config, layer, winner.pattern, winner.tiling,
+                     winner.promote),
+        options);
+    if (options.memoize) {
+        EvalCache::global().insert(search_key, best);
+        EvalCache::global().insert(
+            evalCacheKey(config, layer, winner.pattern, winner.tiling,
+                         winner.promote, options),
+            best);
     }
     return best;
 }
 
-LayerSchedule
+Result<LayerSchedule>
 evaluateLayerChoice(const AcceleratorConfig &config,
                     const ConvLayerSpec &layer,
                     ComputationPattern pattern, const Tiling &tiling,
-                    const SchedulerOptions &options)
+                    const SchedulerOptions &options, bool promote_inputs)
 {
-    const LayerAnalysis analysis =
-        analyzeLayer(config, layer, pattern, tiling);
-    if (!analysis.feasible) {
-        fatal("infeasible layer choice for ", layer.name, ": ",
-              analysis.infeasibleReason);
+    std::string key;
+    if (options.memoize) {
+        key = evalCacheKey(config, layer, pattern, tiling,
+                           promote_inputs, options);
+        if (auto cached = EvalCache::global().lookup(key))
+            return *std::move(cached);
     }
-    return makeSchedule(config, layer, analysis, options);
+
+    const LayerAnalysis analysis =
+        analyzeLayer(config, layer, pattern, tiling, promote_inputs);
+    if (!analysis.feasible) {
+        return makeError(ErrorCode::Infeasible,
+                         "infeasible layer choice for ", layer.name,
+                         ": ", analysis.infeasibleReason);
+    }
+    LayerSchedule schedule = makeSchedule(config, layer, analysis,
+                                          options);
+    if (options.memoize)
+        EvalCache::global().insert(key, schedule);
+    return schedule;
 }
 
-NetworkSchedule
+Result<NetworkSchedule>
 scheduleNetwork(const AcceleratorConfig &config,
                 const NetworkModel &network,
                 const SchedulerOptions &options)
 {
+    // Layers are independent: schedule them concurrently into
+    // indexed slots, then assemble (and surface the first error) in
+    // layer order.
+    std::vector<std::optional<Result<LayerSchedule>>> slots(
+        network.size());
+    parallelFor(network.size(), effectiveJobs(options),
+                [&](std::size_t i) {
+                    slots[i].emplace(scheduleLayer(
+                        config, network.layer(i), options));
+                });
+
     NetworkSchedule schedule;
     schedule.networkName = network.name();
     schedule.refreshIntervalSeconds = options.refreshIntervalSeconds;
     schedule.policy = options.policy;
     schedule.layers.reserve(network.size());
-    for (const auto &layer : network.layers())
-        schedule.layers.push_back(scheduleLayer(config, layer, options));
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        Result<LayerSchedule> &result = *slots[i];
+        if (!result.ok())
+            return result.error();
+        schedule.layers.push_back(std::move(result).value());
+    }
     return schedule;
+}
+
+LayerSchedule
+scheduleLayerOrDie(const AcceleratorConfig &config,
+                   const ConvLayerSpec &layer,
+                   const SchedulerOptions &options)
+{
+    return scheduleLayer(config, layer, options).valueOrDie();
+}
+
+LayerSchedule
+evaluateLayerChoiceOrDie(const AcceleratorConfig &config,
+                         const ConvLayerSpec &layer,
+                         ComputationPattern pattern,
+                         const Tiling &tiling,
+                         const SchedulerOptions &options,
+                         bool promote_inputs)
+{
+    return evaluateLayerChoice(config, layer, pattern, tiling, options,
+                               promote_inputs)
+        .valueOrDie();
+}
+
+NetworkSchedule
+scheduleNetworkOrDie(const AcceleratorConfig &config,
+                     const NetworkModel &network,
+                     const SchedulerOptions &options)
+{
+    return scheduleNetwork(config, network, options).valueOrDie();
 }
 
 } // namespace rana

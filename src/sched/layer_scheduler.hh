@@ -9,6 +9,21 @@
  * whole network this yields the hybrid computation pattern and the
  * layerwise configurations (pattern, tiling, refresh flags) loaded
  * by the accelerator in the execution phase.
+ *
+ * The search is the dominant wall-clock cost of compilation, and
+ * every candidate evaluation is independent, so the entry points fan
+ * work across the shared thread pool when SchedulerOptions::jobs > 1
+ * (layers in scheduleNetwork, candidates in scheduleLayer) and
+ * reduce the indexed results serially — the parallel schedule is
+ * byte-identical to the serial one. Completed evaluations are
+ * memoized in the process-wide EvalCache (SchedulerOptions::memoize)
+ * so repeated design points skip re-simulation.
+ *
+ * Failure contract: these functions return Result<T> and never
+ * terminate the process on infeasible or invalid input, so they are
+ * safe to call from a long-running service. The ...OrDie wrappers
+ * keep the historical abort-on-failure convenience for tools,
+ * benches and tests.
  */
 
 #ifndef RANA_SCHED_LAYER_SCHEDULER_HH_
@@ -17,33 +32,60 @@
 #include "nn/network_model.hh"
 #include "sched/schedule_types.hh"
 #include "sim/accelerator_config.hh"
+#include "util/result.hh"
 
 namespace rana {
 
 /**
  * Schedule one layer: minimum-energy pattern and tiling under the
- * options. Calls fatal() if no feasible configuration exists on the
- * hardware.
+ * options. Fails with ErrorCode::Infeasible when no feasible
+ * configuration exists on the hardware, and with
+ * ErrorCode::InvalidArgument when the options are self-contradictory
+ * (e.g. an empty pattern list).
  */
-LayerSchedule scheduleLayer(const AcceleratorConfig &config,
-                            const ConvLayerSpec &layer,
-                            const SchedulerOptions &options);
+Result<LayerSchedule> scheduleLayer(const AcceleratorConfig &config,
+                                    const ConvLayerSpec &layer,
+                                    const SchedulerOptions &options);
 
 /**
  * Evaluate one explicit (pattern, tiling) choice for a layer,
  * producing the same record the scheduler would; useful for
- * baselines and ablations. The analysis must be feasible.
+ * baselines, ablations and schedule rebuilds. Fails with
+ * ErrorCode::Infeasible when the choice does not fit the hardware.
+ *
+ * @param promote_inputs WD only: pin the whole input set in spare
+ *        buffer capacity (see LayerAnalysis::inputsPromoted).
  */
-LayerSchedule evaluateLayerChoice(const AcceleratorConfig &config,
-                                  const ConvLayerSpec &layer,
-                                  ComputationPattern pattern,
-                                  const Tiling &tiling,
-                                  const SchedulerOptions &options);
+Result<LayerSchedule> evaluateLayerChoice(
+    const AcceleratorConfig &config, const ConvLayerSpec &layer,
+    ComputationPattern pattern, const Tiling &tiling,
+    const SchedulerOptions &options, bool promote_inputs = false);
 
-/** Schedule every layer of a network (the hybrid pattern). */
-NetworkSchedule scheduleNetwork(const AcceleratorConfig &config,
-                                const NetworkModel &network,
-                                const SchedulerOptions &options);
+/**
+ * Schedule every layer of a network (the hybrid pattern). Fails with
+ * the first failing layer's error.
+ */
+Result<NetworkSchedule> scheduleNetwork(const AcceleratorConfig &config,
+                                        const NetworkModel &network,
+                                        const SchedulerOptions &options);
+
+/** scheduleLayer, but fatal() on failure (historical contract). */
+LayerSchedule scheduleLayerOrDie(const AcceleratorConfig &config,
+                                 const ConvLayerSpec &layer,
+                                 const SchedulerOptions &options);
+
+/** evaluateLayerChoice, but fatal() on failure. */
+LayerSchedule evaluateLayerChoiceOrDie(const AcceleratorConfig &config,
+                                       const ConvLayerSpec &layer,
+                                       ComputationPattern pattern,
+                                       const Tiling &tiling,
+                                       const SchedulerOptions &options,
+                                       bool promote_inputs = false);
+
+/** scheduleNetwork, but fatal() on failure. */
+NetworkSchedule scheduleNetworkOrDie(const AcceleratorConfig &config,
+                                     const NetworkModel &network,
+                                     const SchedulerOptions &options);
 
 } // namespace rana
 

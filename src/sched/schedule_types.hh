@@ -38,6 +38,22 @@ struct SchedulerOptions
      * tiling space is explored.
      */
     std::optional<Tiling> fixedTiling;
+    /**
+     * Worker lanes for the design-space search: scheduleNetwork fans
+     * layers and scheduleLayer fans (pattern, tiling) candidates
+     * across the shared thread pool. 1 = serial on the calling
+     * thread; 0 = one lane per hardware thread. The schedule is
+     * byte-identical for every value (candidates are reduced in
+     * index order), so this only trades wall-clock time.
+     */
+    unsigned jobs = 1;
+    /**
+     * Memoize completed evaluations in the process-wide EvalCache so
+     * repeated design points (sweeps, --verify rebuilds) skip
+     * re-simulation. Never changes results: evaluation is a pure
+     * function of the cache key.
+     */
+    bool memoize = true;
 };
 
 /**

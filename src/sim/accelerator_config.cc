@@ -28,6 +28,20 @@ AcceleratorConfig::describe() const
     return oss.str();
 }
 
+std::string
+AcceleratorConfig::fingerprint() const
+{
+    std::ostringstream oss;
+    oss << peRows << ',' << peCols << ','
+        << static_cast<int>(mapping) << ','
+        << static_cast<int>(timing) << ',' << frequencyHz << ','
+        << pipelineEfficiency << ',' << localInputWords << ','
+        << localOutputWords << ',' << localWeightWords << ','
+        << static_cast<int>(buffer.technology) << ','
+        << buffer.numBanks << ',' << buffer.bankBytes;
+    return oss.str();
+}
+
 AcceleratorConfig
 testAcceleratorSram()
 {

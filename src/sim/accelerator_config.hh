@@ -85,6 +85,14 @@ struct AcceleratorConfig
 
     /** Human-readable one-line summary. */
     std::string describe() const;
+
+    /**
+     * Stable identity string covering every field that influences
+     * analysis, timing or energy (the name is deliberately excluded:
+     * designs that differ only in label evaluate identically). Used
+     * as a memoization-cache key component by the scheduler.
+     */
+    std::string fingerprint() const;
 };
 
 /**

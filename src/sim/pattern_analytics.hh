@@ -25,6 +25,11 @@
  * the fully-resident and fully-streamed traffic. OD's outputs spill
  * partial sums (read + write per Loop N pass), which is exactly the
  * cost the WD pattern avoids on shallow layers (Section IV-C2).
+ *
+ * Every entry point in this header is a pure function of its
+ * const-ref arguments — no global or thread-local state — so the
+ * scheduler's thread pool may evaluate candidates concurrently and
+ * re-entrantly.
  */
 
 #ifndef RANA_SIM_PATTERN_ANALYTICS_HH_

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Implementation of the worker pool and the nesting-safe
+ * parallel-for primitive.
+ */
+
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rana {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    if (workers_.empty()) {
+        packaged();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // At least one worker even on a single-hardware-thread host, so
+    // jobs > 1 always exercises real cross-thread hand-off (and TSan
+    // has something to check) at the cost of mild oversubscription.
+    static ThreadPool pool(std::max(1u, hardwareJobs() - 1));
+    return pool;
+}
+
+unsigned
+hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+namespace {
+
+/**
+ * Shared progress record of one parallelFor invocation.
+ *
+ * Completion is "every index claimed and no claimed item still
+ * running" (next >= count && inflight == 0); an error jams `next` so
+ * unclaimed items are skipped, and the caller still waits for
+ * in-flight items before rethrowing — `body` and its captures must
+ * never be touched after parallelFor returns.
+ */
+struct ForState
+{
+    const std::size_t count;
+    const std::size_t chunk;
+    const std::function<void(std::size_t)> body;
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> inflight{0};
+    std::mutex mutex;
+    std::condition_variable idle;
+    std::exception_ptr error; // guarded by mutex
+
+    ForState(std::size_t n, std::size_t chunk_items,
+             std::function<void(std::size_t)> fn)
+        : count(n), chunk(chunk_items), body(std::move(fn))
+    {
+    }
+
+    /**
+     * Claim and run chunks of consecutive items until none are
+     * left. Chunked claiming amortizes the atomic counter across
+     * cheap items (a candidate evaluation can be sub-microsecond);
+     * with thousands of items per lane the tail imbalance is noise.
+     */
+    void drain()
+    {
+        for (;;) {
+            inflight.fetch_add(1, std::memory_order_acq_rel);
+            const std::size_t begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= count) {
+                finishOne();
+                return;
+            }
+            const std::size_t end = std::min(begin + chunk, count);
+            try {
+                for (std::size_t index = begin; index < end; ++index)
+                    body(index);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                // Skip items nobody has claimed yet.
+                next.store(count, std::memory_order_relaxed);
+            }
+            finishOne();
+        }
+    }
+
+    /** Drop the in-flight mark and wake the waiter when idle. */
+    void finishOne()
+    {
+        if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            idle.notify_all();
+        }
+    }
+
+    bool settled() const
+    {
+        return next.load(std::memory_order_relaxed) >= count &&
+               inflight.load(std::memory_order_acquire) == 0;
+    }
+};
+
+} // namespace
+
+void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    ThreadPool &pool = ThreadPool::global();
+    // Helpers beyond the pool width (or the item count) would only
+    // queue up to find an empty counter.
+    const unsigned helpers = static_cast<unsigned>(
+        std::min<std::size_t>({jobs - 1, pool.size(), count - 1}));
+    if (helpers == 0) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    // ~16 chunks per lane balances claim overhead against tail
+    // imbalance.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, count / (static_cast<std::size_t>(helpers + 1) * 16));
+
+    // Helpers hold the state via shared_ptr: one that dequeues after
+    // the caller already returned (every item drained by other
+    // lanes) must still find valid memory to inspect.
+    auto state = std::make_shared<ForState>(count, chunk, body);
+    for (unsigned i = 0; i < helpers; ++i)
+        pool.submit([state] { state->drain(); });
+
+    state->drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->idle.wait(lock, [&] { return state->settled(); });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace rana

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size worker pool for the scheduler's design-space search.
+ *
+ * Per-candidate energy evaluation is embarrassingly parallel (each
+ * (pattern, tiling) point is analyzed independently and reduced
+ * afterwards), so the scheduler fans work items across a shared
+ * process-wide pool and reduces the indexed results serially — the
+ * parallel output is byte-identical to the serial one.
+ *
+ * parallelFor() is the only primitive the hot paths use. It is
+ * designed for nested use (scheduleNetwork fans layers, each layer
+ * fans candidates): the *calling* thread always participates in
+ * executing items, and completion is defined as "all items done",
+ * never "all helper tasks ran". A helper task that reaches the queue
+ * after the caller drained every item simply exits, so a pool worker
+ * blocked inside an inner parallelFor can never deadlock waiting for
+ * queue space of its own pool.
+ */
+
+#ifndef RANA_UTIL_THREAD_POOL_HH_
+#define RANA_UTIL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rana {
+
+/** A fixed set of worker threads draining a FIFO work queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (0 is allowed: submit() runs inline). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue one task; the future resolves when it has run (and
+     * carries any exception it threw).
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * The process-wide pool shared by all schedulers, created on
+     * first use with hardwareJobs() - 1 workers (the caller of
+     * parallelFor is the remaining lane).
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/** std::thread::hardware_concurrency with a floor of 1. */
+unsigned hardwareJobs();
+
+/**
+ * Run body(0) ... body(count - 1), using up to `jobs` lanes (the
+ * calling thread plus helpers from ThreadPool::global()).
+ *
+ * Items are claimed from an atomic counter, so the assignment of
+ * items to lanes is nondeterministic — callers must write results
+ * into per-index slots and reduce in index order afterwards.
+ * jobs <= 1 (or count <= 1) degenerates to a plain serial loop on
+ * the calling thread. Returns only after every item has completed;
+ * the first exception thrown by an item is rethrown in the caller
+ * after remaining items are cancelled.
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace rana
+
+#endif // RANA_UTIL_THREAD_POOL_HH_

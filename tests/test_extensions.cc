@@ -115,7 +115,7 @@ TEST(ConfigIo, RoundTripRecord)
         makeDesignPoint(DesignKind::RanaStarE5, retention());
     const NetworkModel net = makeAlexNet();
     const NetworkSchedule schedule =
-        scheduleNetwork(design.config, net, design.options);
+        scheduleNetworkOrDie(design.config, net, design.options);
     const NetworkConfigRecord record = toConfigRecord(schedule);
     const std::string text = writeConfigString(record);
     NetworkConfigRecord parsed = readConfigString(text);
@@ -135,7 +135,7 @@ TEST(ConfigIo, RebuildMatchesOriginalSchedule)
         makeDesignPoint(DesignKind::RanaStarE5, retention());
     const NetworkModel net = makeGoogLeNet();
     const NetworkSchedule schedule =
-        scheduleNetwork(design.config, net, design.options);
+        scheduleNetworkOrDie(design.config, net, design.options);
     const NetworkConfigRecord record = toConfigRecord(schedule);
     const NetworkSchedule rebuilt = rebuildSchedule(
         design.config, net, readConfigString(
@@ -157,7 +157,7 @@ TEST(ConfigIo, RebuildPreservesPromotion)
     // DaDianNao's schedules rely on WD input promotion.
     const auto designs = daDianNaoDesigns(retention());
     const NetworkModel net = makeAlexNet();
-    const NetworkSchedule schedule = scheduleNetwork(
+    const NetworkSchedule schedule = scheduleNetworkOrDie(
         designs[0].config, net, designs[0].options);
     bool any_promoted = false;
     for (const auto &layer : schedule.layers)
@@ -191,7 +191,7 @@ TEST(ConfigIo, RejectsMismatchedNetwork)
         makeDesignPoint(DesignKind::RanaStarE5, retention());
     const NetworkModel alex = makeAlexNet();
     const NetworkSchedule schedule =
-        scheduleNetwork(design.config, alex, design.options);
+        scheduleNetworkOrDie(design.config, alex, design.options);
     const NetworkConfigRecord record = toConfigRecord(schedule);
     EXPECT_DEATH(rebuildSchedule(design.config, makeVgg16(), record),
                  "layers");

@@ -75,7 +75,7 @@ TEST(Scheduler, MatchesExhaustiveMinimum)
                                                       128)),
             3, 1, 1);
         const LayerSchedule best =
-            scheduleLayer(config, layer, options);
+            scheduleLayerOrDie(config, layer, options);
         double exhaustive_min = 1e300;
         for (ComputationPattern pattern : options.patterns) {
             for (const Tiling &t : tilingCandidates(config, layer)) {
@@ -109,7 +109,7 @@ TEST(Scheduler, PicksWdForShallowVggLayers)
     options.refreshIntervalSeconds = 45e-6;
     const NetworkModel vgg = makeVgg16();
     const NetworkSchedule schedule =
-        scheduleNetwork(config, vgg, options);
+        scheduleNetworkOrDie(config, vgg, options);
     // Layers 2..7 (indices 1..6) have output maps larger than the
     // buffer, so OD would spill partial sums and WD wins.
     for (std::size_t i = 1; i < 7; ++i) {
@@ -129,7 +129,7 @@ TEST(Scheduler, FixedTilingIsRespected)
     options.policy = RefreshPolicy::GatedGlobal;
     options.refreshIntervalSeconds = 45e-6;
     const ConvLayerSpec layer = makeConv("c", 256, 14, 256, 3, 1, 1);
-    const LayerSchedule schedule = scheduleLayer(ddn, layer, options);
+    const LayerSchedule schedule = scheduleLayerOrDie(ddn, layer, options);
     EXPECT_EQ(schedule.tiling(), clampTiling({64, 64, 1, 1}, layer));
     EXPECT_EQ(schedule.pattern(), ComputationPattern::WD);
 }
@@ -142,7 +142,7 @@ TEST(Scheduler, GateFollowsLifetimes)
     options.refreshIntervalSeconds = 45e-6;
     const ConvLayerSpec layer = makeVgg16().findLayer("conv4_2");
     const LayerSchedule schedule =
-        scheduleLayer(config, layer, options);
+        scheduleLayerOrDie(config, layer, options);
     bool any_long_lifetime = false;
     const auto lifetimes = schedule.analysis.lifetimes();
     for (std::size_t i = 0; i < numDataTypes; ++i) {
@@ -165,7 +165,7 @@ TEST(Scheduler, LongerRetentionNeverRaisesEnergy)
         options.policy = RefreshPolicy::GatedGlobal;
         options.refreshIntervalSeconds = interval;
         const double energy =
-            scheduleNetwork(config, net, options).totalEnergy().total();
+            scheduleNetworkOrDie(config, net, options).totalEnergy().total();
         EXPECT_LE(energy, previous * (1.0 + 1e-6));
         previous = energy;
     }
@@ -181,9 +181,9 @@ TEST(Scheduler, HybridNoWorseThanSinglePattern)
     SchedulerOptions od_only = hybrid;
     od_only.patterns = {ComputationPattern::OD};
     const double hybrid_energy =
-        scheduleNetwork(config, net, hybrid).totalEnergy().total();
+        scheduleNetworkOrDie(config, net, hybrid).totalEnergy().total();
     const double od_energy =
-        scheduleNetwork(config, net, od_only).totalEnergy().total();
+        scheduleNetworkOrDie(config, net, od_only).totalEnergy().total();
     EXPECT_LE(hybrid_energy, od_energy * (1.0 + 1e-6));
 }
 
@@ -194,8 +194,8 @@ TEST(Scheduler, EvaluateLayerChoiceMatchesScheduler)
     options.policy = RefreshPolicy::GatedGlobal;
     options.refreshIntervalSeconds = 45e-6;
     const ConvLayerSpec layer = makeConv("c", 32, 28, 32, 3, 1, 1);
-    const LayerSchedule best = scheduleLayer(config, layer, options);
-    const LayerSchedule same = evaluateLayerChoice(
+    const LayerSchedule best = scheduleLayerOrDie(config, layer, options);
+    const LayerSchedule same = evaluateLayerChoiceOrDie(
         config, layer, best.pattern(), best.tiling(), options);
     EXPECT_DOUBLE_EQ(best.energy.total(), same.energy.total());
 }
@@ -208,7 +208,7 @@ TEST(Scheduler, NetworkScheduleAggregates)
     options.refreshIntervalSeconds = 45e-6;
     const NetworkModel net = makeAlexNet();
     const NetworkSchedule schedule =
-        scheduleNetwork(config, net, options);
+        scheduleNetworkOrDie(config, net, options);
     EXPECT_EQ(schedule.layers.size(), net.size());
     OperationCounts manual;
     for (const auto &layer : schedule.layers)

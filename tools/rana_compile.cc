@@ -12,29 +12,32 @@
  *   --design NAME        S+ID | eD+ID | eD+OD | RANA0 | RANAE5 |
  *                        RANA*  (default RANA*)
  *   --failure-rate R     override the tolerable failure rate
+ *   --jobs N             scheduler worker lanes (default: one per
+ *                        hardware thread; 1 = serial)
  *   --output FILE        write the config (default stdout)
  *   --verify FILE        load FILE, rebuild the schedule and execute
  *                        it on the trace simulator
- *   --summary            print the energy summary after compiling
+ *   --summary            print the energy summary (and the
+ *                        evaluation-cache counters) after compiling
+ *
+ * Exit codes: 0 success, 1 bad usage or failed compilation (the
+ * error is printed, the process never aborts mid-library), 2 a
+ * verified schedule observed retention violations.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "core/design_point.hh"
-#include "core/experiments.hh"
-#include "nn/model_zoo.hh"
-#include "sched/config_io.hh"
-#include "util/logging.hh"
-#include "util/units.hh"
+#include "rana.hh"
 
 namespace {
 
 using namespace rana;
 
-DesignKind
+Result<DesignKind>
 parseDesign(const std::string &name)
 {
     if (name == "S+ID")
@@ -49,8 +52,10 @@ parseDesign(const std::string &name)
         return DesignKind::RanaE5;
     if (name == "RANA*")
         return DesignKind::RanaStarE5;
-    fatal("unknown design '", name,
-          "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 or RANA*)");
+    return makeError(ErrorCode::InvalidArgument, "unknown design '",
+                     name,
+                     "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 "
+                     "or RANA*)");
 }
 
 void
@@ -60,6 +65,7 @@ printSummary(const DesignPoint &design, const NetworkModel &network,
     EnergyBreakdown energy;
     for (const auto &layer : schedule.layers)
         energy += layer.energy;
+    const EvalCache::Stats cache = EvalCache::global().stats();
     std::cerr << "compiled " << network.name() << " for "
               << design.name << " ("
               << design.config.buffer.describe() << ")\n"
@@ -71,7 +77,18 @@ printSummary(const DesignPoint &design, const NetworkModel &network,
               << schedule.patternCount(ComputationPattern::ID) << "\n"
               << "  energy: " << energy.describe() << "\n"
               << "  runtime: " << formatTime(schedule.totalSeconds())
-              << "\n";
+              << "\n"
+              << "  eval cache: " << cache.hits << " hits / "
+              << cache.misses << " misses, " << cache.entries
+              << " entries\n";
+}
+
+/** Print a failure and choose the tool's exit code. */
+int
+fail(const Error &error)
+{
+    std::cerr << "rana_compile: " << error.describe() << "\n";
+    return 1;
 }
 
 } // namespace
@@ -81,7 +98,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: rana_compile <network> [--design NAME] "
-                     "[--failure-rate R] [--output FILE] "
+                     "[--failure-rate R] [--jobs N] [--output FILE] "
                      "[--verify FILE] [--summary]\n";
         return 1;
     }
@@ -91,18 +108,42 @@ main(int argc, char **argv)
     std::string output_path;
     std::string verify_path;
     double failure_rate = -1.0;
+    unsigned jobs = hardwareJobs();
     bool summary = false;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value after ", arg);
+            if (i + 1 >= argc) {
+                std::cerr << "rana_compile: missing value after "
+                          << arg << "\n";
+                std::exit(1);
+            }
             return argv[++i];
         };
         if (arg == "--design") {
             design_name = next();
         } else if (arg == "--failure-rate") {
-            failure_rate = std::stod(next());
+            const std::string value = next();
+            char *end = nullptr;
+            failure_rate = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                return fail(makeError(
+                    ErrorCode::InvalidArgument,
+                    "--failure-rate expects a number, got '", value,
+                    "'"));
+        } else if (arg == "--jobs") {
+            const std::string value = next();
+            char *end = nullptr;
+            const long parsed = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                return fail(makeError(
+                    ErrorCode::InvalidArgument,
+                    "--jobs expects an integer, got '", value, "'"));
+            if (parsed < 0)
+                return fail(makeError(ErrorCode::InvalidArgument,
+                                      "--jobs must be >= 0"));
+            jobs = parsed == 0 ? hardwareJobs()
+                               : static_cast<unsigned>(parsed);
         } else if (arg == "--output") {
             output_path = next();
         } else if (arg == "--verify") {
@@ -110,15 +151,27 @@ main(int argc, char **argv)
         } else if (arg == "--summary") {
             summary = true;
         } else {
-            fatal("unknown option ", arg);
+            return fail(makeError(ErrorCode::InvalidArgument,
+                                  "unknown option ", arg));
         }
     }
 
+    const Result<DesignKind> kind = parseDesign(design_name);
+    if (!kind.ok())
+        return fail(kind.error());
+
+    if (network_name != "AlexNet" && network_name != "VGG" &&
+        network_name != "GoogLeNet" && network_name != "ResNet")
+        return fail(makeError(ErrorCode::InvalidArgument,
+                              "unknown benchmark network '",
+                              network_name,
+                              "' (expected AlexNet, VGG, GoogLeNet "
+                              "or ResNet)"));
     const NetworkModel network = makeBenchmark(network_name);
     const RetentionDistribution retention =
         RetentionDistribution::typical65nm();
-    DesignPoint design =
-        makeDesignPoint(parseDesign(design_name), retention);
+    DesignPoint design = makeDesignPoint(kind.value(), retention);
+    design.options.jobs = jobs;
     if (failure_rate >= 0.0) {
         design.failureRate = failure_rate;
         design.options.refreshIntervalSeconds =
@@ -130,32 +183,39 @@ main(int argc, char **argv)
     if (!verify_path.empty()) {
         std::ifstream in(verify_path);
         if (!in)
-            fatal("cannot open ", verify_path);
+            return fail(makeError(ErrorCode::IoError, "cannot open ",
+                                  verify_path));
         const NetworkConfigRecord record = readConfig(in);
-        const NetworkSchedule schedule =
-            rebuildSchedule(design.config, network, record);
+        Result<NetworkSchedule> schedule = rebuildScheduleChecked(
+            design.config, network, record);
+        if (!schedule.ok())
+            return fail(schedule.error());
         const ExecutionResult executed =
-            executeSchedule(design, network, schedule);
+            executeSchedule(design, network, schedule.value());
         std::cerr << "verified " << verify_path << ": "
-                  << schedule.layers.size() << " layers, "
+                  << schedule.value().layers.size() << " layers, "
                   << executed.violations << " retention violations, "
                   << "energy " << executed.energy.describe() << "\n";
         return executed.violations == 0 ? 0 : 2;
     }
 
-    const DesignResult result = runDesign(design, network);
+    const Result<DesignResult> result =
+        runDesignChecked(design, network);
+    if (!result.ok())
+        return fail(result.error());
     const NetworkConfigRecord record =
-        toConfigRecord(result.schedule);
+        toConfigRecord(result.value().schedule);
     if (output_path.empty()) {
         writeConfig(std::cout, record);
     } else {
         std::ofstream out(output_path);
         if (!out)
-            fatal("cannot open ", output_path, " for writing");
+            return fail(makeError(ErrorCode::IoError, "cannot open ",
+                                  output_path, " for writing"));
         writeConfig(out, record);
         std::cerr << "wrote " << output_path << "\n";
     }
     if (summary)
-        printSummary(design, network, result.schedule);
+        printSummary(design, network, result.value().schedule);
     return 0;
 }
