@@ -48,10 +48,22 @@ ExecutionResult
 executeSchedule(const DesignPoint &design, const NetworkModel &network,
                 const NetworkSchedule &schedule)
 {
+    return executeSchedule(design, network, schedule, TimingFaults{},
+                           nullptr);
+}
+
+ExecutionResult
+executeSchedule(const DesignPoint &design, const NetworkModel &network,
+                const NetworkSchedule &schedule,
+                const TimingFaults &faults, ReliabilityGuard *guard)
+{
     RANA_ASSERT(schedule.layers.size() == network.size(),
                 "schedule does not match network");
     LoopNestSimulator simulator(design.config, design.options.policy,
                                 design.options.refreshIntervalSeconds);
+    simulator.setTimingFaults(faults);
+    if (guard != nullptr)
+        simulator.attachGuard(guard);
     ExecutionResult result;
     for (std::size_t i = 0; i < network.size(); ++i) {
         const LayerSimResult layer = simulator.runLayer(
@@ -59,6 +71,12 @@ executeSchedule(const DesignPoint &design, const NetworkModel &network,
         result.counts += layer.counts;
         result.seconds += layer.layerSeconds;
         result.violations += layer.violations;
+        result.guardTrips += layer.guardTrips;
+    }
+    if (guard != nullptr) {
+        result.guardBanksReenabled = guard->stats().banksReenabled;
+        result.guardFallbackRefreshOps =
+            guard->stats().fallbackRefreshOps;
     }
     result.energy = computeEnergy(
         result.counts,

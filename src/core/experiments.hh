@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "core/design_point.hh"
+#include "edram/reliability_guard.hh"
 #include "nn/network_model.hh"
 #include "sched/layer_scheduler.hh"
+#include "sim/performance_model.hh"
 
 namespace rana {
 
@@ -60,11 +62,31 @@ struct ExecutionResult
     EnergyBreakdown energy;
     double seconds = 0.0;
     std::uint64_t violations = 0;
+    /** Reliability-guard trips (0 when no guard was attached). */
+    std::uint64_t guardTrips = 0;
+    /** Banks the guard re-enabled refresh for. */
+    std::uint64_t guardBanksReenabled = 0;
+    /** Refresh operations issued by the guard's watchdog fallback. */
+    std::uint64_t guardFallbackRefreshOps = 0;
 };
 
 ExecutionResult executeSchedule(const DesignPoint &design,
                                 const NetworkModel &network,
                                 const NetworkSchedule &schedule);
+
+/**
+ * executeSchedule under injected timing faults, optionally with the
+ * runtime reliability guard attached (nullptr = unguarded). Guarded
+ * runs convert retention overages into per-bank refresh fallbacks:
+ * `violations` stays zero and the guard counters report the trips.
+ * The default TimingFaults and a null guard reproduce the plain
+ * overload bit for bit.
+ */
+ExecutionResult executeSchedule(const DesignPoint &design,
+                                const NetworkModel &network,
+                                const NetworkSchedule &schedule,
+                                const TimingFaults &faults,
+                                ReliabilityGuard *guard);
 
 } // namespace rana
 

@@ -118,4 +118,35 @@ ResultGrid::markdownNormalizedTable(std::size_t baseline) const
     return oss.str();
 }
 
+std::string
+markdownReliabilityTable(const std::vector<ReliabilityScenarioRow> &rows)
+{
+    std::ostringstream oss;
+    oss << "| Scenario | Time (s) | Corrupted-word events | Guard |"
+           " Trips | Banks re-enabled | Fallback refresh ops |"
+           " Rel. accuracy (mean/worst) |\n"
+           "|---|---|---|---|---|---|---|---|\n";
+    for (const ReliabilityScenarioRow &row : rows) {
+        oss << "| " << row.name << " | ";
+        oss.setf(std::ios::scientific);
+        oss.precision(3);
+        oss << row.executionSeconds;
+        oss.unsetf(std::ios::scientific);
+        oss << " | " << row.violations << " | "
+            << (row.guarded ? "on" : "off") << " | " << row.guardTrips
+            << " | " << row.banksReenabled << " | "
+            << row.fallbackRefreshOps << " | ";
+        if (row.meanRelativeAccuracy < 0.0) {
+            oss << "n/a |\n";
+        } else {
+            oss.setf(std::ios::fixed);
+            oss.precision(3);
+            oss << row.meanRelativeAccuracy << " / "
+                << row.worstRelativeAccuracy << " |\n";
+            oss.unsetf(std::ios::fixed);
+        }
+    }
+    return oss.str();
+}
+
 } // namespace rana

@@ -91,6 +91,41 @@ class ResultGrid
     std::vector<std::vector<DesignResult>> results_;
 };
 
+/**
+ * One scenario row of the reliability report: a simulated execution
+ * (nominal, stressed, or guarded) with its corruption and fallback
+ * counters, plus the campaign's accuracy summary when one ran
+ * (negative relative accuracies mean "not measured").
+ */
+struct ReliabilityScenarioRow
+{
+    std::string name;
+    /** Simulated execution time in seconds. */
+    double executionSeconds = 0.0;
+    /** Corrupted-word events (stale reads) the controller counted. */
+    std::uint64_t violations = 0;
+    /** Whether the ReliabilityGuard was attached. */
+    bool guarded = false;
+    /** Guard trips (0 when unguarded). */
+    std::uint64_t guardTrips = 0;
+    /** Banks whose refresh the guard re-enabled. */
+    std::uint64_t banksReenabled = 0;
+    /** Refresh operations issued by the watchdog fallback. */
+    std::uint64_t fallbackRefreshOps = 0;
+    /** Mean relative accuracy of the fault campaign (< 0 = n/a). */
+    double meanRelativeAccuracy = -1.0;
+    /** Worst relative accuracy of the fault campaign (< 0 = n/a). */
+    double worstRelativeAccuracy = -1.0;
+};
+
+/**
+ * Markdown table of reliability scenarios (the robustness layer's
+ * report): one row per scenario with violation, guard-trip and
+ * fallback counters and the campaign accuracy summary.
+ */
+std::string markdownReliabilityTable(
+    const std::vector<ReliabilityScenarioRow> &rows);
+
 } // namespace rana
 
 #endif // RANA_CORE_REPORT_HH_

@@ -72,9 +72,11 @@ BankAllocation::totalBanks() const
     return banks[0] + banks[1] + banks[2] + unusedBanks;
 }
 
-BankAllocation
-allocateBanks(const BufferGeometry &geometry, std::uint64_t input_words,
-              std::uint64_t output_words, std::uint64_t weight_words)
+Result<BankAllocation>
+allocateBanksChecked(const BufferGeometry &geometry,
+                     std::uint64_t input_words,
+                     std::uint64_t output_words,
+                     std::uint64_t weight_words)
 {
     const std::uint64_t bank_words = geometry.bankWords();
     RANA_ASSERT(bank_words > 0, "bank size must be positive");
@@ -89,14 +91,25 @@ allocateBanks(const BufferGeometry &geometry, std::uint64_t input_words,
         banks_needed += b;
     }
     if (banks_needed > geometry.numBanks) {
-        fatal("bank allocation overflow: need ", banks_needed,
-              " banks but the buffer has ", geometry.numBanks,
-              " (inputs ", input_words, "w, outputs ", output_words,
-              "w, weights ", weight_words, "w)");
+        return makeError(ErrorCode::Infeasible,
+                         "bank allocation overflow: need ",
+                         banks_needed, " banks but the buffer has ",
+                         geometry.numBanks, " (inputs ", input_words,
+                         "w, outputs ", output_words, "w, weights ",
+                         weight_words, "w)");
     }
     alloc.unusedBanks =
         geometry.numBanks - static_cast<std::uint32_t>(banks_needed);
     return alloc;
+}
+
+BankAllocation
+allocateBanks(const BufferGeometry &geometry, std::uint64_t input_words,
+              std::uint64_t output_words, std::uint64_t weight_words)
+{
+    return allocateBanksChecked(geometry, input_words, output_words,
+                                weight_words)
+        .valueOrDie();
 }
 
 } // namespace rana

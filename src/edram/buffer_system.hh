@@ -19,6 +19,7 @@
 #include <string>
 
 #include "energy/technology.hh"
+#include "util/result.hh"
 
 namespace rana {
 
@@ -83,11 +84,19 @@ struct BankAllocation
 /**
  * Allocate banks for a layer's per-datatype storage requirements.
  *
- * Each data type receives ceil(words / bankWords) banks. The caller
- * (the scheduler) is responsible for choosing requirements that fit;
- * if they do not, allocation fails via fatal() since it indicates a
- * scheduling bug.
+ * Each data type receives ceil(words / bankWords) banks. Fails with
+ * ErrorCode::Infeasible when the requirements do not fit the pool, so
+ * exploratory callers (schedulers probing candidate tilings) can
+ * reject the candidate instead of aborting the process.
  */
+Result<BankAllocation>
+allocateBanksChecked(const BufferGeometry &geometry,
+                     std::uint64_t input_words,
+                     std::uint64_t output_words,
+                     std::uint64_t weight_words);
+
+/** allocateBanksChecked, but fatal() on failure: callers that pass
+ * pre-validated requirements treat overflow as a scheduling bug. */
 BankAllocation allocateBanks(const BufferGeometry &geometry,
                              std::uint64_t input_words,
                              std::uint64_t output_words,

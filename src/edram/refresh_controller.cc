@@ -148,7 +148,7 @@ RefreshControllerSim::onRead(DataType type, double now,
     advanceTo(now);
     if (policy_ == RefreshPolicy::None)
         return;
-    const auto &state = types_[static_cast<std::size_t>(type)];
+    auto &state = types_[static_cast<std::size_t>(type)];
     if (!state.holdsData)
         return;
     // The data's last recharge is the later of its own write and the
@@ -158,8 +158,32 @@ RefreshControllerSim::onRead(DataType type, double now,
     double last_recharge = data_write_time;
     if (state.refreshed)
         last_recharge = std::max(last_recharge, state.lastRefresh);
-    if (now - last_recharge > divider_.pulsePeriod() * (1.0 + 1e-9))
-        ++violations_;
+    const double period = divider_.pulsePeriod();
+    if (now - last_recharge > period * (1.0 + 1e-9)) {
+        if (guard_ != nullptr) {
+            // Watchdog fallback: a per-bank watchdog armed at the
+            // data's last recharge would have refreshed the banks
+            // once per tolerable retention time, keeping every read
+            // within tolerance. Account those pulses, re-enable the
+            // type's refresh flag, and record the trip instead of a
+            // violation.
+            const auto pulses = static_cast<std::uint64_t>(
+                std::floor((now - last_recharge) / period));
+            const std::uint64_t ops =
+                static_cast<std::uint64_t>(state.banks) *
+                geometry_.bankWords() * pulses;
+            refreshOps_ += ops;
+            const bool reenabled = !state.refreshFlag;
+            state.refreshFlag = true;
+            state.lastRefresh =
+                last_recharge + static_cast<double>(pulses) * period;
+            state.refreshed = true;
+            guard_->recordTrip(type, now - last_recharge, state.banks,
+                               reenabled, ops);
+        } else {
+            ++violations_;
+        }
+    }
 }
 
 void
@@ -203,6 +227,19 @@ RefreshControllerSim::issuePulse()
             for (auto &state : types_) {
                 state.lastRefresh = now_;
                 state.refreshed = true;
+            }
+        } else {
+            // A gated-off layer refreshes nothing by itself, but
+            // banks the reliability guard re-enabled fall back to
+            // per-bank refresh.
+            for (auto &state : types_) {
+                if (state.refreshFlag && state.banks > 0) {
+                    refreshOps_ +=
+                        static_cast<std::uint64_t>(state.banks) *
+                        bank_words;
+                    state.lastRefresh = now_;
+                    state.refreshed = true;
+                }
             }
         }
         return;

@@ -37,6 +37,7 @@
 
 #include "edram/buffer_system.hh"
 #include "edram/clock_divider.hh"
+#include "edram/reliability_guard.hh"
 
 namespace rana {
 
@@ -116,6 +117,21 @@ class RefreshControllerSim
                          double interval_seconds);
 
     /**
+     * Attach a reliability guard (nullptr detaches; not owned).
+     *
+     * With a guard attached, a read of data that aged past the
+     * tolerable retention time with refresh disabled is covered by
+     * the per-bank watchdog fallback instead of counted as a
+     * violation: the guard re-enables the type's refresh flag, the
+     * watchdog refresh pulses that kept the data within tolerance
+     * are charged to the refresh-op counter, and the trip is
+     * recorded in the guard's counters. Subsequent pulses then
+     * refresh the re-enabled banks even under the gated-global
+     * policy (the per-bank controller fallback).
+     */
+    void attachGuard(ReliabilityGuard *guard) { guard_ = guard; }
+
+    /**
      * Start a layer at time `now`: install the bank allocation and
      * refresh flags, and mark freshly loaded data as recharged.
      *
@@ -177,6 +193,7 @@ class RefreshControllerSim
     std::array<TypeState, numDataTypes> types_;
     std::uint64_t refreshOps_ = 0;
     std::uint64_t violations_ = 0;
+    ReliabilityGuard *guard_ = nullptr;
 };
 
 } // namespace rana

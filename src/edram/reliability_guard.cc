@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Implementation of the runtime reliability guard.
+ */
+
+#include "edram/reliability_guard.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rana {
+
+ReliabilityGuard::ReliabilityGuard(double tolerable_retention_seconds)
+    : tolerable_(tolerable_retention_seconds)
+{
+    RANA_ASSERT(tolerable_retention_seconds > 0.0,
+                "tolerable retention time must be positive");
+}
+
+void
+ReliabilityGuard::recordTrip(DataType type,
+                             double observed_lifetime_seconds,
+                             std::uint32_t banks, bool reenabled,
+                             std::uint64_t refresh_ops)
+{
+    ++stats_.trips;
+    ++stats_.tripsByType[static_cast<std::size_t>(type)];
+    if (reenabled)
+        stats_.banksReenabled += banks;
+    stats_.fallbackRefreshOps += refresh_ops;
+    stats_.worstObservedLifetimeSeconds =
+        std::max(stats_.worstObservedLifetimeSeconds,
+                 observed_lifetime_seconds);
+}
+
+void
+ReliabilityGuard::reset()
+{
+    stats_ = Stats{};
+}
+
+std::string
+ReliabilityGuard::describe() const
+{
+    std::ostringstream oss;
+    oss << "guard[" << formatTime(tolerable_) << "]: " << stats_.trips
+        << " trips, " << stats_.banksReenabled << " banks re-enabled, "
+        << stats_.fallbackRefreshOps << " fallback refresh ops";
+    if (stats_.trips > 0) {
+        oss << ", worst lifetime "
+            << formatTime(stats_.worstObservedLifetimeSeconds);
+    }
+    return oss.str();
+}
+
+} // namespace rana

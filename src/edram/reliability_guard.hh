@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime reliability guard: graceful per-bank refresh fallback.
+ *
+ * RANA's compilation stage disables refresh for banks whose predicted
+ * data lifetime stays below the tolerable retention time. When the
+ * prediction is wrong at runtime (a stalled DRAM channel, a slowed
+ * clock, a mis-modelled layer), data would silently age past the
+ * tolerable retention time and corrupt. The guard is the runtime
+ * safety net: it watches the observed per-bank data age inside the
+ * refresh controller, and when a bank's data would be read beyond the
+ * tolerable retention time with refresh disabled, it arms that bank's
+ * refresh flag again — the paper's per-bank controller fallback —
+ * and accounts the watchdog refresh pulses that keep the data within
+ * tolerance, instead of recording a retention violation.
+ *
+ * The pattern follows Refresh Triggered Computation (Jafri et al.):
+ * refresh is re-triggered from observed access timing rather than
+ * trusted from a static schedule. The guard itself only decides and
+ * counts; the event mechanics (recharges, pulse accounting) stay in
+ * RefreshControllerSim, which calls into the guard on every overage.
+ */
+
+#ifndef RANA_EDRAM_RELIABILITY_GUARD_HH_
+#define RANA_EDRAM_RELIABILITY_GUARD_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "edram/buffer_system.hh"
+
+namespace rana {
+
+/**
+ * Monitors observed data lifetimes and re-enables per-bank refresh
+ * when a bank's data ages past the tolerable retention time.
+ */
+class ReliabilityGuard
+{
+  public:
+    /** Trip and fallback counters of one guarded run. */
+    struct Stats
+    {
+        /** Overage events covered by the watchdog fallback. */
+        std::uint64_t trips = 0;
+        /** Banks whose refresh flag the guard re-enabled. */
+        std::uint64_t banksReenabled = 0;
+        /** Refresh operations (16-bit words) issued by the fallback. */
+        std::uint64_t fallbackRefreshOps = 0;
+        /** Trips per data type. */
+        std::array<std::uint64_t, numDataTypes> tripsByType = {0, 0,
+                                                               0};
+        /** Largest observed data age at a trip, in seconds. */
+        double worstObservedLifetimeSeconds = 0.0;
+    };
+
+    /**
+     * @param tolerable_retention_seconds the certified tolerable
+     *        retention time the guard enforces.
+     */
+    explicit ReliabilityGuard(double tolerable_retention_seconds);
+
+    /**
+     * Record one covered overage: `banks` banks of `type` held data
+     * for `observed_lifetime_seconds` (beyond the tolerable
+     * retention time) and the fallback issued `refresh_ops` word
+     * refreshes. `reenabled` is true when this trip armed the type's
+     * refresh flag (false when the flag was already armed by an
+     * earlier trip in the same layer).
+     */
+    void recordTrip(DataType type, double observed_lifetime_seconds,
+                    std::uint32_t banks, bool reenabled,
+                    std::uint64_t refresh_ops);
+
+    /** The tolerable retention time the guard enforces. */
+    double tolerableRetentionSeconds() const { return tolerable_; }
+
+    /** Counters accumulated so far. */
+    const Stats &stats() const { return stats_; }
+
+    /** Whether any overage was covered. */
+    bool tripped() const { return stats_.trips > 0; }
+
+    /** Reset the counters (e.g. between scenarios). */
+    void reset();
+
+    /** One-line human-readable summary of the counters. */
+    std::string describe() const;
+
+  private:
+    double tolerable_;
+    Stats stats_;
+};
+
+} // namespace rana
+
+#endif // RANA_EDRAM_RELIABILITY_GUARD_HH_

@@ -45,6 +45,10 @@
 #include "core/experiments.hh"
 #include "core/rana_pipeline.hh"
 #include "sim/loopnest_simulator.hh"
+#include "sim/performance_model.hh"
+
+// Robustness: fault campaigns and the runtime reliability guard.
+#include "edram/reliability_guard.hh"
 
 // Reporting and infrastructure.
 #include "core/report.hh"

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Implementation of the fault-injection campaign engine.
+ */
+
+#include "robust/fault_campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "energy/technology.hh"
+#include "sched/layer_scheduler.hh"
+#include "sim/loopnest_simulator.hh"
+#include "train/loss.hh"
+#include "train/mini_models.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace rana {
+
+namespace {
+
+constexpr std::size_t kInput = static_cast<std::size_t>(DataType::Input);
+constexpr std::size_t kOutput =
+    static_cast<std::size_t>(DataType::Output);
+constexpr std::size_t kWeight =
+    static_cast<std::size_t>(DataType::Weight);
+
+/** Whether `type`'s banks are refreshed under the layer's config. */
+bool
+typeRefreshed(RefreshPolicy policy, const LayerSchedule &layer,
+              std::size_t type)
+{
+    switch (policy) {
+      case RefreshPolicy::None:
+        return false;
+      case RefreshPolicy::ConventionalAll:
+        return true;
+      case RefreshPolicy::GatedGlobal:
+        return layer.gateOn;
+      case RefreshPolicy::PerBank:
+        return layer.refreshFlags[type];
+    }
+    panic("unreachable refresh policy in typeRefreshed");
+}
+
+/** Copy exported parameter tensors into a model replica. */
+void
+importWeights(Sequential &model, const std::vector<Tensor> &weights)
+{
+    const auto params = model.params();
+    RANA_ASSERT(params.size() == weights.size(),
+                "exported weights do not match the model replica");
+    for (std::size_t i = 0; i < params.size(); ++i)
+        *params[i].value = weights[i];
+}
+
+} // namespace
+
+std::string
+FaultCampaignReport::describe() const
+{
+    std::ostringstream oss;
+    oss << designName << " on " << networkName << " (" << modelName
+        << "): baseline " << baselineAccuracy << ", mean accuracy "
+        << meanAccuracy << " (worst " << worstAccuracy << ", relative "
+        << meanRelativeAccuracy << ") over " << trials.size()
+        << " trials, " << retentionViolations
+        << " corrupted-word events";
+    if (guarded) {
+        oss << ", guard trips " << guardStats.trips << " ("
+            << guardStats.banksReenabled << " banks re-enabled)";
+    }
+    return oss.str();
+}
+
+Result<FaultCampaignReport>
+runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
+                 const FaultCampaignConfig &config)
+{
+    if (config.trials == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "fault campaign needs at least one trial");
+    }
+
+    Result<NetworkSchedule> scheduled =
+        scheduleNetwork(design.config, network, design.options);
+    if (!scheduled.ok())
+        return scheduled.error();
+    const NetworkSchedule schedule = std::move(scheduled).value();
+
+    FaultCampaignReport report;
+    report.designName = design.name;
+    report.networkName = network.name();
+    report.modelName = miniModelName(config.model);
+    report.operatingFailureRate = design.failureRate;
+    report.guarded = config.guard;
+
+    // Phase 1: execute the schedule on the trace simulator, under
+    // the configured timing faults and (optionally) the runtime
+    // guard, and take each buffered tensor's observed lifetime from
+    // the simulator's read events.
+    LoopNestSimulator simulator(design.config, design.options.policy,
+                                design.options.refreshIntervalSeconds);
+    simulator.setTimingFaults(config.timingFaults);
+    ReliabilityGuard guard(design.options.refreshIntervalSeconds);
+    if (config.guard)
+        simulator.attachGuard(&guard);
+    std::vector<LayerSimResult> layer_sims;
+    layer_sims.reserve(network.size());
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        layer_sims.push_back(simulator.runLayer(
+            network.layer(i), schedule.layers[i].analysis));
+        report.executionSeconds += layer_sims.back().layerSeconds;
+    }
+    report.retentionViolations = simulator.totalViolations();
+    report.refreshOps = simulator.totalRefreshOps();
+    if (config.guard)
+        report.guardStats = guard.stats();
+
+    // Phase 2: exposure per (layer, data type). Refreshed banks age
+    // at most one refresh interval; a guarded run caps unrefreshed
+    // banks at the interval too (the watchdog fallback recharges
+    // them before any longer exposure is read). Unguarded,
+    // unrefreshed banks are exposed for the full observed lifetime.
+    const double interval = design.options.refreshIntervalSeconds;
+    const bool volatile_cells =
+        macroParams(design.config.buffer.technology).needsRefresh;
+    report.exposures.reserve(network.size());
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        const LayerSchedule &layer = schedule.layers[i];
+        const BankAllocation alloc =
+            analysisBankAllocation(design.config, layer.analysis);
+        LayerExposure exposure;
+        exposure.layerName = layer.layerName;
+        std::uint32_t bank_start = 0;
+        for (std::size_t t = 0; t < numDataTypes; ++t) {
+            exposure.banks[t] = alloc.banks[t];
+            exposure.words[t] = alloc.words[t];
+            exposure.bankStart[t] = bank_start;
+            bank_start += alloc.banks[t];
+            const double lifetime = layer_sims[i].observedLifetime[t];
+            exposure.observedLifetimeSeconds[t] = lifetime;
+            if (!volatile_cells || alloc.words[t] == 0)
+                continue;
+            double exposed = lifetime;
+            const bool refreshed = typeRefreshed(
+                design.options.policy, layer, t);
+            if (refreshed || config.guard)
+                exposed = std::min(exposed, interval);
+            exposure.exposureSeconds[t] = exposed;
+        }
+        report.exposures.push_back(std::move(exposure));
+    }
+
+    // Phase 3: train the stand-in model. The retrain at the design's
+    // operating failure rate is the paper's retention-aware training;
+    // skipping it gives the untrained control.
+    RetentionAwareTrainer trainer(config.model, config.dataset,
+                                  config.trainer);
+    report.baselineAccuracy = trainer.pretrain();
+    if (config.retrain && design.failureRate > 0.0)
+        trainer.retrainAndEvaluate(design.failureRate);
+    const std::vector<Tensor> weights = trainer.exportWeights();
+    const Batch test = trainer.dataset().testBatch();
+
+    // Denominators of the effective-rate averages: every buffered
+    // word of the class across the network, exposed or not.
+    double total_weight_words = 0.0;
+    double total_act_words = 0.0;
+    for (const LayerExposure &exposure : report.exposures) {
+        total_weight_words +=
+            static_cast<double>(exposure.words[kWeight]);
+        total_act_words +=
+            static_cast<double>(exposure.words[kInput]) +
+            static_cast<double>(exposure.words[kOutput]);
+    }
+
+    // Phase 4: trials. Each trial samples one chip (per-bank weakest
+    // cells), converts exposed words into effective failure rates,
+    // and measures the corrupted forward pass on its own model
+    // replica (forward passes mutate layer caches, so replicas keep
+    // the fan-out race-free). Results land in per-trial slots, so
+    // the report is identical for any lane count.
+    const RetentionSampler sampler(
+        config.retention, design.config.buffer.bankWords() * 16);
+    const std::uint64_t bank_words = design.config.buffer.bankWords();
+    const double worst_case = config.retention.worstCaseRetention();
+    const unsigned jobs =
+        config.jobs == 0 ? hardwareJobs() : config.jobs;
+    report.trials.resize(config.trials);
+    parallelFor(config.trials, jobs, [&](std::size_t trial) {
+        TrialResult result;
+        const std::uint64_t trial_seed =
+            config.seed * 1000003 + trial;
+        result.seed = trial_seed;
+
+        Rng rng(trial_seed);
+        const std::vector<double> bank_retention = sampler.sampleBanks(
+            design.config.buffer.numBanks, rng);
+
+        double weighted_weight = 0.0;
+        double weighted_act = 0.0;
+        for (const LayerExposure &exposure : report.exposures) {
+            for (std::size_t t = 0; t < numDataTypes; ++t) {
+                const double exposed = exposure.exposureSeconds[t];
+                if (exposed <= 0.0 || exposure.words[t] == 0 ||
+                    exposure.banks[t] == 0) {
+                    continue;
+                }
+                // Below the weakest-cell anchor no cell can fail.
+                if (exposed < worst_case)
+                    continue;
+                const double rate =
+                    config.retention.failureRateAt(exposed);
+                for (std::uint32_t k = 0; k < exposure.banks[t];
+                     ++k) {
+                    const std::uint32_t index =
+                        exposure.bankStart[t] + k;
+                    if (index >= bank_retention.size() ||
+                        bank_retention[index] >= exposed) {
+                        continue;
+                    }
+                    const std::uint64_t words_in_bank = std::min(
+                        bank_words,
+                        exposure.words[t] -
+                            std::min<std::uint64_t>(
+                                exposure.words[t],
+                                static_cast<std::uint64_t>(k) *
+                                    bank_words));
+                    ++result.exposedBanks;
+                    result.exposedWords += words_in_bank;
+                    const double contribution =
+                        static_cast<double>(words_in_bank) * rate;
+                    if (t == kWeight)
+                        weighted_weight += contribution;
+                    else
+                        weighted_act += contribution;
+                }
+            }
+        }
+        result.weightFailureRate =
+            total_weight_words > 0.0
+                ? weighted_weight / total_weight_words
+                : 0.0;
+        result.activationFailureRate =
+            total_act_words > 0.0 ? weighted_act / total_act_words
+                                  : 0.0;
+
+        Rng model_rng(trial_seed ^ 0x5851f42d4c957f2dULL);
+        auto replica = makeMiniModel(config.model,
+                                     config.dataset.imageSize,
+                                     config.dataset.numClasses,
+                                     model_rng);
+        importWeights(*replica, weights);
+        BitErrorInjector act_injector(result.activationFailureRate,
+                                      trial_seed * 2 + 1);
+        BitErrorInjector weight_injector(result.weightFailureRate,
+                                         trial_seed * 2 + 2);
+        ForwardContext ctx;
+        ctx.quant = &config.trainer.format;
+        ctx.injector = &act_injector;
+        ctx.weightInjector = &weight_injector;
+        ctx.training = false;
+        const Tensor logits = replica->forward(test.images, ctx);
+        const LossResult loss =
+            softmaxCrossEntropy(logits, test.labels);
+        result.accuracy = static_cast<double>(loss.correct) /
+                          static_cast<double>(test.labels.size());
+        result.relativeAccuracy =
+            report.baselineAccuracy > 0.0
+                ? result.accuracy / report.baselineAccuracy
+                : 0.0;
+        report.trials[trial] = result;
+    });
+
+    report.worstAccuracy = 1.0;
+    report.worstRelativeAccuracy = 1.0;
+    for (const TrialResult &trial : report.trials) {
+        report.meanAccuracy += trial.accuracy;
+        report.meanRelativeAccuracy += trial.relativeAccuracy;
+        report.meanWeightFailureRate += trial.weightFailureRate;
+        report.meanActivationFailureRate +=
+            trial.activationFailureRate;
+        report.worstAccuracy =
+            std::min(report.worstAccuracy, trial.accuracy);
+        report.worstRelativeAccuracy = std::min(
+            report.worstRelativeAccuracy, trial.relativeAccuracy);
+    }
+    const auto count = static_cast<double>(report.trials.size());
+    report.meanAccuracy /= count;
+    report.meanRelativeAccuracy /= count;
+    report.meanWeightFailureRate /= count;
+    report.meanActivationFailureRate /= count;
+    return report;
+}
+
+} // namespace rana

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * End-to-end retention-fault campaign engine (EDEN-style validation
+ * of an approximate-retention operating point).
+ *
+ * The scheduler certifies a design point by *predicting* that every
+ * buffered tensor's data lifetime stays below the tolerable retention
+ * time. The campaign closes the loop operationally:
+ *
+ *   1. compile the network's schedule for the design point;
+ *   2. execute it on the loop-nest trace simulator — optionally
+ *      under injected timing faults and/or with the runtime
+ *      ReliabilityGuard attached — and take each buffered tensor's
+ *      *observed* lifetime from the simulator's read events;
+ *   3. per trial, sample every bank's weakest-cell retention time
+ *      from the retention distribution (order statistic over the
+ *      bank's cells) and mark the banks whose exposure exceeds it;
+ *   4. convert the exposed words into effective per-bit failure
+ *      rates for weights and activations, inject bit errors at those
+ *      rates into a replica of the trained mini model, and measure
+ *      the end-to-end test accuracy of the corrupted forward pass.
+ *
+ * Trials are embarrassingly parallel and run on the shared thread
+ * pool into per-trial result slots, so the report is deterministic
+ * per seed regardless of the lane count.
+ */
+
+#ifndef RANA_ROBUST_FAULT_CAMPAIGN_HH_
+#define RANA_ROBUST_FAULT_CAMPAIGN_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.hh"
+#include "edram/reliability_guard.hh"
+#include "nn/network_model.hh"
+#include "robust/retention_sampler.hh"
+#include "sim/performance_model.hh"
+#include "train/trainer.hh"
+#include "util/result.hh"
+
+namespace rana {
+
+/** Configuration of one fault-injection campaign. */
+struct FaultCampaignConfig
+{
+    /** Independent retention-sampling trials. */
+    std::uint32_t trials = 8;
+    /** Master seed; every trial derives its own seed from it. */
+    std::uint64_t seed = 1;
+    /** Worker lanes for the trial fan-out (0 = hardware threads). */
+    unsigned jobs = 0;
+    /** Mini model standing in for the paper benchmark. */
+    MiniModelKind model = MiniModelKind::MiniVgg;
+    /** Synthetic dataset the mini model trains on. */
+    DatasetConfig dataset;
+    /** Trainer hyper-parameters. */
+    TrainerConfig trainer;
+    /**
+     * Retrain the model at the design's failure rate before the
+     * campaign (the paper's retention-aware training); without it
+     * the pretrained fixed-point model is used as-is, which is the
+     * untrained control.
+     */
+    bool retrain = true;
+    /** Timing perturbations injected into the simulated execution. */
+    TimingFaults timingFaults;
+    /** Attach the runtime ReliabilityGuard during simulation. */
+    bool guard = false;
+    /** Cell retention-time distribution banks are sampled from. */
+    RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+};
+
+/** One (layer, data type) exposure record. */
+struct LayerExposure
+{
+    std::string layerName;
+    /** Exposure time per data type in seconds (0 = not buffered). */
+    std::array<double, numDataTypes> exposureSeconds = {0.0, 0.0, 0.0};
+    /** Observed lifetime per data type from the simulator. */
+    std::array<double, numDataTypes> observedLifetimeSeconds = {
+        0.0, 0.0, 0.0};
+    /** Banks allocated per data type. */
+    std::array<std::uint32_t, numDataTypes> banks = {0, 0, 0};
+    /** Buffered words per data type. */
+    std::array<std::uint64_t, numDataTypes> words = {0, 0, 0};
+    /** First physical bank index per data type. */
+    std::array<std::uint32_t, numDataTypes> bankStart = {0, 0, 0};
+};
+
+/** Result of one campaign trial. */
+struct TrialResult
+{
+    /** The trial's derived seed. */
+    std::uint64_t seed = 0;
+    /** Effective per-bit failure rate injected into weights. */
+    double weightFailureRate = 0.0;
+    /** Effective per-bit failure rate injected into activations. */
+    double activationFailureRate = 0.0;
+    /** Banks whose exposure exceeded their sampled retention. */
+    std::uint64_t exposedBanks = 0;
+    /** Buffered words in exposed banks. */
+    std::uint64_t exposedWords = 0;
+    /** Top-1 accuracy of the corrupted forward pass. */
+    double accuracy = 0.0;
+    /** Accuracy relative to the fixed-point baseline. */
+    double relativeAccuracy = 0.0;
+};
+
+/** Report of one fault-injection campaign. */
+struct FaultCampaignReport
+{
+    std::string designName;
+    std::string networkName;
+    std::string modelName;
+
+    /** Error-free fixed-point baseline accuracy. */
+    double baselineAccuracy = 0.0;
+    /** The design's tolerated failure rate (retraining target). */
+    double operatingFailureRate = 0.0;
+
+    /** Per-trial results, in trial order. */
+    std::vector<TrialResult> trials;
+    /** Per-layer exposure records. */
+    std::vector<LayerExposure> exposures;
+
+    /** Mean accuracy over the trials. */
+    double meanAccuracy = 0.0;
+    /** Worst (minimum) trial accuracy. */
+    double worstAccuracy = 0.0;
+    /** Mean relative accuracy over the trials. */
+    double meanRelativeAccuracy = 0.0;
+    /** Worst (minimum) trial relative accuracy. */
+    double worstRelativeAccuracy = 0.0;
+    /** Mean effective weight failure rate over the trials. */
+    double meanWeightFailureRate = 0.0;
+    /** Mean effective activation failure rate over the trials. */
+    double meanActivationFailureRate = 0.0;
+
+    /** Simulated execution time in seconds (with timing faults). */
+    double executionSeconds = 0.0;
+    /** Corrupted-word events: stale reads the controller counted. */
+    std::uint64_t retentionViolations = 0;
+    /** Refresh operations the simulated run issued. */
+    std::uint64_t refreshOps = 0;
+
+    /** Whether the ReliabilityGuard was attached. */
+    bool guarded = false;
+    /** Guard counters of the simulated run (zero when unguarded). */
+    ReliabilityGuard::Stats guardStats;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/**
+ * Run one fault-injection campaign of `config` for `design` on
+ * `network`. Fails with the scheduler's error when the design cannot
+ * run the network, and with ErrorCode::InvalidArgument when the
+ * campaign configuration is degenerate (zero trials).
+ */
+Result<FaultCampaignReport>
+runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
+                 const FaultCampaignConfig &config);
+
+} // namespace rana
+
+#endif // RANA_ROBUST_FAULT_CAMPAIGN_HH_

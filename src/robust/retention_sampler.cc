@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Implementation of the per-bank retention sampler.
+ */
+
+#include "robust/retention_sampler.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+RetentionSampler::RetentionSampler(
+    const RetentionDistribution &distribution,
+    std::uint64_t cells_per_bank)
+    : distribution_(distribution),
+      cellsPerBank_(cells_per_bank)
+{
+    RANA_ASSERT(cells_per_bank > 0,
+                "a bank must contain at least one cell");
+}
+
+double
+RetentionSampler::sampleWeakestCell(Rng &rng) const
+{
+    // Inverse transform of the minimum order statistic: with
+    // u ~ U[0, 1), solve F_min(t) = u for the cell-level quantile
+    // F(t) = 1 - (1 - u)^(1/C), computed via expm1/log1p to keep
+    // precision for the tiny quantiles a large C produces.
+    const double u = rng.uniform();
+    const double cell_quantile = -std::expm1(
+        std::log1p(-u) / static_cast<double>(cellsPerBank_));
+    return distribution_.retentionTimeFor(cell_quantile);
+}
+
+std::vector<double>
+RetentionSampler::sampleBanks(std::uint32_t num_banks, Rng &rng) const
+{
+    std::vector<double> retention(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        retention[b] = sampleWeakestCell(rng);
+    return retention;
+}
+
+} // namespace rana

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-bank weak-cell retention-time sampling.
+ *
+ * The retention distribution (Figure 8) is the cumulative fraction
+ * F(t) of *cells* with retention time at most t. What decides whether
+ * a buffered tensor corrupts is the weakest cell of each bank it
+ * occupies: a bank of C cells survives an exposure of E seconds only
+ * when every one of its cells retains longer than E, which happens
+ * with probability (1 - F(E))^C. The sampler draws each bank's
+ * weakest-cell retention time by inverse transform from that order
+ * statistic, F_min(t) = 1 - (1 - F(t))^C, so fault campaigns see the
+ * realistic "a few unlucky banks per chip" failure pattern instead of
+ * a uniform per-bit haze.
+ *
+ * Sampling maps the order-statistic quantile back through the
+ * distribution's retentionTimeFor(), which clamps to the weakest-cell
+ * anchor (45us): no sampled bank is ever weaker than the paper's
+ * worst-case cell, and exposures below the conventional interval are
+ * always safe.
+ */
+
+#ifndef RANA_ROBUST_RETENTION_SAMPLER_HH_
+#define RANA_ROBUST_RETENTION_SAMPLER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "edram/retention_distribution.hh"
+#include "util/random.hh"
+
+namespace rana {
+
+/** Samples per-bank weakest-cell retention times. */
+class RetentionSampler
+{
+  public:
+    /**
+     * @param distribution  cell retention-time distribution
+     * @param cells_per_bank number of cells (bits) in one bank
+     */
+    RetentionSampler(const RetentionDistribution &distribution,
+                     std::uint64_t cells_per_bank);
+
+    /**
+     * Draw the weakest-cell retention time of one bank, in seconds.
+     * Deterministic given the Rng state.
+     */
+    double sampleWeakestCell(Rng &rng) const;
+
+    /** Draw one retention time per bank of a whole buffer pool. */
+    std::vector<double> sampleBanks(std::uint32_t num_banks,
+                                    Rng &rng) const;
+
+    /** Cells per bank the order statistic is taken over. */
+    std::uint64_t cellsPerBank() const { return cellsPerBank_; }
+
+    /** The underlying cell distribution. */
+    const RetentionDistribution &distribution() const
+    {
+        return distribution_;
+    }
+
+  private:
+    RetentionDistribution distribution_;
+    std::uint64_t cellsPerBank_;
+};
+
+} // namespace rana
+
+#endif // RANA_ROBUST_RETENTION_SAMPLER_HH_

@@ -16,7 +16,7 @@ namespace rana {
 
 namespace {
 
-ComputationPattern
+Result<ComputationPattern>
 parsePattern(const std::string &token, const std::string &line)
 {
     if (token == "ID")
@@ -25,10 +25,11 @@ parsePattern(const std::string &token, const std::string &line)
         return ComputationPattern::OD;
     if (token == "WD")
         return ComputationPattern::WD;
-    fatal("bad pattern '", token, "' in config line: ", line);
+    return makeError(ErrorCode::ParseError, "bad pattern '", token,
+                     "' in config line: ", line);
 }
 
-RefreshPolicy
+Result<RefreshPolicy>
 parsePolicy(const std::string &token, const std::string &line)
 {
     if (token == "none")
@@ -39,17 +40,19 @@ parsePolicy(const std::string &token, const std::string &line)
         return RefreshPolicy::GatedGlobal;
     if (token == "per-bank")
         return RefreshPolicy::PerBank;
-    fatal("bad refresh policy '", token, "' in config line: ", line);
+    return makeError(ErrorCode::ParseError, "bad refresh policy '",
+                     token, "' in config line: ", line);
 }
 
-bool
+Result<bool>
 parseBit(const std::string &token, const std::string &line)
 {
     if (token == "0")
         return false;
     if (token == "1")
         return true;
-    fatal("bad flag '", token, "' in config line: ", line);
+    return makeError(ErrorCode::ParseError, "bad flag '", token,
+                     "' in config line: ", line);
 }
 
 } // namespace
@@ -104,8 +107,8 @@ writeConfigString(const NetworkConfigRecord &record)
     return oss.str();
 }
 
-NetworkConfigRecord
-readConfig(std::istream &is)
+Result<NetworkConfigRecord>
+readConfigChecked(std::istream &is)
 {
     NetworkConfigRecord record;
     std::string line;
@@ -120,8 +123,10 @@ readConfig(std::istream &is)
         if (!saw_header) {
             std::string version;
             tokens >> version;
-            if (keyword != "rana-config" || version != "v1")
-                fatal("bad config header: ", line);
+            if (keyword != "rana-config" || version != "v1") {
+                return makeError(ErrorCode::ParseError,
+                                 "bad config header: ", line);
+            }
             saw_header = true;
             continue;
         }
@@ -130,13 +135,19 @@ readConfig(std::istream &is)
         } else if (keyword == "interval_us") {
             double us = 0.0;
             tokens >> us;
-            if (!tokens || us <= 0.0)
-                fatal("bad interval in config line: ", line);
+            if (!tokens || us <= 0.0) {
+                return makeError(ErrorCode::ParseError,
+                                 "bad interval in config line: ",
+                                 line);
+            }
             record.refreshIntervalSeconds = us * microSecond;
         } else if (keyword == "policy") {
             std::string policy;
             tokens >> policy;
-            record.policy = parsePolicy(policy, line);
+            Result<RefreshPolicy> parsed = parsePolicy(policy, line);
+            if (!parsed.ok())
+                return parsed.error();
+            record.policy = parsed.value();
         } else if (keyword == "layer") {
             LayerConfigRecord layer;
             std::string pattern;
@@ -146,35 +157,68 @@ readConfig(std::istream &is)
             tokens >> layer.layerName >> pattern >> layer.tiling.tm >>
                 layer.tiling.tn >> layer.tiling.tr >>
                 layer.tiling.tc >> promote >> flags >> gate;
-            if (!tokens)
-                fatal("truncated config line: ", line);
-            layer.pattern = parsePattern(pattern, line);
-            layer.promoteInputs = parseBit(promote, line);
-            if (flags.size() != numDataTypes)
-                fatal("bad refresh flags in config line: ", line);
-            for (std::size_t i = 0; i < numDataTypes; ++i) {
-                layer.refreshFlags[i] =
-                    parseBit(std::string(1, flags[i]), line);
+            if (!tokens) {
+                return makeError(ErrorCode::ParseError,
+                                 "truncated config line: ", line);
             }
-            layer.gateOn = parseBit(gate, line);
+            Result<ComputationPattern> parsed_pattern =
+                parsePattern(pattern, line);
+            if (!parsed_pattern.ok())
+                return parsed_pattern.error();
+            layer.pattern = parsed_pattern.value();
+            Result<bool> parsed_promote = parseBit(promote, line);
+            if (!parsed_promote.ok())
+                return parsed_promote.error();
+            layer.promoteInputs = parsed_promote.value();
+            if (flags.size() != numDataTypes) {
+                return makeError(ErrorCode::ParseError,
+                                 "bad refresh flags in config line: ",
+                                 line);
+            }
+            for (std::size_t i = 0; i < numDataTypes; ++i) {
+                Result<bool> parsed_flag =
+                    parseBit(std::string(1, flags[i]), line);
+                if (!parsed_flag.ok())
+                    return parsed_flag.error();
+                layer.refreshFlags[i] = parsed_flag.value();
+            }
+            Result<bool> parsed_gate = parseBit(gate, line);
+            if (!parsed_gate.ok())
+                return parsed_gate.error();
+            layer.gateOn = parsed_gate.value();
             record.layers.push_back(std::move(layer));
         } else if (keyword == "end") {
             saw_end = true;
             break;
         } else {
-            fatal("unknown config keyword in line: ", line);
+            return makeError(ErrorCode::ParseError,
+                             "unknown config keyword in line: ", line);
         }
     }
-    if (!saw_header || !saw_end)
-        fatal("incomplete rana-config stream");
+    if (!saw_header || !saw_end) {
+        return makeError(ErrorCode::ParseError,
+                         "incomplete rana-config stream");
+    }
     return record;
+}
+
+Result<NetworkConfigRecord>
+readConfigStringChecked(const std::string &text)
+{
+    std::istringstream iss(text);
+    return readConfigChecked(iss);
+}
+
+NetworkConfigRecord
+readConfig(std::istream &is)
+{
+    return readConfigChecked(is).valueOrDie();
 }
 
 NetworkConfigRecord
 readConfigString(const std::string &text)
 {
-    std::istringstream iss(text);
-    return readConfig(iss);
+    return readConfigStringChecked(text).valueOrDie();
 }
 
 Result<NetworkSchedule>

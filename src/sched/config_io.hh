@@ -66,12 +66,20 @@ void writeConfig(std::ostream &os, const NetworkConfigRecord &record);
 std::string writeConfigString(const NetworkConfigRecord &record);
 
 /**
- * Parse the text format; calls fatal() on malformed input with the
- * offending line.
+ * Parse the text format. Fails with ErrorCode::ParseError naming the
+ * offending line on malformed input, so services can reject one bad
+ * artifact without losing the process.
  */
-NetworkConfigRecord readConfig(std::istream &is);
+Result<NetworkConfigRecord> readConfigChecked(std::istream &is);
 
 /** Parse from a string. */
+Result<NetworkConfigRecord>
+readConfigStringChecked(const std::string &text);
+
+/** readConfigChecked, but fatal() on failure (historical contract). */
+NetworkConfigRecord readConfig(std::istream &is);
+
+/** readConfigStringChecked, but fatal() on failure. */
 NetworkConfigRecord readConfigString(const std::string &text);
 
 /**

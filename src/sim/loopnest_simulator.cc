@@ -78,7 +78,12 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
     const std::uint64_t trip2 = tripOf(trips, order[2]);
 
     const double layer_start = now_;
-    const double t_tile = timing.seconds;
+    // Injected timing faults stretch each tile and stall each outer
+    // scan. At the default TimingFaults both terms are exact float
+    // no-ops (x*1.0 and x+0.0), keeping fault-free timing
+    // bit-identical to the analytical model.
+    const double t_tile = faults_.tileSeconds(timing.seconds);
+    const double stall = faults_.scanStallSeconds;
     const double t1 = static_cast<double>(trip2) * t_tile;
     const double t2 = static_cast<double>(trip1) * t1;
 
@@ -89,6 +94,8 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
     const bool gate_on = flags[0] || flags[1] || flags[2];
     const std::uint64_t refresh_before = controller_.refreshOps();
     const std::uint64_t violations_before = controller_.violations();
+    const std::uint64_t guard_trips_before =
+        guard_ != nullptr ? guard_->stats().trips : 0;
     controller_.beginLayer(demand.allocation, flags, gate_on,
                            layer_start);
     if (trace_ != nullptr)
@@ -141,7 +148,8 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
     std::uint64_t tile_index = 0;
     for (std::uint64_t i0 = 0; i0 < trip0; ++i0) {
         const double scan_start =
-            layer_start + static_cast<double>(i0) * t2;
+            layer_start + static_cast<double>(i0) * t2 +
+            static_cast<double>(i0 + 1) * stall;
         // Staging at the outer loop boundary.
         switch (pattern) {
           case ComputationPattern::ID:
@@ -185,6 +193,7 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
                 const std::uint64_t tile_id = tile_index;
                 const double t_start =
                     layer_start +
+                    static_cast<double>(i0 + 1) * stall +
                     static_cast<double>(tile_index) * t_tile;
                 const double t_end = t_start + t_tile;
                 ++tile_index;
@@ -194,9 +203,12 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
                 // was written one full Loop-N pass (t2) ago.
                 if (pattern == ComputationPattern::OD && i0 > 0) {
                     partial_reload_out += tile_out;
+                    // One full Loop-N pass ago, plus the one scan
+                    // stall inserted between the two passes.
                     observe_read(DataType::Output, t_start,
-                                 phi[kOutput] > 0.0 ? t_start - t2
-                                                    : t_start);
+                                 phi[kOutput] > 0.0
+                                     ? t_start - t2 - stall
+                                     : t_start);
                     emit(TraceEventKind::PartialReload, t_start,
                          DataType::Output, tiles.output, tile_id);
                 }
@@ -247,7 +259,8 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
     }
 
     const double layer_end =
-        layer_start + static_cast<double>(tile_index) * t_tile;
+        layer_start + static_cast<double>(trip0) * stall +
+        static_cast<double>(tile_index) * t_tile;
     controller_.advanceTo(layer_end);
     now_ = layer_end;
     emit(TraceEventKind::LayerEnd, layer_end, DataType::Input, 0,
@@ -280,6 +293,9 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
         (result.layerSeconds * config_.peakMacsPerSecond());
     result.refreshOps = controller_.refreshOps() - refresh_before;
     result.violations = controller_.violations() - violations_before;
+    result.guardTrips =
+        guard_ != nullptr ? guard_->stats().trips - guard_trips_before
+                          : 0;
     result.observedLifetime = max_age;
 
     double buffer_words = core_load_in + core_load_w + core_store_out +

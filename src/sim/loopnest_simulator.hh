@@ -25,10 +25,12 @@
 #include <cstdint>
 
 #include "edram/refresh_controller.hh"
+#include "edram/reliability_guard.hh"
 #include "energy/energy_table.hh"
 #include "nn/conv_layer_spec.hh"
 #include "sim/accelerator_config.hh"
 #include "sim/pattern_analytics.hh"
+#include "sim/performance_model.hh"
 #include "sim/trace_export.hh"
 
 namespace rana {
@@ -46,6 +48,8 @@ struct LayerSimResult
     std::uint64_t refreshOps = 0;
     /** Retention violations observed during this layer. */
     std::uint64_t violations = 0;
+    /** Reliability-guard trips during this layer (guarded runs). */
+    std::uint64_t guardTrips = 0;
     /**
      * Largest observed read age per data type (the measured data
      * lifetime), in seconds.
@@ -90,6 +94,27 @@ class LoopNestSimulator
      */
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
+    /**
+     * Inject timing perturbations into subsequent layers. The
+     * defaults are exact no-ops, so a default-constructed
+     * TimingFaults reproduces the unperturbed timing bit for bit.
+     */
+    void setTimingFaults(const TimingFaults &faults)
+    {
+        faults_ = faults;
+    }
+
+    /**
+     * Attach a reliability guard to the refresh controller (nullptr
+     * detaches; not owned). Guarded runs convert retention overages
+     * into per-bank refresh fallbacks instead of violations.
+     */
+    void attachGuard(ReliabilityGuard *guard)
+    {
+        guard_ = guard;
+        controller_.attachGuard(guard);
+    }
+
   private:
     /** Emit one event to the attached sink, if any. */
     void emit(TraceEventKind kind, double seconds, DataType type,
@@ -101,6 +126,8 @@ class LoopNestSimulator
     RefreshControllerSim controller_;
     double now_ = 0.0;
     TraceSink *trace_ = nullptr;
+    TimingFaults faults_;
+    ReliabilityGuard *guard_ = nullptr;
 };
 
 } // namespace rana

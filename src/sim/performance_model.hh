@@ -42,6 +42,37 @@ struct PerformanceParams
     std::uint64_t wordsPerRow = 64;
 };
 
+/**
+ * Injected timing perturbations for robustness studies.
+ *
+ * Real deployments deviate from the analytical timing model: a
+ * congested DRAM channel slows every tile, a host-side hiccup stalls
+ * a whole buffer scan. Both stretch observed data lifetimes past the
+ * scheduler's predictions, which is exactly the scenario the
+ * reliability guard must cover. The defaults (factor 1.0, stall 0.0)
+ * are exact no-ops: multiplying by 1.0 and adding 0.0 preserve every
+ * float bit, so fault-free simulations stay bit-identical.
+ */
+struct TimingFaults
+{
+    /** Multiplier applied to each tile's nominal time (>= 1.0). */
+    double slowdownFactor = 1.0;
+    /** Extra stall inserted before each outer-loop scan, seconds. */
+    double scanStallSeconds = 0.0;
+
+    /** Whether any perturbation is configured. */
+    bool enabled() const
+    {
+        return slowdownFactor != 1.0 || scanStallSeconds != 0.0;
+    }
+
+    /** Perturbed time of one tile with nominal time `nominal`. */
+    double tileSeconds(double nominal) const
+    {
+        return nominal * slowdownFactor;
+    }
+};
+
 /** Per-layer performance report. */
 struct PerformanceReport
 {

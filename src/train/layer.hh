@@ -34,6 +34,13 @@ struct ForwardContext
     const FixedPointFormat *quant = nullptr;
     /** Inject retention failures into quantized operands. */
     BitErrorInjector *injector = nullptr;
+    /**
+     * Separate injector for weight operands (nullptr: weights use
+     * `injector` like everything else). The fault campaign uses this
+     * because weight and activation banks see different exposure
+     * times, hence different effective failure rates.
+     */
+    BitErrorInjector *weightInjector = nullptr;
     /** Whether activations are cached for a following backward. */
     bool training = true;
 };
@@ -74,6 +81,13 @@ class Layer
  * hardware would compute with.
  */
 Tensor effectiveOperand(const Tensor &operand,
+                        const ForwardContext &ctx);
+
+/**
+ * Like effectiveOperand, but for weight operands: uses the context's
+ * weightInjector when one is set.
+ */
+Tensor effectiveWeights(const Tensor &weights,
                         const ForwardContext &ctx);
 
 /** Initialize a tensor with He-uniform fan-in scaling. */

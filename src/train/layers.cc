@@ -25,6 +25,16 @@ effectiveOperand(const Tensor &operand, const ForwardContext &ctx)
     return effective;
 }
 
+Tensor
+effectiveWeights(const Tensor &weights, const ForwardContext &ctx)
+{
+    if (ctx.weightInjector == nullptr)
+        return effectiveOperand(weights, ctx);
+    ForwardContext weight_ctx = ctx;
+    weight_ctx.injector = ctx.weightInjector;
+    return effectiveOperand(weights, weight_ctx);
+}
+
 void
 heInitialize(Tensor &tensor, std::uint32_t fan_in, Rng &rng)
 {
@@ -71,7 +81,7 @@ Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
     const std::uint32_t c = (w + 2 * pad_ - kernel_) / stride_ + 1;
 
     const Tensor eff_input = effectiveOperand(input, ctx);
-    const Tensor eff_weights = effectiveOperand(weights_, ctx);
+    const Tensor eff_weights = effectiveWeights(weights_, ctx);
     if (ctx.training) {
         cachedInput_ = eff_input;
         cachedWeights_ = eff_weights;
@@ -388,7 +398,7 @@ DenseLayer::forward(const Tensor &input, const ForwardContext &ctx)
     const std::uint32_t batch = input.dim(0);
 
     const Tensor eff_input = effectiveOperand(input, ctx);
-    const Tensor eff_weights = effectiveOperand(weights_, ctx);
+    const Tensor eff_weights = effectiveWeights(weights_, ctx);
     if (ctx.training) {
         cachedInput_ = eff_input;
         cachedWeights_ = eff_weights;

@@ -114,6 +114,15 @@ RetentionAwareTrainer::pretrain()
     return baselineAccuracy_;
 }
 
+std::vector<Tensor>
+RetentionAwareTrainer::exportWeights()
+{
+    std::vector<Tensor> weights;
+    for (const Param &param : model_->params())
+        weights.push_back(*param.value);
+    return weights;
+}
+
 void
 RetentionAwareTrainer::snapshotWeights()
 {

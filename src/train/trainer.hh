@@ -110,6 +110,16 @@ class RetentionAwareTrainer
     /** The model under training (for inspection). */
     const Sequential &model() const { return *model_; }
 
+    /**
+     * Copy of the current parameter tensors, in params() order.
+     * Campaign trials import these into per-trial model replicas so
+     * corrupted forward passes run without sharing layer caches.
+     */
+    std::vector<Tensor> exportWeights();
+
+    /** The dataset the trainer trains and evaluates on. */
+    const SyntheticDataset &dataset() const { return dataset_; }
+
   private:
     void trainEpochs(std::uint32_t epochs, double failure_rate,
                      bool quantized);

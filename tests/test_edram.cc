@@ -58,6 +58,31 @@ TEST(BufferSystem, OverflowIsFatal)
                  "overflow");
 }
 
+TEST(BufferSystem, CheckedOverflowIsRecoverable)
+{
+    const Result<BankAllocation> result =
+        allocateBanksChecked(edramBuffer(1), 16385, 0, 0);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Infeasible);
+    EXPECT_NE(result.error().message.find("overflow"),
+              std::string::npos);
+    EXPECT_NE(result.error().message.find("16385"),
+              std::string::npos);
+}
+
+TEST(BufferSystem, CheckedAllocationMatchesOrDieWrapper)
+{
+    const BufferGeometry geometry = edramBuffer(10);
+    const Result<BankAllocation> checked =
+        allocateBanksChecked(geometry, 16385, 16384, 1);
+    ASSERT_TRUE(checked.ok());
+    const BankAllocation direct =
+        allocateBanks(geometry, 16385, 16384, 1);
+    EXPECT_EQ(checked.value().banks, direct.banks);
+    EXPECT_EQ(checked.value().words, direct.words);
+    EXPECT_EQ(checked.value().unusedBanks, direct.unusedBanks);
+}
+
 TEST(ClockDivider, ExactDivision)
 {
     ProgrammableClockDivider divider(200e6);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Boundary tests of the bit-error injector: the geometric sparse
+ * path and the exact dense path agree statistically across the
+ * path-selection threshold, and both behave correctly at the rate
+ * extremes r = 0, r = 1 and the 1e-7 operating regime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/error_injection.hh"
+
+namespace rana {
+namespace {
+
+Tensor
+constantTensor(std::size_t words, float value)
+{
+    Tensor t({static_cast<std::uint32_t>(words)});
+    t.fill(value);
+    return t;
+}
+
+/** Corrupted-word count against the binomial five-sigma envelope. */
+void
+expectRateMatches(double rate, std::size_t words)
+{
+    const FixedPointFormat format{12};
+    Tensor t = constantTensor(words, 0.5f);
+    BitErrorInjector injector(rate, 99);
+    const std::uint64_t corrupted = injector.corruptTensor(t, format);
+    const double word_rate = 1.0 - std::pow(1.0 - rate, 16);
+    const double expected = word_rate * static_cast<double>(words);
+    const double sigma = std::sqrt(
+        expected * std::max(0.0, 1.0 - word_rate));
+    EXPECT_NEAR(static_cast<double>(corrupted), expected,
+                5.0 * sigma + 3.0)
+        << "rate " << rate;
+}
+
+TEST(ErrorInjectionBoundary, ZeroRateTouchesNothing)
+{
+    const FixedPointFormat format{12};
+    Tensor t = constantTensor(5000, 0.75f);
+    BitErrorInjector injector(0.0, 1);
+    EXPECT_DOUBLE_EQ(injector.failureRate(), 0.0);
+    EXPECT_EQ(injector.corruptTensor(t, format), 0u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.75f);
+}
+
+TEST(ErrorInjectionBoundary, FullRateFailsEveryWord)
+{
+    // At r = 1 every bit of every word fails (dense path): the
+    // corrupted count is exactly the word count, and every word reads
+    // back a fresh random value.
+    const FixedPointFormat format{12};
+    const std::size_t words = 4096;
+    Tensor t = constantTensor(words, 0.5f);
+    BitErrorInjector injector(1.0, 17);
+    EXPECT_EQ(injector.corruptTensor(t, format), words);
+}
+
+TEST(ErrorInjectionBoundary, SparsePathMatchesRateAt1e7)
+{
+    // r = 1e-7 is deep in the geometric fast path (word rate 1.6e-6):
+    // with 4M words we expect ~6.4 corrupted, within the envelope.
+    expectRateMatches(1e-7, 4u << 20);
+}
+
+TEST(ErrorInjectionBoundary, BothPathsMatchRateAtTheThreshold)
+{
+    // The injector switches from the geometric sparse path to the
+    // exact dense path at a word rate of 0.05, i.e. r ~ 3.2e-3.
+    // Both sides of the threshold must produce the same statistics.
+    expectRateMatches(3e-3, 100000);  // word rate 0.047: sparse
+    expectRateMatches(3.5e-3, 100000); // word rate 0.055: dense
+}
+
+TEST(ErrorInjectionBoundary, SparsePathIsDeterministicPerSeed)
+{
+    const FixedPointFormat format{12};
+    Tensor a = constantTensor(1u << 20, 0.25f);
+    Tensor b = constantTensor(1u << 20, 0.25f);
+    BitErrorInjector inj_a(1e-7, 42);
+    BitErrorInjector inj_b(1e-7, 42);
+    EXPECT_EQ(inj_a.corruptTensor(a, format),
+              inj_b.corruptTensor(b, format));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_FLOAT_EQ(a[i], b[i]) << i;
+}
+
+TEST(ErrorInjectionBoundary, ReseedReplaysTheStream)
+{
+    const FixedPointFormat format{12};
+    Tensor a = constantTensor(1u << 16, 0.25f);
+    Tensor b = constantTensor(1u << 16, 0.25f);
+    BitErrorInjector injector(1e-5, 7);
+    const std::uint64_t first = injector.corruptTensor(a, format);
+    injector.reseed(7);
+    const std::uint64_t second = injector.corruptTensor(b, format);
+    EXPECT_EQ(first, second);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_FLOAT_EQ(a[i], b[i]) << i;
+}
+
+TEST(ErrorInjectionBoundary, DifferentSeedsDiverge)
+{
+    const FixedPointFormat format{12};
+    Tensor a = constantTensor(1u << 18, 0.25f);
+    Tensor b = constantTensor(1u << 18, 0.25f);
+    BitErrorInjector inj_a(1e-4, 1);
+    BitErrorInjector inj_b(1e-4, 2);
+    inj_a.corruptTensor(a, format);
+    inj_b.corruptTensor(b, format);
+    bool any_different = false;
+    for (std::size_t i = 0; i < a.size() && !any_different; ++i)
+        any_different = a[i] != b[i];
+    EXPECT_TRUE(any_different);
+}
+
+} // namespace
+} // namespace rana

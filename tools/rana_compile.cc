@@ -185,9 +185,12 @@ main(int argc, char **argv)
         if (!in)
             return fail(makeError(ErrorCode::IoError, "cannot open ",
                                   verify_path));
-        const NetworkConfigRecord record = readConfig(in);
+        const Result<NetworkConfigRecord> record =
+            readConfigChecked(in);
+        if (!record.ok())
+            return fail(record.error());
         Result<NetworkSchedule> schedule = rebuildScheduleChecked(
-            design.config, network, record);
+            design.config, network, record.value());
         if (!schedule.ok())
             return fail(schedule.error());
         const ExecutionResult executed =

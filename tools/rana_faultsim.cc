@@ -1,0 +1,204 @@
+/**
+ * @file
+ * rana_faultsim — command-line front end for the retention-fault
+ * campaign engine.
+ *
+ * Compiles a benchmark network for a design point, executes the
+ * schedule on the trace simulator (optionally under injected timing
+ * faults and with the runtime reliability guard attached), samples
+ * per-bank weak-cell retention times per trial, injects the implied
+ * bit errors into the trained stand-in mini model, and reports the
+ * end-to-end accuracy degradation:
+ *
+ *   rana_faultsim <network> [options]
+ *
+ *   <network>            AlexNet | VGG | GoogLeNet | ResNet
+ *   --design NAME        S+ID | eD+ID | eD+OD | RANA0 | RANAE5 |
+ *                        RANA*  (default RANAE5)
+ *   --model NAME         MiniAlex | MiniVgg | MiniInception |
+ *                        MiniRes (default MiniVgg)
+ *   --trials N           retention-sampling trials (default 8)
+ *   --seed S             master seed (default 1)
+ *   --jobs N             trial worker lanes (0 = hardware threads)
+ *   --slowdown FACTOR    multiply every tile's time (timing fault)
+ *   --stall SECONDS      stall before each outer scan (timing fault)
+ *   --guard              attach the runtime reliability guard
+ *   --no-retrain         skip retention-aware retraining (control)
+ *   --markdown           emit the scenario row as a markdown table
+ *
+ * Exit codes: 0 success, 1 bad usage or failed campaign, 2 a guarded
+ * run still observed corrupted-word events (the guard failed its
+ * zero-corruption promise).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rana.hh"
+#include "robust/fault_campaign.hh"
+
+namespace {
+
+using namespace rana;
+
+Result<DesignKind>
+parseDesign(const std::string &name)
+{
+    if (name == "S+ID")
+        return DesignKind::SramId;
+    if (name == "eD+ID")
+        return DesignKind::EdramId;
+    if (name == "eD+OD")
+        return DesignKind::EdramOd;
+    if (name == "RANA0")
+        return DesignKind::Rana0;
+    if (name == "RANAE5")
+        return DesignKind::RanaE5;
+    if (name == "RANA*")
+        return DesignKind::RanaStarE5;
+    return makeError(ErrorCode::InvalidArgument, "unknown design '",
+                     name,
+                     "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 "
+                     "or RANA*)");
+}
+
+Result<MiniModelKind>
+parseModel(const std::string &name)
+{
+    if (name == "MiniAlex")
+        return MiniModelKind::MiniAlex;
+    if (name == "MiniVgg")
+        return MiniModelKind::MiniVgg;
+    if (name == "MiniInception")
+        return MiniModelKind::MiniInception;
+    if (name == "MiniRes")
+        return MiniModelKind::MiniRes;
+    return makeError(ErrorCode::InvalidArgument, "unknown model '",
+                     name,
+                     "' (expected MiniAlex, MiniVgg, MiniInception "
+                     "or MiniRes)");
+}
+
+/** Print a failure and choose the tool's exit code. */
+int
+fail(const Error &error)
+{
+    std::cerr << "rana_faultsim: " << error.describe() << "\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: rana_faultsim <network> [--design NAME] "
+                     "[--model NAME] [--trials N] [--seed S] "
+                     "[--jobs N] [--slowdown FACTOR] "
+                     "[--stall SECONDS] [--guard] [--no-retrain] "
+                     "[--markdown]\n";
+        return 1;
+    }
+
+    const std::string network_name = argv[1];
+    std::string design_name = "RANAE5";
+    std::string model_name = "MiniVgg";
+    FaultCampaignConfig config;
+    bool markdown = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "rana_faultsim: missing value after "
+                          << arg << "\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto number = [&](const std::string &value) -> double {
+            char *end = nullptr;
+            const double parsed = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0') {
+                std::cerr << "rana_faultsim: " << arg
+                          << " expects a number, got '" << value
+                          << "'\n";
+                std::exit(1);
+            }
+            return parsed;
+        };
+        if (arg == "--design") {
+            design_name = next();
+        } else if (arg == "--model") {
+            model_name = next();
+        } else if (arg == "--trials") {
+            config.trials =
+                static_cast<std::uint32_t>(number(next()));
+        } else if (arg == "--seed") {
+            config.seed = static_cast<std::uint64_t>(number(next()));
+        } else if (arg == "--jobs") {
+            config.jobs = static_cast<unsigned>(number(next()));
+        } else if (arg == "--slowdown") {
+            config.timingFaults.slowdownFactor = number(next());
+        } else if (arg == "--stall") {
+            config.timingFaults.scanStallSeconds = number(next());
+        } else if (arg == "--guard") {
+            config.guard = true;
+        } else if (arg == "--no-retrain") {
+            config.retrain = false;
+        } else if (arg == "--markdown") {
+            markdown = true;
+        } else {
+            return fail(makeError(ErrorCode::InvalidArgument,
+                                  "unknown option ", arg));
+        }
+    }
+
+    const Result<DesignKind> kind = parseDesign(design_name);
+    if (!kind.ok())
+        return fail(kind.error());
+    const Result<MiniModelKind> model = parseModel(model_name);
+    if (!model.ok())
+        return fail(model.error());
+    config.model = model.value();
+
+    if (network_name != "AlexNet" && network_name != "VGG" &&
+        network_name != "GoogLeNet" && network_name != "ResNet")
+        return fail(makeError(ErrorCode::InvalidArgument,
+                              "unknown benchmark network '",
+                              network_name,
+                              "' (expected AlexNet, VGG, GoogLeNet "
+                              "or ResNet)"));
+    const NetworkModel network = makeBenchmark(network_name);
+    const RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+    const DesignPoint design =
+        makeDesignPoint(kind.value(), retention);
+    config.retention = retention;
+
+    const Result<FaultCampaignReport> campaign =
+        runFaultCampaign(design, network, config);
+    if (!campaign.ok())
+        return fail(campaign.error());
+    const FaultCampaignReport &report = campaign.value();
+
+    std::cerr << report.describe() << "\n";
+    if (markdown) {
+        ReliabilityScenarioRow row;
+        row.name = report.designName + " / " + report.networkName;
+        row.executionSeconds = report.executionSeconds;
+        row.violations = report.retentionViolations;
+        row.guarded = report.guarded;
+        row.guardTrips = report.guardStats.trips;
+        row.banksReenabled = report.guardStats.banksReenabled;
+        row.fallbackRefreshOps = report.guardStats.fallbackRefreshOps;
+        row.meanRelativeAccuracy = report.meanRelativeAccuracy;
+        row.worstRelativeAccuracy = report.worstRelativeAccuracy;
+        std::cout << markdownReliabilityTable({row});
+    }
+
+    if (report.guarded && report.retentionViolations > 0)
+        return 2;
+    return 0;
+}
