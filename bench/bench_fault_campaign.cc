@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Fault-campaign sweep harness: the EDEN-style accuracy frontier
+ * over a failure-rate x refresh-interval grid (the operational
+ * counterpart of Figure 16's retention-time sweep).
+ *
+ * Sweeps the RANA(E-5) design on AlexNet across four retraining
+ * failure rates and three refresh intervals, 100 trials per cell
+ * (RANA_CAMPAIGN_TRIALS overrides), and reports the p5/p50/p95/worst
+ * relative-accuracy band per cell. Emits the machine-readable
+ * BENCH_fault_campaign.json consumed by the CI regression gate
+ * (tools/check_bench.py): the gated statistic is the p50 relative
+ * accuracy at the paper's retrained 1e-5 operating point.
+ *
+ * The sweep is deterministic per seed for any worker-lane count, so
+ * the JSON is reproducible across runs on the same build.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "robust/campaign_sweep.hh"
+#include "util/ascii_chart.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace rana;
+
+/** The paper's retrained operating point within the grid. */
+constexpr double kGateRate = 1e-5;
+
+std::string
+rateLabel(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0e", rate);
+    return buf;
+}
+
+std::string
+intervalLabel(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+    return buf;
+}
+
+/** Render the sweep as the machine-readable JSON artifact. */
+std::string
+sweepJson(const CampaignSweepReport &report,
+          const CampaignSweepConfig &config)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("bench", "fault_campaign");
+    json.field("design", report.designName);
+    json.field("network", report.networkName);
+    json.field("model", report.modelName);
+    json.field("trials",
+               static_cast<std::uint64_t>(config.campaign.trials));
+    json.field("seed", config.campaign.seed);
+    json.field("baseline_accuracy", report.baselineAccuracy);
+    json.beginArray("failure_rates");
+    for (double rate : report.failureRates)
+        json.element(rate);
+    json.endArray();
+    json.beginArray("refresh_intervals");
+    for (double interval : report.refreshIntervals)
+        json.element(interval);
+    json.endArray();
+    json.beginArray("cells");
+    for (const SweepCell &cell : report.cells) {
+        const FaultCampaignReport &r = cell.report;
+        json.beginObject();
+        json.field("failure_rate", cell.failureRate);
+        json.field("refresh_interval", cell.refreshIntervalSeconds);
+        json.field("mean_accuracy", r.meanAccuracy);
+        json.field("p5_accuracy", r.p5Accuracy);
+        json.field("p50_accuracy", r.p50Accuracy);
+        json.field("p95_accuracy", r.p95Accuracy);
+        json.field("worst_accuracy", r.worstAccuracy);
+        json.field("mean_relative_accuracy", r.meanRelativeAccuracy);
+        json.field("p5_relative_accuracy", r.p5RelativeAccuracy);
+        json.field("p50_relative_accuracy", r.p50RelativeAccuracy);
+        json.field("p95_relative_accuracy", r.p95RelativeAccuracy);
+        json.field("worst_relative_accuracy",
+                   r.worstRelativeAccuracy);
+        json.field("mean_weight_failure_rate",
+                   r.meanWeightFailureRate);
+        json.field("mean_activation_failure_rate",
+                   r.meanActivationFailureRate);
+        json.field("execution_seconds", r.executionSeconds);
+        json.field("refresh_ops", r.refreshOps);
+        json.field("retention_violations", r.retentionViolations);
+        json.endObject();
+    }
+    json.endArray();
+    // The CI gate's statistic, surfaced at the top level so the
+    // checker does not have to match floating-point grid axes.
+    const SweepCell *gate = nullptr;
+    for (const SweepCell &cell : report.cells) {
+        if (cell.failureRate == kGateRate &&
+            cell.refreshIntervalSeconds ==
+                report.refreshIntervals[1]) {
+            gate = &cell;
+        }
+    }
+    if (gate != nullptr) {
+        json.beginObject("gate");
+        json.field("failure_rate", gate->failureRate);
+        json.field("refresh_interval",
+                   gate->refreshIntervalSeconds);
+        json.field("p50_relative_accuracy",
+                   gate->report.p50RelativeAccuracy);
+        json.field("worst_relative_accuracy",
+                   gate->report.worstRelativeAccuracy);
+        json.endObject();
+    }
+    json.endObject();
+    return json.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rana::bench;
+
+    banner("Fault-campaign sweep - accuracy percentile bands over "
+           "the failure-rate x refresh-interval grid");
+
+    CampaignSweepConfig config;
+    config.failureRates = {0.0, 1e-5, 1e-4, 1e-3};
+    // 45us is the worst-case-cell interval, 734us the certified
+    // 1e-5 interval, 1440us Figure 16's far end.
+    config.refreshIntervals = {45e-6, 734e-6, 1440e-6};
+    config.campaign.trials = 100;
+    if (const char *env = std::getenv("RANA_CAMPAIGN_TRIALS")) {
+        config.campaign.trials = static_cast<std::uint32_t>(
+            std::max(1, std::atoi(env)));
+    }
+    config.campaign.seed = 3;
+    config.campaign.dataset.trainSamples = 256;
+    config.campaign.dataset.testSamples = 128;
+    config.campaign.dataset.imageSize = 12;
+    config.campaign.dataset.numClasses = 4;
+    config.campaign.trainer.pretrainEpochs = 6;
+    config.campaign.trainer.retrainEpochs = 2;
+    config.campaign.trainer.evalRepeats = 2;
+
+    const DesignPoint design =
+        makeDesignPoint(DesignKind::RanaE5, retention());
+    const NetworkModel network = makeAlexNet();
+
+    std::cout << design.name << " on " << network.name() << ", "
+              << config.campaign.trials << " trials per cell, "
+              << config.failureRates.size() << "x"
+              << config.refreshIntervals.size() << " grid\n\n";
+
+    const Result<CampaignSweepReport> swept =
+        runCampaignSweep(design, network, config);
+    if (!swept.ok())
+        fatal("campaign sweep failed: ", swept.error().message);
+    const CampaignSweepReport &report = swept.value();
+
+    // The Figure-16-comparable table: one row per grid cell with
+    // the execution counters and the accuracy band.
+    TextTable table("Accuracy band per (failure rate, interval)");
+    table.header({"Rate", "Interval", "Refresh ops", "p5", "p50",
+                  "p95", "worst", "rel. p50"});
+    for (std::size_t r = 0; r < report.failureRates.size(); ++r) {
+        for (std::size_t i = 0; i < report.refreshIntervals.size();
+             ++i) {
+            const FaultCampaignReport &cell = report.at(r, i).report;
+            table.row({rateLabel(report.failureRates[r]),
+                       intervalLabel(report.refreshIntervals[i]),
+                       std::to_string(cell.refreshOps),
+                       ratio(cell.p5Accuracy),
+                       ratio(cell.p50Accuracy),
+                       ratio(cell.p95Accuracy),
+                       ratio(cell.worstAccuracy),
+                       ratio(cell.p50RelativeAccuracy)});
+        }
+        table.rule();
+    }
+    table.print(std::cout);
+
+    // The accuracy-vs-rate frontier at the certified interval.
+    const std::size_t op_interval = 1;
+    BarChart chart("Relative p50 accuracy vs failure rate at " +
+                   intervalLabel(
+                       report.refreshIntervals[op_interval]));
+    chart.segments({"relative p50 accuracy"});
+    for (std::size_t r = 0; r < report.failureRates.size(); ++r) {
+        chart.bar(rateLabel(report.failureRates[r]),
+                  {report.at(r, op_interval)
+                       .report.p50RelativeAccuracy});
+    }
+    std::cout << "\n";
+    chart.print(std::cout);
+
+    std::cout << "\nMarkdown percentile grid (relative accuracy, "
+                 "p50 [p5, p95]):\n\n"
+              << report.percentileTable();
+
+    const std::string json = sweepJson(report, config);
+    std::ofstream out("BENCH_fault_campaign.json");
+    out << json;
+    out.close();
+    std::cout << "\nwrote BENCH_fault_campaign.json ("
+              << json.size() << " bytes)\n";
+    return 0;
+}

@@ -21,10 +21,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "rana.hh"
+#include "util/json_writer.hh"
 
 namespace {
 
@@ -98,6 +100,13 @@ main()
 
     TextTable table("scheduleNetwork wall-clock vs. jobs");
     table.header({"jobs", "wall-clock", "speedup", "identical"});
+    JsonWriter json;
+    json.beginObject();
+    json.field("bench", "sched_scaling");
+    json.field("network", net.name());
+    json.field("hardware_jobs", static_cast<std::uint64_t>(hw));
+    json.field("repeat", static_cast<std::uint64_t>(repeat));
+    json.beginArray("points");
     double serial_seconds = 0.0;
     for (unsigned jobs : lanes) {
         const SchedulerOptions options = SchedulerOptionsBuilder()
@@ -112,10 +121,17 @@ main()
         table.row({std::to_string(jobs), seconds(best),
                    times(serial_seconds / best),
                    bytes == serial_bytes ? "yes" : "NO"});
+        json.beginObject();
+        json.field("jobs", static_cast<std::uint64_t>(jobs));
+        json.field("seconds", best);
+        json.field("speedup", serial_seconds / best);
+        json.field("identical", bytes == serial_bytes);
+        json.endObject();
         if (bytes != serial_bytes)
             fatal("jobs=", jobs,
                   " schedule differs from the serial schedule");
     }
+    json.endArray();
     table.print(std::cout);
 
     // The memoization cache: a second compile of the same design
@@ -135,5 +151,19 @@ main()
               << times(cold / std::max(warm, 1e-9)) << ")\n"
               << "  " << stats.hits << " hits / " << stats.misses
               << " misses, " << stats.entries << " entries\n";
+
+    json.beginObject("cache");
+    json.field("cold_seconds", cold);
+    json.field("warm_seconds", warm);
+    json.field("hits", stats.hits);
+    json.field("misses", stats.misses);
+    json.field("entries", static_cast<std::uint64_t>(stats.entries));
+    json.endObject();
+    json.endObject();
+    const std::string artifact = json.str();
+    std::ofstream out("BENCH_sched_scaling.json");
+    out << artifact;
+    std::cout << "\nwrote BENCH_sched_scaling.json ("
+              << artifact.size() << " bytes)\n";
     return 0;
 }

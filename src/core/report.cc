@@ -149,4 +149,32 @@ markdownReliabilityTable(const std::vector<ReliabilityScenarioRow> &rows)
     return oss.str();
 }
 
+std::string
+markdownValueGrid(const std::string &corner,
+                  const std::vector<std::string> &row_labels,
+                  const std::vector<std::string> &col_labels,
+                  const std::vector<std::vector<std::string>> &cells)
+{
+    RANA_ASSERT(cells.size() == row_labels.size(),
+                "value grid row count mismatch: ", cells.size(),
+                " vs ", row_labels.size());
+    std::ostringstream oss;
+    oss << "| " << corner << " |";
+    for (const std::string &label : col_labels)
+        oss << " " << label << " |";
+    oss << "\n|---|";
+    for (std::size_t i = 0; i < col_labels.size(); ++i)
+        oss << "---|";
+    oss << "\n";
+    for (std::size_t r = 0; r < row_labels.size(); ++r) {
+        RANA_ASSERT(cells[r].size() == col_labels.size(),
+                    "value grid column count mismatch in row ", r);
+        oss << "| " << row_labels[r] << " |";
+        for (const std::string &cell : cells[r])
+            oss << " " << cell << " |";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
 } // namespace rana

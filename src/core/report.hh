@@ -126,6 +126,18 @@ struct ReliabilityScenarioRow
 std::string markdownReliabilityTable(
     const std::vector<ReliabilityScenarioRow> &rows);
 
+/**
+ * Markdown pipe table of a labelled value grid: `corner` heads the
+ * label column, one row per `row_labels` entry, one column per
+ * `col_labels` entry. `cells` is row-major and must match the label
+ * counts exactly.
+ */
+std::string
+markdownValueGrid(const std::string &corner,
+                  const std::vector<std::string> &row_labels,
+                  const std::vector<std::string> &col_labels,
+                  const std::vector<std::vector<std::string>> &cells);
+
 } // namespace rana
 
 #endif // RANA_CORE_REPORT_HH_

@@ -282,8 +282,8 @@ makeBenchmarkSuite()
             makeResNet50()};
 }
 
-NetworkModel
-makeBenchmark(const std::string &name)
+Result<NetworkModel>
+makeBenchmarkChecked(const std::string &name)
 {
     if (name == "AlexNet")
         return makeAlexNet();
@@ -293,8 +293,19 @@ makeBenchmark(const std::string &name)
         return makeGoogLeNet();
     if (name == "ResNet")
         return makeResNet50();
-    fatal("unknown benchmark network '", name,
-          "' (expected AlexNet, VGG, GoogLeNet or ResNet)");
+    return makeError(ErrorCode::InvalidArgument,
+                     "unknown benchmark network '", name,
+                     "' (expected AlexNet, VGG, GoogLeNet or "
+                     "ResNet)");
+}
+
+NetworkModel
+makeBenchmark(const std::string &name)
+{
+    Result<NetworkModel> network = makeBenchmarkChecked(name);
+    if (!network.ok())
+        fatal(network.error().describe());
+    return std::move(network).value();
 }
 
 } // namespace rana

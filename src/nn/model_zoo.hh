@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nn/network_model.hh"
+#include "util/result.hh"
 
 namespace rana {
 
@@ -63,8 +64,12 @@ std::vector<NetworkModel> makeBenchmarkSuite();
 
 /**
  * Look up one benchmark by its paper name ("AlexNet", "VGG",
- * "GoogLeNet", "ResNet"); calls fatal() for unknown names.
+ * "GoogLeNet", "ResNet"); fails with ErrorCode::InvalidArgument for
+ * unknown names.
  */
+Result<NetworkModel> makeBenchmarkChecked(const std::string &name);
+
+/** makeBenchmark, aborting on unknown names (prototyping wrapper). */
 NetworkModel makeBenchmark(const std::string &name);
 
 } // namespace rana

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Implementation of the campaign sweep engine.
+ */
+
+#include "robust/campaign_sweep.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/report.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+const SweepCell &
+CampaignSweepReport::at(std::size_t rate, std::size_t interval) const
+{
+    RANA_ASSERT(rate < failureRates.size(),
+                "sweep rate index out of range: ", rate);
+    RANA_ASSERT(interval < refreshIntervals.size(),
+                "sweep interval index out of range: ", interval);
+    return cells[rate * refreshIntervals.size() + interval];
+}
+
+std::string
+CampaignSweepReport::percentileTable() const
+{
+    std::vector<std::string> cols;
+    for (double interval : refreshIntervals) {
+        std::ostringstream oss;
+        oss << std::scientific << std::setprecision(2) << interval
+            << " s";
+        cols.push_back(oss.str());
+    }
+    std::vector<std::string> rows;
+    std::vector<std::vector<std::string>> cells;
+    for (std::size_t r = 0; r < failureRates.size(); ++r) {
+        std::ostringstream label;
+        label << std::scientific << std::setprecision(1)
+              << failureRates[r];
+        rows.push_back(label.str());
+        std::vector<std::string> row;
+        for (std::size_t i = 0; i < refreshIntervals.size(); ++i) {
+            const FaultCampaignReport &report = at(r, i).report;
+            std::ostringstream oss;
+            oss << std::fixed << std::setprecision(3)
+                << report.p50RelativeAccuracy << " ["
+                << report.p5RelativeAccuracy << ", "
+                << report.p95RelativeAccuracy << "]";
+            row.push_back(oss.str());
+        }
+        cells.push_back(std::move(row));
+    }
+    return markdownValueGrid("Failure rate", rows, cols, cells);
+}
+
+Result<CampaignSweepReport>
+runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
+                 const CampaignSweepConfig &config)
+{
+    if (config.failureRates.empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "campaign sweep needs at least one failure "
+                         "rate");
+    }
+    if (config.refreshIntervals.empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "campaign sweep needs at least one refresh "
+                         "interval");
+    }
+    for (double rate : config.failureRates) {
+        if (rate < 0.0 || rate >= 1.0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "sweep failure rate outside [0, 1): ",
+                             rate);
+        }
+    }
+    for (double interval : config.refreshIntervals) {
+        if (interval <= 0.0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "sweep refresh interval must be "
+                             "positive: ",
+                             interval);
+        }
+    }
+    if (config.campaign.trials == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "fault campaign needs at least one trial");
+    }
+
+    CampaignSweepReport report;
+    report.designName = design.name;
+    report.networkName = network.name();
+    report.failureRates = config.failureRates;
+    report.refreshIntervals = config.refreshIntervals;
+
+    // The trace is simulated once per refresh interval; the rate
+    // axis reuses these exposures unchanged.
+    std::vector<DesignPoint> points;
+    std::vector<CampaignExposures> exposures;
+    points.reserve(config.refreshIntervals.size());
+    exposures.reserve(config.refreshIntervals.size());
+    for (double interval : config.refreshIntervals) {
+        DesignPoint point = design;
+        point.options.refreshIntervalSeconds = interval;
+        Result<CampaignExposures> simulated =
+            simulateExposures(point, network, config.campaign);
+        if (!simulated.ok())
+            return simulated.error();
+        points.push_back(std::move(point));
+        exposures.push_back(std::move(simulated).value());
+    }
+
+    // The stand-in model is pretrained once; each rate retrains from
+    // the pretrained snapshot and exports one shared store for all
+    // of its intervals' trials.
+    RetentionAwareTrainer trainer(config.campaign.model,
+                                  config.campaign.dataset,
+                                  config.campaign.trainer);
+    report.baselineAccuracy = trainer.pretrain();
+    report.modelName = miniModelName(config.campaign.model);
+
+    report.cells.reserve(config.failureRates.size() *
+                         config.refreshIntervals.size());
+    for (double rate : config.failureRates) {
+        const CampaignModel model =
+            prepareCampaignModel(trainer, config.campaign, rate);
+        for (std::size_t i = 0; i < config.refreshIntervals.size();
+             ++i) {
+            DesignPoint point = points[i];
+            point.failureRate = rate;
+            Result<FaultCampaignReport> cell_report =
+                runPreparedCampaign(point, exposures[i], model,
+                                    config.campaign);
+            if (!cell_report.ok())
+                return cell_report.error();
+            SweepCell cell;
+            cell.failureRate = rate;
+            cell.refreshIntervalSeconds = config.refreshIntervals[i];
+            cell.report = std::move(cell_report).value();
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    return report;
+}
+
+} // namespace rana

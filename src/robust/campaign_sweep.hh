@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Campaign sweep engine: the Figure-16-style frontier.
+ *
+ * The paper picks one operating point per design (a tolerable
+ * failure rate and the retention time it buys); EDEN-style
+ * characterization instead maps the whole accuracy surface over a
+ * failure-rate x refresh-interval grid. The sweep drives the fault
+ * campaign's phases over that cartesian grid while reusing the
+ * expensive products:
+ *
+ *   - the trace is simulated once per refresh interval (the
+ *     schedule and the observed lifetimes depend on the interval,
+ *     not on the rate);
+ *   - the stand-in model is pretrained once and retrained once per
+ *     failure rate (retention-aware training targets the rate, not
+ *     the interval);
+ *   - each grid cell then runs only the cheap trial fan-out against
+ *     the shared pre-quantized weight store.
+ *
+ * Every per-cell report carries the p5/p50/p95/worst accuracy band,
+ * so the sweep output is directly comparable to the paper's bounded
+ * accuracy-loss claim instead of a single mean.
+ */
+
+#ifndef RANA_ROBUST_CAMPAIGN_SWEEP_HH_
+#define RANA_ROBUST_CAMPAIGN_SWEEP_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "robust/fault_campaign.hh"
+
+namespace rana {
+
+/** Configuration of one campaign sweep. */
+struct CampaignSweepConfig
+{
+    /** Failure rates of the grid rows (retraining targets). */
+    std::vector<double> failureRates;
+    /** Refresh intervals of the grid columns, in seconds. */
+    std::vector<double> refreshIntervals;
+    /** Per-cell campaign configuration (trials, seed, jobs, ...). */
+    FaultCampaignConfig campaign;
+};
+
+/** One grid cell: a full campaign at (rate, interval). */
+struct SweepCell
+{
+    double failureRate = 0.0;
+    double refreshIntervalSeconds = 0.0;
+    FaultCampaignReport report;
+};
+
+/** Report of one campaign sweep. */
+struct CampaignSweepReport
+{
+    std::string designName;
+    std::string networkName;
+    std::string modelName;
+    /** Error-free fixed-point baseline accuracy. */
+    double baselineAccuracy = 0.0;
+    /** Grid row values (failure rates), in configuration order. */
+    std::vector<double> failureRates;
+    /** Grid column values (refresh intervals), in config order. */
+    std::vector<double> refreshIntervals;
+    /** Cells in row-major order (rate-major, interval-minor). */
+    std::vector<SweepCell> cells;
+
+    /** The cell at (rate index, interval index). */
+    const SweepCell &at(std::size_t rate, std::size_t interval) const;
+
+    /**
+     * Markdown grid of relative accuracy per cell, rendered as
+     * "p50 [p5, p95]" with fixed precision — byte-identical per
+     * seed for any lane count.
+     */
+    std::string percentileTable() const;
+};
+
+/**
+ * Sweep the fault campaign of `config.campaign` for `design` on
+ * `network` over the cartesian failureRates x refreshIntervals
+ * grid. Fails with ErrorCode::InvalidArgument on a degenerate grid
+ * (an empty axis, a non-positive interval, a rate outside [0, 1),
+ * or zero trials) and with the scheduler's error when the design
+ * cannot run the network at some interval.
+ */
+Result<CampaignSweepReport>
+runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
+                 const CampaignSweepConfig &config);
+
+} // namespace rana
+
+#endif // RANA_ROBUST_CAMPAIGN_SWEEP_HH_

@@ -15,6 +15,7 @@
 #include "train/loss.hh"
 #include "train/mini_models.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 #include "util/thread_pool.hh"
 
 namespace rana {
@@ -45,17 +46,6 @@ typeRefreshed(RefreshPolicy policy, const LayerSchedule &layer,
     panic("unreachable refresh policy in typeRefreshed");
 }
 
-/** Copy exported parameter tensors into a model replica. */
-void
-importWeights(Sequential &model, const std::vector<Tensor> &weights)
-{
-    const auto params = model.params();
-    RANA_ASSERT(params.size() == weights.size(),
-                "exported weights do not match the model replica");
-    for (std::size_t i = 0; i < params.size(); ++i)
-        *params[i].value = weights[i];
-}
-
 } // namespace
 
 std::string
@@ -64,10 +54,11 @@ FaultCampaignReport::describe() const
     std::ostringstream oss;
     oss << designName << " on " << networkName << " (" << modelName
         << "): baseline " << baselineAccuracy << ", mean accuracy "
-        << meanAccuracy << " (worst " << worstAccuracy << ", relative "
-        << meanRelativeAccuracy << ") over " << trials.size()
-        << " trials, " << retentionViolations
-        << " corrupted-word events";
+        << meanAccuracy << " (p5 " << p5Accuracy << ", p50 "
+        << p50Accuracy << ", p95 " << p95Accuracy << ", worst "
+        << worstAccuracy << ", relative " << meanRelativeAccuracy
+        << ") over " << trials.size() << " trials, "
+        << retentionViolations << " corrupted-word events";
     if (guarded) {
         oss << ", guard trips " << guardStats.trips << " ("
             << guardStats.banksReenabled << " banks re-enabled)";
@@ -75,27 +66,20 @@ FaultCampaignReport::describe() const
     return oss.str();
 }
 
-Result<FaultCampaignReport>
-runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
-                 const FaultCampaignConfig &config)
+Result<CampaignExposures>
+simulateExposures(const DesignPoint &design,
+                  const NetworkModel &network,
+                  const FaultCampaignConfig &config)
 {
-    if (config.trials == 0) {
-        return makeError(ErrorCode::InvalidArgument,
-                         "fault campaign needs at least one trial");
-    }
-
     Result<NetworkSchedule> scheduled =
         scheduleNetwork(design.config, network, design.options);
     if (!scheduled.ok())
         return scheduled.error();
     const NetworkSchedule schedule = std::move(scheduled).value();
 
-    FaultCampaignReport report;
-    report.designName = design.name;
-    report.networkName = network.name();
-    report.modelName = miniModelName(config.model);
-    report.operatingFailureRate = design.failureRate;
-    report.guarded = config.guard;
+    CampaignExposures result;
+    result.networkName = network.name();
+    result.guarded = config.guard;
 
     // Phase 1: execute the schedule on the trace simulator, under
     // the configured timing faults and (optionally) the runtime
@@ -112,12 +96,12 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
     for (std::size_t i = 0; i < network.size(); ++i) {
         layer_sims.push_back(simulator.runLayer(
             network.layer(i), schedule.layers[i].analysis));
-        report.executionSeconds += layer_sims.back().layerSeconds;
+        result.executionSeconds += layer_sims.back().layerSeconds;
     }
-    report.retentionViolations = simulator.totalViolations();
-    report.refreshOps = simulator.totalRefreshOps();
+    result.retentionViolations = simulator.totalViolations();
+    result.refreshOps = simulator.totalRefreshOps();
     if (config.guard)
-        report.guardStats = guard.stats();
+        result.guardStats = guard.stats();
 
     // Phase 2: exposure per (layer, data type). Refreshed banks age
     // at most one refresh interval; a guarded run caps unrefreshed
@@ -127,7 +111,7 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
     const double interval = design.options.refreshIntervalSeconds;
     const bool volatile_cells =
         macroParams(design.config.buffer.technology).needsRefresh;
-    report.exposures.reserve(network.size());
+    result.exposures.reserve(network.size());
     for (std::size_t i = 0; i < network.size(); ++i) {
         const LayerSchedule &layer = schedule.layers[i];
         const BankAllocation alloc =
@@ -151,19 +135,68 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
                 exposed = std::min(exposed, interval);
             exposure.exposureSeconds[t] = exposed;
         }
-        report.exposures.push_back(std::move(exposure));
+        result.exposures.push_back(std::move(exposure));
     }
+    return result;
+}
 
-    // Phase 3: train the stand-in model. The retrain at the design's
-    // operating failure rate is the paper's retention-aware training;
-    // skipping it gives the untrained control.
-    RetentionAwareTrainer trainer(config.model, config.dataset,
-                                  config.trainer);
-    report.baselineAccuracy = trainer.pretrain();
-    if (config.retrain && design.failureRate > 0.0)
-        trainer.retrainAndEvaluate(design.failureRate);
-    const std::vector<Tensor> weights = trainer.exportWeights();
-    const Batch test = trainer.dataset().testBatch();
+CampaignModel
+prepareCampaignModel(RetentionAwareTrainer &trainer,
+                     const FaultCampaignConfig &config,
+                     double failure_rate)
+{
+    // Phase 3: train the stand-in model. The retrain at the
+    // operating failure rate is the paper's retention-aware
+    // training; skipping it gives the untrained control.
+    trainer.restorePretrained();
+    if (config.retrain && failure_rate > 0.0)
+        trainer.retrainAndEvaluate(failure_rate);
+
+    CampaignModel model;
+    model.modelName = miniModelName(config.model);
+    model.baselineAccuracy = trainer.baselineAccuracy();
+    model.failureRate = failure_rate;
+    model.format = config.trainer.format;
+    model.weights = trainer.exportWeightsShared(&model.format);
+    model.test = trainer.dataset().testBatch();
+    return model;
+}
+
+Result<FaultCampaignReport>
+runPreparedCampaign(const DesignPoint &design,
+                    const CampaignExposures &exposures,
+                    const CampaignModel &model,
+                    const FaultCampaignConfig &config)
+{
+    if (config.trials == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "fault campaign needs at least one trial");
+    }
+    RANA_ASSERT(model.weights != nullptr,
+                "campaign model has no weight store");
+
+    FaultCampaignReport report;
+    report.designName = design.name;
+    report.networkName = exposures.networkName;
+    report.modelName = model.modelName;
+    report.operatingFailureRate = model.failureRate;
+    report.baselineAccuracy = model.baselineAccuracy;
+    report.guarded = exposures.guarded;
+    report.guardStats = exposures.guardStats;
+    report.exposures = exposures.exposures;
+    report.executionSeconds = exposures.executionSeconds;
+    report.retentionViolations = exposures.retentionViolations;
+    report.refreshOps = exposures.refreshOps;
+
+    // One skeleton model serves every trial: eval-mode forward
+    // passes are re-entrant, the bound store is immutable, and a
+    // trial copies the weights only when it actually injects bit
+    // errors (copy-on-corrupt).
+    Rng skeleton_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    auto skeleton =
+        makeMiniModel(config.model, config.dataset.imageSize,
+                      config.dataset.numClasses, skeleton_rng);
+    bindSharedWeights(*skeleton, *model.weights);
 
     // Denominators of the effective-rate averages: every buffered
     // word of the class across the network, exposed or not.
@@ -179,10 +212,9 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
 
     // Phase 4: trials. Each trial samples one chip (per-bank weakest
     // cells), converts exposed words into effective failure rates,
-    // and measures the corrupted forward pass on its own model
-    // replica (forward passes mutate layer caches, so replicas keep
-    // the fan-out race-free). Results land in per-trial slots, so
-    // the report is identical for any lane count.
+    // and measures the corrupted forward pass. Results land in
+    // per-trial slots, so the report is identical for any lane
+    // count.
     const RetentionSampler sampler(
         config.retention, design.config.buffer.bankWords() * 16);
     const std::uint64_t bank_words = design.config.buffer.bankWords();
@@ -248,26 +280,22 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
             total_act_words > 0.0 ? weighted_act / total_act_words
                                   : 0.0;
 
-        Rng model_rng(trial_seed ^ 0x5851f42d4c957f2dULL);
-        auto replica = makeMiniModel(config.model,
-                                     config.dataset.imageSize,
-                                     config.dataset.numClasses,
-                                     model_rng);
-        importWeights(*replica, weights);
         BitErrorInjector act_injector(result.activationFailureRate,
                                       trial_seed * 2 + 1);
         BitErrorInjector weight_injector(result.weightFailureRate,
                                          trial_seed * 2 + 2);
         ForwardContext ctx;
-        ctx.quant = &config.trainer.format;
+        ctx.quant = &model.format;
         ctx.injector = &act_injector;
         ctx.weightInjector = &weight_injector;
+        ctx.weightsPreQuantized = true;
         ctx.training = false;
-        const Tensor logits = replica->forward(test.images, ctx);
+        const Tensor logits = skeleton->forward(model.test.images, ctx);
         const LossResult loss =
-            softmaxCrossEntropy(logits, test.labels);
-        result.accuracy = static_cast<double>(loss.correct) /
-                          static_cast<double>(test.labels.size());
+            softmaxCrossEntropy(logits, model.test.labels);
+        result.accuracy =
+            static_cast<double>(loss.correct) /
+            static_cast<double>(model.test.labels.size());
         result.relativeAccuracy =
             report.baselineAccuracy > 0.0
                 ? result.accuracy / report.baselineAccuracy
@@ -275,9 +303,15 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
         report.trials[trial] = result;
     });
 
+    std::vector<double> accuracies;
+    std::vector<double> relatives;
+    accuracies.reserve(report.trials.size());
+    relatives.reserve(report.trials.size());
     report.worstAccuracy = 1.0;
     report.worstRelativeAccuracy = 1.0;
     for (const TrialResult &trial : report.trials) {
+        accuracies.push_back(trial.accuracy);
+        relatives.push_back(trial.relativeAccuracy);
         report.meanAccuracy += trial.accuracy;
         report.meanRelativeAccuracy += trial.relativeAccuracy;
         report.meanWeightFailureRate += trial.weightFailureRate;
@@ -293,7 +327,35 @@ runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
     report.meanRelativeAccuracy /= count;
     report.meanWeightFailureRate /= count;
     report.meanActivationFailureRate /= count;
+    report.p5Accuracy = percentile(accuracies, 5.0);
+    report.p50Accuracy = percentile(accuracies, 50.0);
+    report.p95Accuracy = percentile(accuracies, 95.0);
+    report.p5RelativeAccuracy = percentile(relatives, 5.0);
+    report.p50RelativeAccuracy = percentile(relatives, 50.0);
+    report.p95RelativeAccuracy = percentile(relatives, 95.0);
     return report;
+}
+
+Result<FaultCampaignReport>
+runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
+                 const FaultCampaignConfig &config)
+{
+    if (config.trials == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "fault campaign needs at least one trial");
+    }
+    Result<CampaignExposures> exposures =
+        simulateExposures(design, network, config);
+    if (!exposures.ok())
+        return exposures.error();
+
+    RetentionAwareTrainer trainer(config.model, config.dataset,
+                                  config.trainer);
+    trainer.pretrain();
+    const CampaignModel model =
+        prepareCampaignModel(trainer, config, design.failureRate);
+    return runPreparedCampaign(design, exposures.value(), model,
+                               config);
 }
 
 } // namespace rana

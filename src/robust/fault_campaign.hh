@@ -23,6 +23,16 @@
  * Trials are embarrassingly parallel and run on the shared thread
  * pool into per-trial result slots, so the report is deterministic
  * per seed regardless of the lane count.
+ *
+ * The phases are exposed individually (simulateExposures /
+ * prepareCampaignModel / runPreparedCampaign) so a sweep over a
+ * failure-rate x refresh-interval grid can reuse the expensive
+ * products: the trace is simulated once per schedule and the model
+ * trained once per rate, not once per grid point. All trials of a
+ * prepared campaign share one immutable pre-quantized weight store
+ * bound into one skeleton model — a trial copies the weights only
+ * when its sampled chip actually injects bit errors
+ * (copy-on-corrupt).
  */
 
 #ifndef RANA_ROBUST_FAULT_CAMPAIGN_HH_
@@ -91,6 +101,53 @@ struct LayerExposure
     std::array<std::uint32_t, numDataTypes> bankStart = {0, 0, 0};
 };
 
+/**
+ * Simulated-execution products of one (design, network) pair:
+ * per-layer observed-lifetime exposures plus the run's controller
+ * counters. Depends on the schedule, the refresh interval, the
+ * timing faults and the guard — but not on the failure rate — so a
+ * sweep computes one CampaignExposures per refresh interval and
+ * reuses it across every failure-rate point.
+ */
+struct CampaignExposures
+{
+    std::string networkName;
+    /** Per-layer exposure records. */
+    std::vector<LayerExposure> exposures;
+    /** Simulated execution time in seconds (with timing faults). */
+    double executionSeconds = 0.0;
+    /** Corrupted-word events: stale reads the controller counted. */
+    std::uint64_t retentionViolations = 0;
+    /** Refresh operations the simulated run issued. */
+    std::uint64_t refreshOps = 0;
+    /** Whether the ReliabilityGuard was attached. */
+    bool guarded = false;
+    /** Guard counters of the simulated run (zero when unguarded). */
+    ReliabilityGuard::Stats guardStats;
+};
+
+/**
+ * Trained stand-in model in campaign form: an immutable
+ * pre-quantized shared weight store plus the held-out test batch.
+ * One CampaignModel serves every trial of every campaign at its
+ * failure rate; trials read the store in place and copy only on
+ * corruption.
+ */
+struct CampaignModel
+{
+    std::string modelName;
+    /** Error-free fixed-point baseline accuracy. */
+    double baselineAccuracy = 0.0;
+    /** Failure rate the store was retrained for (0 = pretrained). */
+    double failureRate = 0.0;
+    /** Pre-quantized shared weight snapshot, in params() order. */
+    WeightStore weights;
+    /** Held-out test batch the trials evaluate on. */
+    Batch test;
+    /** Fixed-point format the store is quantized to. */
+    FixedPointFormat format = {12};
+};
+
 /** Result of one campaign trial. */
 struct TrialResult
 {
@@ -135,6 +192,18 @@ struct FaultCampaignReport
     double meanRelativeAccuracy = 0.0;
     /** Worst (minimum) trial relative accuracy. */
     double worstRelativeAccuracy = 0.0;
+    /** 5th percentile trial accuracy (lower band edge). */
+    double p5Accuracy = 0.0;
+    /** Median trial accuracy. */
+    double p50Accuracy = 0.0;
+    /** 95th percentile trial accuracy (upper band edge). */
+    double p95Accuracy = 0.0;
+    /** 5th percentile relative accuracy. */
+    double p5RelativeAccuracy = 0.0;
+    /** Median relative accuracy. */
+    double p50RelativeAccuracy = 0.0;
+    /** 95th percentile relative accuracy. */
+    double p95RelativeAccuracy = 0.0;
     /** Mean effective weight failure rate over the trials. */
     double meanWeightFailureRate = 0.0;
     /** Mean effective activation failure rate over the trials. */
@@ -165,6 +234,42 @@ struct FaultCampaignReport
 Result<FaultCampaignReport>
 runFaultCampaign(const DesignPoint &design, const NetworkModel &network,
                  const FaultCampaignConfig &config);
+
+/**
+ * Campaign phases 1+2: compile the network's schedule for `design`,
+ * execute it on the trace simulator under the config's timing faults
+ * and (optionally) the runtime guard, and convert each buffered
+ * tensor's observed lifetime into a per-(layer, type) exposure.
+ * Fails with the scheduler's error when the design cannot run the
+ * network.
+ */
+Result<CampaignExposures>
+simulateExposures(const DesignPoint &design,
+                  const NetworkModel &network,
+                  const FaultCampaignConfig &config);
+
+/**
+ * Campaign phase 3: turn a *pretrained* trainer into the
+ * CampaignModel for `failure_rate` — restore the pretrained
+ * snapshot, retrain at the rate when the config asks for it, and
+ * export the pre-quantized shared weight store.
+ */
+CampaignModel
+prepareCampaignModel(RetentionAwareTrainer &trainer,
+                     const FaultCampaignConfig &config,
+                     double failure_rate);
+
+/**
+ * Campaign phase 4: the parallel trial fan-out against prepared
+ * exposures and a prepared model. Fails with
+ * ErrorCode::InvalidArgument when the configuration asks for zero
+ * trials.
+ */
+Result<FaultCampaignReport>
+runPreparedCampaign(const DesignPoint &design,
+                    const CampaignExposures &exposures,
+                    const CampaignModel &model,
+                    const FaultCampaignConfig &config);
 
 } // namespace rana
 

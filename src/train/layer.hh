@@ -17,6 +17,7 @@
 #define RANA_TRAIN_LAYER_HH_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,16 @@ struct ForwardContext
      * times, hence different effective failure rates.
      */
     BitErrorInjector *weightInjector = nullptr;
+    /**
+     * The model's weight tensors are already in the fixed-point
+     * format `quant` (a pre-quantized shared weight store), so the
+     * per-layer re-quantization is a no-op and is skipped. Combined
+     * with an inactive weight injector this makes the weight path
+     * copy-on-corrupt: the shared tensors are read in place and a
+     * private copy is made only when bit errors are actually
+     * injected.
+     */
+    bool weightsPreQuantized = false;
     /** Whether activations are cached for a following backward. */
     bool training = true;
 };
@@ -50,6 +61,40 @@ struct Param
 {
     Tensor *value = nullptr;
     Tensor *grad = nullptr;
+};
+
+/**
+ * Hands out externally owned parameter tensors in params() order so
+ * a model can *bind* a shared immutable weight store instead of
+ * owning a private copy. Campaign trials bind one store into one
+ * skeleton model and run their (eval-only) corrupted forward passes
+ * against it — no per-trial weight copies.
+ */
+class SharedParamCursor
+{
+  public:
+    explicit SharedParamCursor(const std::vector<Tensor> &store)
+        : store_(store)
+    {
+    }
+
+    /** The next shared tensor; null once the store is exhausted. */
+    const Tensor *next()
+    {
+        if (index_ >= store_.size())
+            return nullptr;
+        return &store_[index_++];
+    }
+
+    /** Tensors handed out so far. */
+    std::size_t consumed() const { return index_; }
+
+    /** Whether every store tensor has been handed out. */
+    bool exhausted() const { return index_ == store_.size(); }
+
+  private:
+    const std::vector<Tensor> &store_;
+    std::size_t index_ = 0;
 };
 
 /** Abstract differentiable layer. */
@@ -71,9 +116,33 @@ class Layer
     /** Learnable parameters (empty for stateless layers). */
     virtual std::vector<Param> params() { return {}; }
 
+    /**
+     * Bind shared parameter tensors from `cursor` (one per params()
+     * entry, in the same order). Bound layers read the shared
+     * tensors during eval-mode forward passes instead of their own;
+     * training a bound model is a usage error. Stateless layers
+     * consume nothing.
+     */
+    virtual void bindSharedParams(SharedParamCursor &cursor)
+    {
+        (void)cursor;
+    }
+
     /** Short human-readable description. */
     virtual std::string describe() const = 0;
 };
+
+/**
+ * Immutable shared weight snapshot: many concurrent consumers bind
+ * the same store; nobody writes through it.
+ */
+using WeightStore = std::shared_ptr<const std::vector<Tensor>>;
+
+/**
+ * Bind `store` into `model` in params() order. Asserts that the
+ * store's tensor count and shapes match the model exactly.
+ */
+void bindSharedWeights(Layer &model, const std::vector<Tensor> &store);
 
 /**
  * Apply the context's quantization and error injection to an
@@ -89,6 +158,17 @@ Tensor effectiveOperand(const Tensor &operand,
  */
 Tensor effectiveWeights(const Tensor &weights,
                         const ForwardContext &ctx);
+
+/**
+ * Copy-on-corrupt weight transformation: returns the quantized /
+ * corrupted private copy the hardware would compute with, or
+ * std::nullopt when `weights` passes through untouched (no
+ * quantization pending because the store is pre-quantized, and no
+ * active weight injector) — the caller then reads `weights` in
+ * place with zero copies.
+ */
+std::optional<Tensor> corruptedWeights(const Tensor &weights,
+                                       const ForwardContext &ctx);
 
 /** Initialize a tensor with He-uniform fan-in scaling. */
 void heInitialize(Tensor &tensor, std::uint32_t fan_in, Rng &rng);

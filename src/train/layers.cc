@@ -35,6 +35,37 @@ effectiveWeights(const Tensor &weights, const ForwardContext &ctx)
     return effectiveOperand(weights, weight_ctx);
 }
 
+std::optional<Tensor>
+corruptedWeights(const Tensor &weights, const ForwardContext &ctx)
+{
+    if (ctx.quant == nullptr)
+        return std::nullopt;
+    BitErrorInjector *injector =
+        ctx.weightInjector != nullptr ? ctx.weightInjector
+                                      : ctx.injector;
+    const bool corrupting =
+        injector != nullptr && injector->failureRate() > 0.0;
+    if (ctx.weightsPreQuantized && !corrupting)
+        return std::nullopt;
+    Tensor copy = weights;
+    if (!ctx.weightsPreQuantized)
+        quantizeTensor(copy, *ctx.quant);
+    if (corrupting)
+        injector->corruptTensor(copy, *ctx.quant);
+    return copy;
+}
+
+void
+bindSharedWeights(Layer &model, const std::vector<Tensor> &store)
+{
+    SharedParamCursor cursor(store);
+    model.bindSharedParams(cursor);
+    RANA_ASSERT(cursor.exhausted(),
+                "shared weight store does not match the model: ",
+                cursor.consumed(), " of ", store.size(),
+                " tensors bound");
+}
+
 void
 heInitialize(Tensor &tensor, std::uint32_t fan_in, Rng &rng)
 {
@@ -72,6 +103,8 @@ Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
     RANA_ASSERT(input.shape().size() == 4 &&
                 input.dim(1) == inChannels_,
                 "conv input shape mismatch");
+    RANA_ASSERT(!(ctx.training && sharedWeights_ != nullptr),
+                "shared-weight models are eval-only");
     const std::uint32_t batch = input.dim(0);
     const std::uint32_t h = input.dim(2);
     const std::uint32_t w = input.dim(3);
@@ -80,8 +113,14 @@ Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
     const std::uint32_t r = (h + 2 * pad_ - kernel_) / stride_ + 1;
     const std::uint32_t c = (w + 2 * pad_ - kernel_) / stride_ + 1;
 
+    const Tensor &weights =
+        sharedWeights_ != nullptr ? *sharedWeights_ : weights_;
+    const Tensor &bias =
+        sharedBias_ != nullptr ? *sharedBias_ : bias_;
     const Tensor eff_input = effectiveOperand(input, ctx);
-    const Tensor eff_weights = effectiveWeights(weights_, ctx);
+    const std::optional<Tensor> corrupted =
+        corruptedWeights(weights, ctx);
+    const Tensor &eff_weights = corrupted ? *corrupted : weights;
     if (ctx.training) {
         cachedInput_ = eff_input;
         cachedWeights_ = eff_weights;
@@ -102,7 +141,7 @@ Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
             const float *wt_m = wt + m * inChannels_ * wt_kernel;
             for (std::uint32_t y = 0; y < r; ++y) {
                 for (std::uint32_t x = 0; x < c; ++x) {
-                    float acc = bias_[m];
+                    float acc = bias[m];
                     const std::int64_t base_y =
                         static_cast<std::int64_t>(y) * stride_ - pad_;
                     const std::int64_t base_x =
@@ -204,6 +243,18 @@ std::vector<Param>
 Conv2dLayer::params()
 {
     return {{&weights_, &weightGrad_}, {&bias_, &biasGrad_}};
+}
+
+void
+Conv2dLayer::bindSharedParams(SharedParamCursor &cursor)
+{
+    sharedWeights_ = cursor.next();
+    sharedBias_ = cursor.next();
+    RANA_ASSERT(sharedWeights_ != nullptr && sharedBias_ != nullptr,
+                "shared weight store exhausted at ", describe());
+    RANA_ASSERT(sharedWeights_->shape() == weights_.shape() &&
+                sharedBias_->shape() == bias_.shape(),
+                "shared weight store shape mismatch at ", describe());
 }
 
 std::string
@@ -395,10 +446,18 @@ DenseLayer::forward(const Tensor &input, const ForwardContext &ctx)
     RANA_ASSERT(input.shape().size() == 2 &&
                 input.dim(1) == inFeatures_,
                 "dense input shape mismatch");
+    RANA_ASSERT(!(ctx.training && sharedWeights_ != nullptr),
+                "shared-weight models are eval-only");
     const std::uint32_t batch = input.dim(0);
 
+    const Tensor &weights =
+        sharedWeights_ != nullptr ? *sharedWeights_ : weights_;
+    const Tensor &bias =
+        sharedBias_ != nullptr ? *sharedBias_ : bias_;
     const Tensor eff_input = effectiveOperand(input, ctx);
-    const Tensor eff_weights = effectiveWeights(weights_, ctx);
+    const std::optional<Tensor> corrupted =
+        corruptedWeights(weights, ctx);
+    const Tensor &eff_weights = corrupted ? *corrupted : weights;
     if (ctx.training) {
         cachedInput_ = eff_input;
         cachedWeights_ = eff_weights;
@@ -407,7 +466,7 @@ DenseLayer::forward(const Tensor &input, const ForwardContext &ctx)
     Tensor output({batch, outFeatures_});
     for (std::uint32_t b = 0; b < batch; ++b) {
         for (std::uint32_t o = 0; o < outFeatures_; ++o) {
-            float acc = bias_[o];
+            float acc = bias[o];
             for (std::uint32_t i = 0; i < inFeatures_; ++i)
                 acc += eff_input.at2(b, i) * eff_weights.at2(o, i);
             output.at2(b, o) = acc;
@@ -438,6 +497,18 @@ std::vector<Param>
 DenseLayer::params()
 {
     return {{&weights_, &weightGrad_}, {&bias_, &biasGrad_}};
+}
+
+void
+DenseLayer::bindSharedParams(SharedParamCursor &cursor)
+{
+    sharedWeights_ = cursor.next();
+    sharedBias_ = cursor.next();
+    RANA_ASSERT(sharedWeights_ != nullptr && sharedBias_ != nullptr,
+                "shared weight store exhausted at ", describe());
+    RANA_ASSERT(sharedWeights_->shape() == weights_.shape() &&
+                sharedBias_->shape() == bias_.shape(),
+                "shared weight store shape mismatch at ", describe());
 }
 
 std::string
@@ -508,6 +579,13 @@ Sequential::params()
     return all;
 }
 
+void
+Sequential::bindSharedParams(SharedParamCursor &cursor)
+{
+    for (auto &layer : layers_)
+        layer->bindSharedParams(cursor);
+}
+
 std::string
 Sequential::describe() const
 {
@@ -558,6 +636,12 @@ ResidualBlock::params()
     return body_->params();
 }
 
+void
+ResidualBlock::bindSharedParams(SharedParamCursor &cursor)
+{
+    body_->bindSharedParams(cursor);
+}
+
 // ---------------------------------------------------------------
 // InceptionConcat
 // ---------------------------------------------------------------
@@ -574,7 +658,8 @@ InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
 {
     std::vector<Tensor> outputs;
     outputs.reserve(branches_.size());
-    branchChannels_.clear();
+    std::vector<std::uint32_t> channels;
+    channels.reserve(branches_.size());
     std::uint32_t total_channels = 0;
     for (auto &branch : branches_) {
         outputs.push_back(branch->forward(input, ctx));
@@ -585,9 +670,13 @@ InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
                     out.dim(2) == outputs.front().dim(2) &&
                     out.dim(3) == outputs.front().dim(3),
                     "inception branch output shapes must align");
-        branchChannels_.push_back(out.dim(1));
+        channels.push_back(out.dim(1));
         total_channels += out.dim(1);
     }
+    // Only training-mode forwards may touch member state: eval-mode
+    // forwards run concurrently on a shared skeleton model.
+    if (ctx.training)
+        branchChannels_ = channels;
 
     const std::uint32_t batch = outputs.front().dim(0);
     const std::uint32_t h = outputs.front().dim(2);
@@ -596,7 +685,7 @@ InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
     for (std::uint32_t b = 0; b < batch; ++b) {
         std::uint32_t channel_base = 0;
         for (std::size_t i = 0; i < outputs.size(); ++i) {
-            for (std::uint32_t c = 0; c < branchChannels_[i]; ++c) {
+            for (std::uint32_t c = 0; c < channels[i]; ++c) {
                 for (std::uint32_t y = 0; y < h; ++y) {
                     for (std::uint32_t x = 0; x < w; ++x) {
                         concat.at4(b, channel_base + c, y, x) =
@@ -604,7 +693,7 @@ InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
                     }
                 }
             }
-            channel_base += branchChannels_[i];
+            channel_base += channels[i];
         }
     }
     return concat;
@@ -655,6 +744,13 @@ InceptionConcat::params()
                    branch_params.end());
     }
     return all;
+}
+
+void
+InceptionConcat::bindSharedParams(SharedParamCursor &cursor)
+{
+    for (auto &branch : branches_)
+        branch->bindSharedParams(cursor);
 }
 
 } // namespace rana

@@ -36,6 +36,7 @@ class Conv2dLayer : public Layer
         override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
+    void bindSharedParams(SharedParamCursor &cursor) override;
     std::string describe() const override;
 
   private:
@@ -50,6 +51,9 @@ class Conv2dLayer : public Layer
     Tensor biasGrad_;
     Tensor cachedInput_;
     Tensor cachedWeights_;
+    /** Bound shared store tensors (null = use the owned ones). */
+    const Tensor *sharedWeights_ = nullptr;
+    const Tensor *sharedBias_ = nullptr;
 };
 
 /** Rectified linear unit. */
@@ -105,6 +109,7 @@ class DenseLayer : public Layer
         override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
+    void bindSharedParams(SharedParamCursor &cursor) override;
     std::string describe() const override;
 
   private:
@@ -116,6 +121,9 @@ class DenseLayer : public Layer
     Tensor biasGrad_;
     Tensor cachedInput_;
     Tensor cachedWeights_;
+    /** Bound shared store tensors (null = use the owned ones). */
+    const Tensor *sharedWeights_ = nullptr;
+    const Tensor *sharedBias_ = nullptr;
 };
 
 /** Flatten {B, C, H, W} to {B, C*H*W}. */
@@ -147,6 +155,7 @@ class Sequential : public Layer
         override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
+    void bindSharedParams(SharedParamCursor &cursor) override;
     std::string describe() const override;
 
   private:
@@ -164,6 +173,7 @@ class ResidualBlock : public Layer
         override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
+    void bindSharedParams(SharedParamCursor &cursor) override;
     std::string describe() const override { return "residual"; }
 
   private:
@@ -185,6 +195,7 @@ class InceptionConcat : public Layer
         override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
+    void bindSharedParams(SharedParamCursor &cursor) override;
     std::string describe() const override { return "inception"; }
 
   private:

@@ -123,6 +123,25 @@ RetentionAwareTrainer::exportWeights()
     return weights;
 }
 
+WeightStore
+RetentionAwareTrainer::exportWeightsShared(
+    const FixedPointFormat *prequantize)
+{
+    auto store = std::make_shared<std::vector<Tensor>>(exportWeights());
+    if (prequantize != nullptr) {
+        for (Tensor &tensor : *store)
+            quantizeTensor(tensor, *prequantize);
+    }
+    return store;
+}
+
+void
+RetentionAwareTrainer::restorePretrained()
+{
+    RANA_ASSERT(pretrained_, "call pretrain() first");
+    restoreWeights();
+}
+
 void
 RetentionAwareTrainer::snapshotWeights()
 {

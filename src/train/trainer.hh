@@ -117,6 +117,24 @@ class RetentionAwareTrainer
      */
     std::vector<Tensor> exportWeights();
 
+    /**
+     * Immutable shared snapshot of the current parameter tensors, in
+     * params() order. When `prequantize` is set the exported tensors
+     * are quantized to that format once, so every consumer can bind
+     * the store, set ForwardContext::weightsPreQuantized, and skip
+     * the per-forward re-quantization (quantization is idempotent,
+     * hence numerically identical). Campaign trials share one store
+     * across all replicas with copy-on-corrupt.
+     */
+    WeightStore
+    exportWeightsShared(const FixedPointFormat *prequantize = nullptr);
+
+    /**
+     * Restore the pretrained snapshot into the model (the state
+     * retrainAndEvaluate starts from). Requires pretrain().
+     */
+    void restorePretrained();
+
     /** The dataset the trainer trains and evaluates on. */
     const SyntheticDataset &dataset() const { return dataset_; }
 

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer.
+ */
+
+#include "util/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+void
+JsonWriter::comma()
+{
+    if (!hasEntry_.empty()) {
+        if (hasEntry_.back())
+            oss_ << ",";
+        hasEntry_.back() = true;
+    }
+    if (!hasEntry_.empty())
+        oss_ << "\n";
+    indent();
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < hasEntry_.size(); ++i)
+        oss_ << "  ";
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    comma();
+    oss_ << "\"" << escape(name) << "\": ";
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double value)
+{
+    RANA_ASSERT(std::isfinite(value),
+                "JSON numbers must be finite: ", value);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    // Trim to the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision,
+                      value);
+        double parsed = 0.0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == value)
+            return shorter;
+    }
+    return buffer;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    oss_ << "{";
+    hasEntry_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string &name)
+{
+    key(name);
+    oss_ << "{";
+    hasEntry_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    RANA_ASSERT(!hasEntry_.empty(), "endObject without beginObject");
+    const bool had = hasEntry_.back();
+    hasEntry_.pop_back();
+    if (had) {
+        oss_ << "\n";
+        indent();
+    }
+    oss_ << "}";
+}
+
+void
+JsonWriter::beginArray(const std::string &name)
+{
+    key(name);
+    oss_ << "[";
+    hasEntry_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    RANA_ASSERT(!hasEntry_.empty(), "endArray without beginArray");
+    const bool had = hasEntry_.back();
+    hasEntry_.pop_back();
+    if (had) {
+        oss_ << "\n";
+        indent();
+    }
+    oss_ << "]";
+}
+
+void
+JsonWriter::field(const std::string &name, const std::string &value)
+{
+    key(name);
+    oss_ << "\"" << escape(value) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &name, const char *value)
+{
+    field(name, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string &name, double value)
+{
+    key(name);
+    oss_ << number(value);
+}
+
+void
+JsonWriter::field(const std::string &name, std::uint64_t value)
+{
+    key(name);
+    oss_ << value;
+}
+
+void
+JsonWriter::field(const std::string &name, bool value)
+{
+    key(name);
+    oss_ << (value ? "true" : "false");
+}
+
+void
+JsonWriter::element(double value)
+{
+    comma();
+    oss_ << number(value);
+}
+
+std::string
+JsonWriter::str() const
+{
+    RANA_ASSERT(hasEntry_.empty(),
+                "unclosed JSON scope at render time");
+    return oss_.str() + "\n";
+}
+
+} // namespace rana

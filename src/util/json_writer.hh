@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal JSON emitter for the benchmark harnesses' machine-readable
+ * artifacts (BENCH_*.json). Write-only and streaming: the caller
+ * opens objects/arrays, emits keyed values, and closes them; the
+ * writer tracks nesting, inserts commas, and indents. No DOM and no
+ * external dependency — the CI regression checker parses the output
+ * with a stock JSON parser.
+ */
+
+#ifndef RANA_UTIL_JSON_WRITER_HH_
+#define RANA_UTIL_JSON_WRITER_HH_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rana {
+
+/** Streaming JSON writer with 2-space indentation. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Open the root or a nested unnamed object (inside arrays). */
+    void beginObject();
+    /** Open an object-valued member. */
+    void beginObject(const std::string &key);
+    /** Close the innermost object. */
+    void endObject();
+
+    /** Open an array-valued member. */
+    void beginArray(const std::string &key);
+    /** Close the innermost array. */
+    void endArray();
+
+    /** Emit a string member. */
+    void field(const std::string &key, const std::string &value);
+    /** Emit a string member (keeps literals off the bool overload). */
+    void field(const std::string &key, const char *value);
+    /** Emit a numeric member (shortest round-trippable form). */
+    void field(const std::string &key, double value);
+    /** Emit an integral member. */
+    void field(const std::string &key, std::uint64_t value);
+    /** Emit a boolean member. */
+    void field(const std::string &key, bool value);
+
+    /** Emit an unnamed numeric array element. */
+    void element(double value);
+
+    /**
+     * The rendered document. @pre every begin* has been closed.
+     */
+    std::string str() const;
+
+  private:
+    void comma();
+    void indent();
+    void key(const std::string &name);
+    static std::string escape(const std::string &text);
+    static std::string number(double value);
+
+    std::ostringstream oss_;
+    /** Per-depth flag: the scope already has a first entry. */
+    std::vector<bool> hasEntry_;
+};
+
+} // namespace rana
+
+#endif // RANA_UTIL_JSON_WRITER_HH_

@@ -58,6 +58,22 @@ maxOf(const std::vector<double> &values)
     return *std::max_element(values.begin(), values.end());
 }
 
+double
+percentile(const std::vector<double> &values, double p)
+{
+    RANA_ASSERT(!values.empty(), "percentile of empty sample");
+    RANA_ASSERT(p >= 0.0 && p <= 100.0,
+                "percentile rank out of range: ", p);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 void
 RunningStat::add(double value)
 {

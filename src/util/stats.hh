@@ -29,6 +29,13 @@ double minOf(const std::vector<double> &values);
 double maxOf(const std::vector<double> &values);
 
 /**
+ * The p-th percentile (0..100) of the sample, with linear
+ * interpolation between order statistics (the common "linear" /
+ * C = 1 variant: rank = p/100 * (n-1)). @pre values non-empty.
+ */
+double percentile(const std::vector<double> &values, double p);
+
+/**
  * Running accumulator for counts/min/max/mean without storing the
  * full sample.
  */

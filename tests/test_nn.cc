@@ -149,6 +149,21 @@ TEST(ModelZoo, BenchmarkLookup)
     EXPECT_EQ(makeBenchmarkSuite().size(), 4u);
 }
 
+TEST(ModelZoo, BenchmarkLookupChecked)
+{
+    const Result<NetworkModel> known =
+        makeBenchmarkChecked("GoogLeNet");
+    ASSERT_TRUE(known.ok());
+    EXPECT_EQ(known.value().name(), "GoogLeNet");
+
+    const Result<NetworkModel> unknown =
+        makeBenchmarkChecked("LeNet");
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.error().code, ErrorCode::InvalidArgument);
+    EXPECT_NE(unknown.error().describe().find("LeNet"),
+              std::string::npos);
+}
+
 TEST(ModelZoo, ResNetMacCount)
 {
     // ResNet-50 CONV layers: ~3.8G MACs for 224x224.

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <iomanip>
 #include <set>
+#include <sstream>
 
+#include "util/json_writer.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -123,6 +127,25 @@ TEST(Stats, Geomean)
     EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
 }
 
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+    // Input order must not matter, and the input is not mutated.
+    EXPECT_DOUBLE_EQ(v[0], 4.0);
+}
+
+TEST(Stats, PercentileSingleElement)
+{
+    const std::vector<double> v = {7.5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.5);
+}
+
 TEST(Stats, RunningStat)
 {
     RunningStat stat;
@@ -188,6 +211,85 @@ TEST(Table, HandlesRaggedRows)
     table.header({"a", "b", "c"});
     table.row({"1"});
     EXPECT_NO_THROW(table.render());
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("name", "sweep");
+    json.field("trials", static_cast<std::uint64_t>(100));
+    json.field("guarded", false);
+    json.beginArray("points");
+    json.element(0.5);
+    json.element(1.0);
+    json.endArray();
+    json.beginObject("gate");
+    json.field("p50", 0.25);
+    json.endObject();
+    json.endObject();
+    EXPECT_EQ(json.str(), "{\n"
+                          "  \"name\": \"sweep\",\n"
+                          "  \"trials\": 100,\n"
+                          "  \"guarded\": false,\n"
+                          "  \"points\": [\n"
+                          "    0.5,\n"
+                          "    1\n"
+                          "  ],\n"
+                          "  \"gate\": {\n"
+                          "    \"p50\": 0.25\n"
+                          "  }\n"
+                          "}\n");
+}
+
+TEST(JsonWriter, NumbersRoundTrip)
+{
+    // The writer emits the shortest decimal form that parses back to
+    // the same double, so exact values survive a JSON round trip.
+    const std::vector<double> values = {
+        0.0, 1e-05, 0.000734, 0.991869918699187, 1.0 / 3.0, -2.5e17,
+    };
+    JsonWriter json;
+    json.beginObject();
+    json.beginArray("values");
+    for (double value : values)
+        json.element(value);
+    json.endArray();
+    json.endObject();
+    const std::string text = json.str();
+    for (double value : values) {
+        std::ostringstream parsed;
+        parsed << std::setprecision(17) << value;
+        double reread = 0.0;
+        bool found = false;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            const char *s = line.c_str();
+            while (*s == ' ')
+                ++s;
+            char *end = nullptr;
+            const double candidate = std::strtod(s, &end);
+            if (end != s && candidate == value) {
+                reread = candidate;
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "no line reparses to "
+                           << parsed.str();
+        EXPECT_EQ(reread, value);
+    }
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("text", "a\"b\\c\nd\te");
+    json.endObject();
+    EXPECT_NE(json.str().find("\"a\\\"b\\\\c\\nd\\te\""),
+              std::string::npos);
 }
 
 } // namespace

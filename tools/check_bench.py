@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the CI release job.
+
+Compares the machine-readable benchmark outputs against a checked-in
+baseline with explicit tolerances:
+
+    check_bench.py <baseline.json> <fault_campaign.json> \
+                   [sched_scaling.json]
+
+The fault-campaign gate reads the "gate" object that
+bench_fault_campaign emits for its retrained operating point
+(failure rate 1e-5) and fails if the p50 relative accuracy drops by
+more than the baseline's tolerance. Tolerance-based rather than
+exact comparison: accuracies differ in the last few ULPs across
+compilers (FMA contraction), so only a real regression trips the
+gate.
+
+The optional sched-scaling check is a sanity gate, not a performance
+gate (CI runners have noisy, heterogeneous CPUs): every lane must
+have produced an identical schedule and a positive runtime.
+
+Exit codes: 0 pass, 1 regression or malformed input.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_fault_campaign(baseline, report):
+    gate = report.get("gate")
+    if gate is None:
+        return fail("fault campaign JSON has no 'gate' object")
+    expected = baseline["fault_campaign"]
+    tolerance = expected["tolerance"]
+    for key in ("p50_relative_accuracy", "worst_relative_accuracy"):
+        if key not in gate:
+            return fail(f"gate object missing '{key}'")
+        floor = expected[key] - tolerance
+        if gate[key] < floor:
+            return fail(
+                f"{key} {gate[key]:.6f} below baseline "
+                f"{expected[key]:.6f} - tolerance {tolerance:.3f} "
+                f"(floor {floor:.6f})"
+            )
+        print(
+            f"check_bench: {key} {gate[key]:.6f} >= floor "
+            f"{floor:.6f} (baseline {expected[key]:.6f})"
+        )
+    rate = gate.get("failure_rate")
+    if rate != expected["failure_rate"]:
+        return fail(
+            f"gate failure rate {rate} != baseline "
+            f"{expected['failure_rate']}"
+        )
+    return 0
+
+
+def check_sched_scaling(report):
+    points = report.get("points", [])
+    if not points:
+        return fail("sched scaling JSON has no 'points'")
+    for point in points:
+        if not point.get("identical", False):
+            return fail(
+                f"lane count {point.get('jobs')} produced a "
+                "non-identical schedule"
+            )
+        if point.get("seconds", 0.0) <= 0.0:
+            return fail(
+                f"lane count {point.get('jobs')} reported a "
+                "non-positive runtime"
+            )
+    print(
+        f"check_bench: sched scaling sane across "
+        f"{len(points)} lane counts"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(
+            "usage: check_bench.py <baseline.json> "
+            "<fault_campaign.json> [sched_scaling.json]",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        baseline = load(argv[1])
+        campaign = load(argv[2])
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(str(error))
+    status = check_fault_campaign(baseline, campaign)
+    if status != 0:
+        return status
+    if len(argv) > 3:
+        try:
+            sched = load(argv[3])
+        except (OSError, json.JSONDecodeError) as error:
+            return fail(str(error))
+        status = check_sched_scaling(sched)
+        if status != 0:
+            return status
+    print("check_bench: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

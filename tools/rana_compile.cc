@@ -160,14 +160,11 @@ main(int argc, char **argv)
     if (!kind.ok())
         return fail(kind.error());
 
-    if (network_name != "AlexNet" && network_name != "VGG" &&
-        network_name != "GoogLeNet" && network_name != "ResNet")
-        return fail(makeError(ErrorCode::InvalidArgument,
-                              "unknown benchmark network '",
-                              network_name,
-                              "' (expected AlexNet, VGG, GoogLeNet "
-                              "or ResNet)"));
-    const NetworkModel network = makeBenchmark(network_name);
+    Result<NetworkModel> looked_up =
+        makeBenchmarkChecked(network_name);
+    if (!looked_up.ok())
+        return fail(looked_up.error());
+    const NetworkModel network = std::move(looked_up).value();
     const RetentionDistribution retention =
         RetentionDistribution::typical65nm();
     DesignPoint design = makeDesignPoint(kind.value(), retention);

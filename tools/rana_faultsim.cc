@@ -25,6 +25,14 @@
  *   --guard              attach the runtime reliability guard
  *   --no-retrain         skip retention-aware retraining (control)
  *   --markdown           emit the scenario row as a markdown table
+ *   --sweep              sweep the failure-rate x refresh-interval
+ *                        grid instead of one campaign; prints the
+ *                        percentile band per cell and, with
+ *                        --markdown, the markdown grid
+ *   --rates LIST         comma-separated sweep failure rates
+ *                        (default 0,1e-5,1e-4)
+ *   --intervals LIST     comma-separated sweep refresh intervals in
+ *                        seconds (default 45e-6,734e-6)
  *
  * Exit codes: 0 success, 1 bad usage or failed campaign, 2 a guarded
  * run still observed corrupted-word events (the guard failed its
@@ -34,8 +42,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "rana.hh"
+#include "robust/campaign_sweep.hh"
 #include "robust/fault_campaign.hh"
 
 namespace {
@@ -80,6 +90,30 @@ parseModel(const std::string &name)
                      "or MiniRes)");
 }
 
+/** Parse a comma-separated list of numbers. */
+Result<std::vector<double>>
+parseNumberList(const std::string &list)
+{
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(start, comma - start);
+        char *end = nullptr;
+        const double parsed = std::strtod(item.c_str(), &end);
+        if (item.empty() || end == item.c_str() || *end != '\0') {
+            return makeError(ErrorCode::ParseError,
+                             "bad number '", item,
+                             "' in list '", list, "'");
+        }
+        values.push_back(parsed);
+        start = comma + 1;
+    }
+    return values;
+}
+
 /** Print a failure and choose the tool's exit code. */
 int
 fail(const Error &error)
@@ -98,7 +132,8 @@ main(int argc, char **argv)
                      "[--model NAME] [--trials N] [--seed S] "
                      "[--jobs N] [--slowdown FACTOR] "
                      "[--stall SECONDS] [--guard] [--no-retrain] "
-                     "[--markdown]\n";
+                     "[--markdown] [--sweep] [--rates LIST] "
+                     "[--intervals LIST]\n";
         return 1;
     }
 
@@ -107,6 +142,9 @@ main(int argc, char **argv)
     std::string model_name = "MiniVgg";
     FaultCampaignConfig config;
     bool markdown = false;
+    bool sweep = false;
+    std::vector<double> sweep_rates = {0.0, 1e-5, 1e-4};
+    std::vector<double> sweep_intervals = {45e-6, 734e-6};
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -149,6 +187,20 @@ main(int argc, char **argv)
             config.retrain = false;
         } else if (arg == "--markdown") {
             markdown = true;
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--rates") {
+            const Result<std::vector<double>> rates =
+                parseNumberList(next());
+            if (!rates.ok())
+                return fail(rates.error());
+            sweep_rates = rates.value();
+        } else if (arg == "--intervals") {
+            const Result<std::vector<double>> intervals =
+                parseNumberList(next());
+            if (!intervals.ok())
+                return fail(intervals.error());
+            sweep_intervals = intervals.value();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
@@ -163,19 +215,43 @@ main(int argc, char **argv)
         return fail(model.error());
     config.model = model.value();
 
-    if (network_name != "AlexNet" && network_name != "VGG" &&
-        network_name != "GoogLeNet" && network_name != "ResNet")
-        return fail(makeError(ErrorCode::InvalidArgument,
-                              "unknown benchmark network '",
-                              network_name,
-                              "' (expected AlexNet, VGG, GoogLeNet "
-                              "or ResNet)"));
-    const NetworkModel network = makeBenchmark(network_name);
+    Result<NetworkModel> looked_up =
+        makeBenchmarkChecked(network_name);
+    if (!looked_up.ok())
+        return fail(looked_up.error());
+    const NetworkModel network = std::move(looked_up).value();
     const RetentionDistribution retention =
         RetentionDistribution::typical65nm();
     const DesignPoint design =
         makeDesignPoint(kind.value(), retention);
     config.retention = retention;
+
+    if (sweep) {
+        CampaignSweepConfig sweep_config;
+        sweep_config.failureRates = sweep_rates;
+        sweep_config.refreshIntervals = sweep_intervals;
+        sweep_config.campaign = config;
+        const Result<CampaignSweepReport> swept =
+            runCampaignSweep(design, network, sweep_config);
+        if (!swept.ok())
+            return fail(swept.error());
+        const CampaignSweepReport &report = swept.value();
+        std::cerr << report.designName << " on "
+                  << report.networkName << " ("
+                  << report.modelName << "): baseline "
+                  << report.baselineAccuracy << ", "
+                  << report.failureRates.size() << "x"
+                  << report.refreshIntervals.size()
+                  << " sweep, " << config.trials
+                  << " trials per cell\n";
+        if (markdown) {
+            std::cout << report.percentileTable();
+        } else {
+            for (const SweepCell &cell : report.cells)
+                std::cout << cell.report.describe() << "\n";
+        }
+        return 0;
+    }
 
     const Result<FaultCampaignReport> campaign =
         runFaultCampaign(design, network, config);
