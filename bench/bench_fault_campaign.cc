@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/metrics_registry.hh"
 #include "robust/campaign_sweep.hh"
 #include "util/ascii_chart.hh"
 #include "util/json_writer.hh"
@@ -121,6 +122,9 @@ sweepJson(const CampaignSweepReport &report,
                    gate->report.worstRelativeAccuracy);
         json.endObject();
     }
+    // The run's metrics-registry snapshot (refresh pulses, cache
+    // hits, span durations, ...) rides along in the artifact.
+    writeMetricsObject(json, "metrics", MetricsRegistry::global());
     json.endObject();
     return json.str();
 }

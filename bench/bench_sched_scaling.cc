@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.hh"
 #include "rana.hh"
 #include "util/json_writer.hh"
 
@@ -159,6 +160,9 @@ main()
     json.field("misses", stats.misses);
     json.field("entries", static_cast<std::uint64_t>(stats.entries));
     json.endObject();
+    // The run's metrics-registry snapshot (cache counters, span
+    // durations, pool telemetry, ...) rides along in the artifact.
+    writeMetricsObject(json, "metrics", MetricsRegistry::global());
     json.endObject();
     const std::string artifact = json.str();
     std::ofstream out("BENCH_sched_scaling.json");

@@ -5,7 +5,9 @@
 
 #include "core/experiments.hh"
 
+#include "obs/chrome_trace.hh"
 #include "sim/loopnest_simulator.hh"
+#include "sim/trace_export.hh"
 #include "util/logging.hh"
 
 namespace rana {
@@ -57,17 +59,38 @@ executeSchedule(const DesignPoint &design, const NetworkModel &network,
                 const NetworkSchedule &schedule,
                 const TimingFaults &faults, ReliabilityGuard *guard)
 {
-    RANA_ASSERT(schedule.layers.size() == network.size(),
-                "schedule does not match network");
+    return executeScheduleChecked(design, network, schedule, faults,
+                                  guard)
+        .valueOrDie();
+}
+
+Result<ExecutionResult>
+executeScheduleChecked(const DesignPoint &design,
+                       const NetworkModel &network,
+                       const NetworkSchedule &schedule,
+                       const TimingFaults &faults,
+                       ReliabilityGuard *guard, TraceSink *sink)
+{
+    if (schedule.layers.size() != network.size()) {
+        return makeError(ErrorCode::Mismatch, "schedule has ",
+                         schedule.layers.size(), " layers but ",
+                         network.name(), " has ", network.size());
+    }
+    ScopedSpan span("core", "execute_schedule");
     LoopNestSimulator simulator(design.config, design.options.policy,
                                 design.options.refreshIntervalSeconds);
     simulator.setTimingFaults(faults);
     if (guard != nullptr)
         simulator.attachGuard(guard);
+    if (sink != nullptr)
+        simulator.setTraceSink(sink);
     ExecutionResult result;
     for (std::size_t i = 0; i < network.size(); ++i) {
-        const LayerSimResult layer = simulator.runLayer(
+        Result<LayerSimResult> layer_result = simulator.runLayerChecked(
             network.layer(i), schedule.layers[i].analysis);
+        if (!layer_result.ok())
+            return layer_result.error();
+        const LayerSimResult layer = std::move(layer_result).value();
         result.counts += layer.counts;
         result.seconds += layer.layerSeconds;
         result.violations += layer.violations;

@@ -70,6 +70,24 @@ struct ExecutionResult
     std::uint64_t guardFallbackRefreshOps = 0;
 };
 
+class TraceSink;
+
+/**
+ * Checked core of executeSchedule: fails with Mismatch when the
+ * schedule does not describe `network` (instead of aborting), runs
+ * the simulation under `faults`, and optionally attaches the
+ * reliability guard and a trace sink (either may be nullptr). The
+ * sink receives every simulator event — the timeline exporter hangs
+ * off this parameter.
+ */
+Result<ExecutionResult>
+executeScheduleChecked(const DesignPoint &design,
+                       const NetworkModel &network,
+                       const NetworkSchedule &schedule,
+                       const TimingFaults &faults = TimingFaults{},
+                       ReliabilityGuard *guard = nullptr,
+                       TraceSink *sink = nullptr);
+
 ExecutionResult executeSchedule(const DesignPoint &design,
                                 const NetworkModel &network,
                                 const NetworkSchedule &schedule);

@@ -8,9 +8,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics_registry.hh"
 #include "util/logging.hh"
 
 namespace rana {
+
+namespace {
+
+/** Registry instruments for refresh activity (created once). */
+struct RefreshMetrics
+{
+    MetricsRegistry::Counter &pulsesIssued;
+    MetricsRegistry::Counter &pulsesSuppressed;
+    MetricsRegistry::Counter &words;
+
+    static RefreshMetrics &
+    get()
+    {
+        static RefreshMetrics *metrics = new RefreshMetrics{
+            MetricsRegistry::global().counter(
+                "edram_refresh_pulses_issued_total"),
+            MetricsRegistry::global().counter(
+                "edram_refresh_pulses_suppressed_total"),
+            MetricsRegistry::global().counter(
+                "edram_refresh_words_total"),
+        };
+        return *metrics;
+    }
+};
+
+} // namespace
 
 const char *
 refreshPolicyName(RefreshPolicy policy)
@@ -173,6 +200,7 @@ RefreshControllerSim::onRead(DataType type, double now,
                 static_cast<std::uint64_t>(state.banks) *
                 geometry_.bankWords() * pulses;
             refreshOps_ += ops;
+            RefreshMetrics::get().words.add(ops);
             const bool reenabled = !state.refreshFlag;
             state.refreshFlag = true;
             state.lastRefresh =
@@ -211,19 +239,20 @@ void
 RefreshControllerSim::issuePulse()
 {
     const std::uint64_t bank_words = geometry_.bankWords();
+    std::uint64_t words = 0;
     switch (policy_) {
       case RefreshPolicy::None:
         return;
       case RefreshPolicy::ConventionalAll:
-        refreshOps_ += geometry_.capacityWords();
+        words = geometry_.capacityWords();
         for (auto &state : types_) {
             state.lastRefresh = now_;
             state.refreshed = true;
         }
-        return;
+        break;
       case RefreshPolicy::GatedGlobal:
         if (gateOn_) {
-            refreshOps_ += geometry_.capacityWords();
+            words = geometry_.capacityWords();
             for (auto &state : types_) {
                 state.lastRefresh = now_;
                 state.refreshed = true;
@@ -234,7 +263,7 @@ RefreshControllerSim::issuePulse()
             // per-bank refresh.
             for (auto &state : types_) {
                 if (state.refreshFlag && state.banks > 0) {
-                    refreshOps_ +=
+                    words +=
                         static_cast<std::uint64_t>(state.banks) *
                         bank_words;
                     state.lastRefresh = now_;
@@ -242,19 +271,30 @@ RefreshControllerSim::issuePulse()
                 }
             }
         }
-        return;
+        break;
       case RefreshPolicy::PerBank:
         for (auto &state : types_) {
             if (state.refreshFlag && state.banks > 0) {
-                refreshOps_ +=
-                    static_cast<std::uint64_t>(state.banks) * bank_words;
+                words += static_cast<std::uint64_t>(state.banks) *
+                         bank_words;
                 state.lastRefresh = now_;
                 state.refreshed = true;
             }
         }
-        return;
+        break;
     }
-    panic("unreachable refresh policy in issuePulse");
+    refreshOps_ += words;
+    RefreshMetrics &metrics = RefreshMetrics::get();
+    if (words > 0) {
+        metrics.pulsesIssued.add();
+        metrics.words.add(words);
+    } else {
+        // The divider ticked but the gate was off / no bank was
+        // flagged — the energy the optimized controller saves.
+        metrics.pulsesSuppressed.add();
+    }
+    if (pulseListener_)
+        pulseListener_(now_, words);
 }
 
 } // namespace rana

@@ -33,6 +33,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "edram/buffer_system.hh"
@@ -157,6 +158,22 @@ class RefreshControllerSim
      */
     void onRead(DataType type, double now, double data_write_time);
 
+    /**
+     * Observer of refresh pulses: called at each divider tick with
+     * the simulated time and the words actually refreshed (0 when
+     * the pulse was gated off / found no flagged banks). Used by the
+     * timeline exporter to draw refresh activity on the simulated-
+     * time axis.
+     */
+    using PulseListener =
+        std::function<void(double now, std::uint64_t words)>;
+
+    /** Install the pulse observer (empty function detaches). */
+    void setPulseListener(PulseListener listener)
+    {
+        pulseListener_ = std::move(listener);
+    }
+
     /** Advance simulated time, issuing due refresh pulses. */
     void advanceTo(double now);
 
@@ -194,6 +211,7 @@ class RefreshControllerSim
     std::uint64_t refreshOps_ = 0;
     std::uint64_t violations_ = 0;
     ReliabilityGuard *guard_ = nullptr;
+    PulseListener pulseListener_;
 };
 
 } // namespace rana

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics_registry.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -34,6 +35,15 @@ ReliabilityGuard::recordTrip(DataType type,
     stats_.worstObservedLifetimeSeconds =
         std::max(stats_.worstObservedLifetimeSeconds,
                  observed_lifetime_seconds);
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    registry.counter("edram_guard_trips_total").add();
+    if (reenabled) {
+        registry.counter("edram_guard_banks_reenabled_total")
+            .add(banks);
+    }
+    registry.gauge("edram_guard_worst_lifetime_seconds")
+        .setMax(observed_lifetime_seconds);
 }
 
 void

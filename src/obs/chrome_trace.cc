@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Implementation of the Chrome trace_event recorder.
+ */
+
+#include "obs/chrome_trace.hh"
+
+#include <cctype>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics_registry.hh"
+#include "util/json_writer.hh"
+
+namespace rana {
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+TraceRecorder::enable()
+{
+    if (enabled_.exchange(true, std::memory_order_relaxed))
+        return;
+    Event host;
+    host.phase = 'M';
+    host.pid = kHostPid;
+    host.name = "process_name";
+    host.argKey = "name";
+    host.argText = "rana host";
+    push(host);
+    Event sim;
+    sim.phase = 'M';
+    sim.pid = kSimPid;
+    sim.name = "process_name";
+    sim.argKey = "name";
+    sim.argText = "rana simulated timeline";
+    push(sim);
+}
+
+double
+TraceRecorder::nowMicros() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+int
+TraceRecorder::currentThreadTrack()
+{
+    thread_local int track = -1;
+    thread_local const TraceRecorder *owner = nullptr;
+    if (track < 0 || owner != this) {
+        track = nextThreadTrack_.fetch_add(
+            1, std::memory_order_relaxed);
+        owner = this;
+        setThreadName(kHostPid, track,
+                      track == 0 ? "main"
+                                 : "thread-" + std::to_string(track));
+    }
+    return track;
+}
+
+void
+TraceRecorder::push(Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::beginSpan(const std::string &category,
+                         const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'B';
+    event.pid = kHostPid;
+    event.tid = currentThreadTrack();
+    event.tsMicros = nowMicros();
+    event.name = name;
+    event.category = category;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::endSpan(const std::string &category,
+                       const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'E';
+    event.pid = kHostPid;
+    event.tid = currentThreadTrack();
+    event.tsMicros = nowMicros();
+    event.name = name;
+    event.category = category;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::completeEvent(int pid, int tid, double tsMicros,
+                             double durMicros,
+                             const std::string &category,
+                             const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'X';
+    event.pid = pid;
+    event.tid = tid;
+    event.tsMicros = tsMicros;
+    event.durMicros = durMicros;
+    event.name = name;
+    event.category = category;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::counterEvent(int pid, const std::string &track,
+                            double tsMicros,
+                            const std::string &series, double value)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'C';
+    event.pid = pid;
+    event.tsMicros = tsMicros;
+    event.name = track;
+    event.argKey = series;
+    event.argValue = value;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::instantEvent(int pid, int tid, double tsMicros,
+                            const std::string &category,
+                            const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'i';
+    event.pid = pid;
+    event.tid = tid;
+    event.tsMicros = tsMicros;
+    event.name = name;
+    event.category = category;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::setThreadName(int pid, int tid,
+                             const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'M';
+    event.pid = pid;
+    event.tid = tid;
+    event.name = "thread_name";
+    event.argKey = "name";
+    event.argText = name;
+    push(std::move(event));
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+TraceRecorder::json() const
+{
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+    }
+    JsonWriter json;
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.beginArray("traceEvents");
+    for (const Event &event : events) {
+        json.beginObject();
+        json.field("name", event.name);
+        if (!event.category.empty())
+            json.field("cat", event.category);
+        json.field("ph", std::string(1, event.phase));
+        json.field("ts", event.tsMicros);
+        if (event.phase == 'X')
+            json.field("dur", event.durMicros);
+        if (event.phase == 'i')
+            json.field("s", "t");
+        json.field("pid",
+                   static_cast<std::uint64_t>(event.pid));
+        json.field("tid",
+                   static_cast<std::uint64_t>(event.tid));
+        if (!event.argKey.empty()) {
+            json.beginObject("args");
+            if (event.phase == 'C') {
+                json.field(event.argKey, event.argValue);
+            } else {
+                json.field(event.argKey, event.argText);
+            }
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+Result<bool>
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        return makeError(ErrorCode::IoError, "cannot open ", path,
+                         " for writing");
+    }
+    out << json() << "\n";
+    if (!out) {
+        return makeError(ErrorCode::IoError, "failed writing ",
+                         path);
+    }
+    return true;
+}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    // Leaked for the same reason as MetricsRegistry::global().
+    static TraceRecorder *recorder = new TraceRecorder();
+    return *recorder;
+}
+
+std::string
+spanHistogramName(const std::string &category,
+                  const std::string &name)
+{
+    std::string result = "span_seconds_" + category + "_" + name;
+    for (char &c : result) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return result;
+}
+
+ScopedSpan::ScopedSpan(std::string category, std::string name)
+    : category_(std::move(category)),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now())
+{
+    TraceRecorder::global().beginSpan(category_, name_);
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    TraceRecorder &recorder = TraceRecorder::global();
+    recorder.endSpan(category_, name_);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    MetricsRegistry::global()
+        .histogram(spanHistogramName(category_, name_),
+                   spanSecondsBounds())
+        .observe(seconds);
+}
+
+} // namespace rana

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scoped-span tracer emitting Chrome trace_event JSON.
+ *
+ * The recorder collects timeline events in the format consumed by
+ * chrome://tracing and Perfetto: duration events (B/E), complete
+ * events (X), counter tracks (C), instants (i) and track-naming
+ * metadata (M). Two processes share one file: pid 1 is the host
+ * (wall-clock spans, one track per OS thread) and pid 2 is the
+ * simulated accelerator (events on the simulated-time axis, fed by
+ * the TraceSink adapter in sim/trace_timeline).
+ *
+ * Recording is off by default; a disabled recorder costs one relaxed
+ * atomic load per call site. ScopedSpan always feeds the span's
+ * duration into the metrics registry's span_seconds_* histograms, so
+ * phase timings appear in --metrics-json even when no trace file was
+ * requested.
+ */
+
+#ifndef RANA_OBS_CHROME_TRACE_HH_
+#define RANA_OBS_CHROME_TRACE_HH_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.hh"
+
+namespace rana {
+
+/** Thread-safe collector of Chrome trace_event records. */
+class TraceRecorder
+{
+  public:
+    /** Track group for host wall-clock events (one per thread). */
+    static constexpr int kHostPid = 1;
+    /** Track group for simulated-time events. */
+    static constexpr int kSimPid = 2;
+
+    TraceRecorder();
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Start recording (emits the process-naming metadata). */
+    void enable();
+
+    /** Whether events are being recorded (one relaxed load). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds of wall-clock since the recorder was created. */
+    double nowMicros() const;
+
+    /** Begin a duration span on the calling thread's track. */
+    void beginSpan(const std::string &category,
+                   const std::string &name);
+
+    /** End the innermost span on the calling thread's track. */
+    void endSpan(const std::string &category,
+                 const std::string &name);
+
+    /** A complete (X) event with explicit placement and duration. */
+    void completeEvent(int pid, int tid, double tsMicros,
+                       double durMicros, const std::string &category,
+                       const std::string &name);
+
+    /** One sample on counter track `track`, series `series`. */
+    void counterEvent(int pid, const std::string &track,
+                      double tsMicros, const std::string &series,
+                      double value);
+
+    /** An instant (i) marker on an explicit track. */
+    void instantEvent(int pid, int tid, double tsMicros,
+                      const std::string &category,
+                      const std::string &name);
+
+    /** Name a thread track (thread_name metadata). */
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    /** Number of events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** The whole timeline as a Chrome trace JSON document. */
+    std::string json() const;
+
+    /** Write json() to `path`. */
+    Result<bool> writeFile(const std::string &path) const;
+
+    /**
+     * The process-wide recorder the pipeline reports to.
+     * Intentionally leaked, like MetricsRegistry::global().
+     */
+    static TraceRecorder &global();
+
+  private:
+    struct Event
+    {
+        char phase = 'i';
+        int pid = kHostPid;
+        int tid = 0;
+        double tsMicros = 0.0;
+        double durMicros = 0.0;
+        std::string name;
+        std::string category;
+        /** Counter series name, or "name" for metadata events. */
+        std::string argKey;
+        double argValue = 0.0;
+        std::string argText;
+    };
+
+    /** The calling thread's track id, registering it on first use. */
+    int currentThreadTrack();
+
+    void push(Event event);
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::atomic<int> nextThreadTrack_{0};
+};
+
+/**
+ * RAII span: records B/E events on the global recorder when tracing
+ * is enabled and always observes the duration in the global metrics
+ * registry under span_seconds_<category>_<name> (sanitized).
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(std::string category, std::string name);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    std::string category_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** "span_seconds_<category>_<name>" with non-identifier chars as _. */
+std::string spanHistogramName(const std::string &category,
+                              const std::string &name);
+
+} // namespace rana
+
+#endif // RANA_OBS_CHROME_TRACE_HH_

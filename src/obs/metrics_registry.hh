@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unified metrics registry: named counters, gauges and fixed-bucket
+ * histograms shared by every layer of the pipeline.
+ *
+ * The paper instruments its RTL evaluation platform with per-
+ * component counters (memory accesses, refresh operations, energy
+ * events); this registry is the reproduction's equivalent for the
+ * software pipeline. One process-wide instance collects the
+ * scheduler's cache traffic, the simulator's refresh pulses, the
+ * reliability guard's trips and the campaign's corruption rates, so
+ * a single JSON snapshot shows where a run's refresh budget and
+ * wall-clock actually go.
+ *
+ * Hot-path design: instruments are registered once (mutex-guarded)
+ * and return stable references; updates are lock-free atomic
+ * operations on per-thread shards (the writing thread hashes to one
+ * of kShards cache-line-padded slots), aggregated only when a
+ * snapshot is taken. Counter sums are exact once the writers have
+ * quiesced — e.g. after a parallelFor has joined — which is what the
+ * registry's concurrency tests assert under TSan.
+ */
+
+#ifndef RANA_OBS_METRICS_REGISTRY_HH_
+#define RANA_OBS_METRICS_REGISTRY_HH_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rana {
+
+class JsonWriter;
+
+/** Aggregated registry contents at one point in time. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+
+    struct GaugeValue
+    {
+        std::string name;
+        double value = 0.0;
+    };
+
+    struct HistogramValue
+    {
+        std::string name;
+        /** Inclusive upper bounds; the overflow bucket is implicit. */
+        std::vector<double> bounds;
+        /** Per-bucket counts (bounds.size() + 1 entries). */
+        std::vector<std::uint64_t> counts;
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    /** All instruments, each sorted by name. */
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+};
+
+/** Thread-safe registry of named counters, gauges and histograms. */
+class MetricsRegistry
+{
+  public:
+    /** Update shards per instrument (threads hash onto them). */
+    static constexpr std::size_t kShards = 16;
+
+    /** Monotonic event counter with a sharded lock-free hot path. */
+    class Counter
+    {
+      public:
+        /** Add `delta` on the calling thread's shard. */
+        void add(std::uint64_t delta = 1)
+        {
+            shards_[threadShard()].value.fetch_add(
+                delta, std::memory_order_relaxed);
+        }
+
+        /** Sum of all shards (exact once writers quiesced). */
+        std::uint64_t value() const;
+
+        const std::string &name() const { return name_; }
+
+      private:
+        friend class MetricsRegistry;
+        explicit Counter(std::string name) : name_(std::move(name)) {}
+
+        struct alignas(64) Shard
+        {
+            std::atomic<std::uint64_t> value{0};
+        };
+
+        std::string name_;
+        Shard shards_[kShards];
+    };
+
+    /** Last-write-wins instantaneous value (e.g. queue depth). */
+    class Gauge
+    {
+      public:
+        void set(double value)
+        {
+            value_.store(value, std::memory_order_relaxed);
+        }
+
+        /** Raise the gauge to `value` if it is larger (peaks). */
+        void setMax(double value);
+
+        double value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+
+        const std::string &name() const { return name_; }
+
+      private:
+        friend class MetricsRegistry;
+        explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+        std::string name_;
+        std::atomic<double> value_{0.0};
+    };
+
+    /**
+     * Fixed-bucket histogram. Bucket i counts observations with
+     * value <= bounds[i]; one implicit overflow bucket catches the
+     * rest. Buckets and the running sum are sharded like counters.
+     */
+    class Histogram
+    {
+      public:
+        /** Record one observation. */
+        void observe(double value);
+
+        /** Inclusive upper bounds (ascending, strict). */
+        const std::vector<double> &bounds() const { return bounds_; }
+
+        /** Aggregated per-bucket counts (bounds().size() + 1). */
+        std::vector<std::uint64_t> counts() const;
+
+        /** Total observations across all buckets. */
+        std::uint64_t count() const;
+
+        /** Sum of all observed values. */
+        double sum() const;
+
+        const std::string &name() const { return name_; }
+
+      private:
+        friend class MetricsRegistry;
+        Histogram(std::string name, std::vector<double> bounds);
+
+        struct alignas(64) Shard
+        {
+            std::vector<std::atomic<std::uint64_t>> buckets;
+            std::atomic<std::uint64_t> count{0};
+            /** Bit-cast accumulator (CAS loop; see observe()). */
+            std::atomic<std::uint64_t> sumBits{0};
+        };
+
+        std::string name_;
+        std::vector<double> bounds_;
+        std::vector<Shard> shards_;
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * The counter registered under `name`, creating it on first use.
+     * The reference stays valid for the registry's lifetime.
+     */
+    Counter &counter(const std::string &name);
+
+    /** The gauge registered under `name` (created on first use). */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * The histogram registered under `name` (created on first use
+     * with `bounds`, which must be ascending and non-empty). Later
+     * calls ignore `bounds` and return the existing instrument.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    /** Aggregate every instrument, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero every instrument's shards. Registered handles stay
+     * valid — resetting never invalidates cached references.
+     */
+    void reset();
+
+    /**
+     * The process-wide default registry every subsystem reports to.
+     * Intentionally leaked so instrument handles cached in static
+     * storage stay valid through process shutdown.
+     */
+    static MetricsRegistry &global();
+
+  private:
+    /** The calling thread's shard index. */
+    static std::size_t threadShard();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::unique_ptr<Counter>>
+        counters_;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>>
+        histograms_;
+};
+
+/** Default span-duration histogram bounds in seconds (log scale). */
+const std::vector<double> &spanSecondsBounds();
+
+/**
+ * Append member `key` to an open JSON object: the registry snapshot
+ * as {"counters": {...}, "gauges": {...}, "histograms": {...}},
+ * with the process log-call counts merged into the counters (the
+ * "log_<level>_total" entries).
+ */
+void writeMetricsObject(JsonWriter &json, const std::string &key,
+                        const MetricsRegistry &registry);
+
+/**
+ * Standalone metrics document for --metrics-json: the snapshot of
+ * `registry` wrapped with a schema marker.
+ */
+std::string metricsJsonDocument(const MetricsRegistry &registry);
+
+} // namespace rana
+
+#endif // RANA_OBS_METRICS_REGISTRY_HH_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the metrics-backed pool observer.
+ */
+
+#include "obs/pool_telemetry.hh"
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics_registry.hh"
+#include "util/thread_pool.hh"
+
+namespace rana {
+
+namespace {
+
+/** ThreadPool observer that forwards into the global registry. */
+class MetricsPoolTelemetry : public ThreadPool::Telemetry
+{
+  public:
+    MetricsPoolTelemetry()
+        : queueDepth_(
+              MetricsRegistry::global().gauge("pool_queue_depth")),
+          queuePeak_(MetricsRegistry::global().gauge(
+              "pool_queue_depth_peak")),
+          tasks_(
+              MetricsRegistry::global().counter("pool_tasks_total")),
+          taskSeconds_(MetricsRegistry::global().histogram(
+              "pool_task_seconds", spanSecondsBounds())),
+          parallelFors_(MetricsRegistry::global().counter(
+              "pool_parallel_for_total")),
+          parallelForItems_(MetricsRegistry::global().counter(
+              "pool_parallel_for_items_total"))
+    {
+    }
+
+    void
+    onTaskQueued(std::size_t queueDepth) override
+    {
+        const auto depth = static_cast<double>(queueDepth);
+        queueDepth_.set(depth);
+        queuePeak_.setMax(depth);
+    }
+
+    void
+    onTaskCompleted(double seconds) override
+    {
+        tasks_.add();
+        taskSeconds_.observe(seconds);
+    }
+
+    void
+    onParallelFor(std::size_t items) override
+    {
+        parallelFors_.add();
+        parallelForItems_.add(items);
+    }
+
+  private:
+    MetricsRegistry::Gauge &queueDepth_;
+    MetricsRegistry::Gauge &queuePeak_;
+    MetricsRegistry::Counter &tasks_;
+    MetricsRegistry::Histogram &taskSeconds_;
+    MetricsRegistry::Counter &parallelFors_;
+    MetricsRegistry::Counter &parallelForItems_;
+};
+
+} // namespace
+
+void
+installPoolTelemetry()
+{
+    // Leaked like the registry it reports into: pool threads may
+    // still run callbacks during static destruction.
+    static MetricsPoolTelemetry *observer =
+        new MetricsPoolTelemetry();
+    ThreadPool::setTelemetry(observer);
+}
+
+} // namespace rana

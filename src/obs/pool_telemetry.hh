@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Bridge from ThreadPool's telemetry interface to the metrics
+ * registry: queue depth gauge, task count/latency, parallelFor fan-
+ * out. util cannot link against obs, so the pool only exposes the
+ * observer hook and this module installs the metrics-backed
+ * implementation.
+ */
+
+#ifndef RANA_OBS_POOL_TELEMETRY_HH_
+#define RANA_OBS_POOL_TELEMETRY_HH_
+
+namespace rana {
+
+/**
+ * Install the metrics-backed pool observer on ThreadPool (idempotent;
+ * the observer lives for the whole process). Feeds:
+ *  - gauge pool_queue_depth / pool_queue_depth_peak,
+ *  - counter pool_tasks_total,
+ *  - histogram pool_task_seconds,
+ *  - counters pool_parallel_for_total / pool_parallel_for_items_total.
+ */
+void installPoolTelemetry();
+
+} // namespace rana
+
+#endif // RANA_OBS_POOL_TELEMETRY_HH_

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/report.hh"
+#include "obs/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace rana {
@@ -89,6 +90,7 @@ runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
                          "fault campaign needs at least one trial");
     }
 
+    ScopedSpan sweep_span("sweep", "campaign_sweep");
     CampaignSweepReport report;
     report.designName = design.name;
     report.networkName = network.name();
@@ -130,9 +132,20 @@ runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
              ++i) {
             DesignPoint point = points[i];
             point.failureRate = rate;
+            // A labelled timeline slice per grid cell; the span-
+            // duration histograms stay per phase (simulate /
+            // retrain / trials), not per cell.
+            std::ostringstream cell_label;
+            cell_label << "cell rate=" << std::scientific
+                       << std::setprecision(1) << rate
+                       << " interval=" << config.refreshIntervals[i]
+                       << "s";
+            TraceRecorder &recorder = TraceRecorder::global();
+            recorder.beginSpan("sweep", cell_label.str());
             Result<FaultCampaignReport> cell_report =
                 runPreparedCampaign(point, exposures[i], model,
                                     config.campaign);
+            recorder.endSpan("sweep", cell_label.str());
             if (!cell_report.ok())
                 return cell_report.error();
             SweepCell cell;

@@ -10,8 +10,11 @@
 #include <sstream>
 
 #include "energy/technology.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
 #include "sched/layer_scheduler.hh"
 #include "sim/loopnest_simulator.hh"
+#include "sim/trace_export.hh"
 #include "train/loss.hh"
 #include "train/mini_models.hh"
 #include "util/logging.hh"
@@ -85,9 +88,12 @@ simulateExposures(const DesignPoint &design,
     // the configured timing faults and (optionally) the runtime
     // guard, and take each buffered tensor's observed lifetime from
     // the simulator's read events.
+    ScopedSpan span("campaign", "simulate");
     LoopNestSimulator simulator(design.config, design.options.policy,
                                 design.options.refreshIntervalSeconds);
     simulator.setTimingFaults(config.timingFaults);
+    if (config.traceSink != nullptr)
+        simulator.setTraceSink(config.traceSink);
     ReliabilityGuard guard(design.options.refreshIntervalSeconds);
     if (config.guard)
         simulator.attachGuard(&guard);
@@ -148,6 +154,7 @@ prepareCampaignModel(RetentionAwareTrainer &trainer,
     // Phase 3: train the stand-in model. The retrain at the
     // operating failure rate is the paper's retention-aware
     // training; skipping it gives the untrained control.
+    ScopedSpan span("campaign", "retrain");
     trainer.restorePretrained();
     if (config.retrain && failure_rate > 0.0)
         trainer.retrainAndEvaluate(failure_rate);
@@ -174,6 +181,7 @@ runPreparedCampaign(const DesignPoint &design,
     }
     RANA_ASSERT(model.weights != nullptr,
                 "campaign model has no weight store");
+    ScopedSpan span("campaign", "trials");
 
     FaultCampaignReport report;
     report.designName = design.name;
@@ -322,6 +330,22 @@ runPreparedCampaign(const DesignPoint &design,
         report.worstRelativeAccuracy = std::min(
             report.worstRelativeAccuracy, trial.relativeAccuracy);
     }
+    // Corruption-rate counters, tallied serially from the trial
+    // slots so the registry totals are deterministic per seed.
+    MetricsRegistry &registry = MetricsRegistry::global();
+    std::uint64_t corrupted = 0;
+    std::uint64_t exposed_words = 0;
+    for (const TrialResult &trial : report.trials) {
+        corrupted += trial.exposedBanks > 0 ? 1 : 0;
+        exposed_words += trial.exposedWords;
+    }
+    registry.counter("campaign_trials_total")
+        .add(report.trials.size());
+    registry.counter("campaign_corrupted_trials_total")
+        .add(corrupted);
+    registry.counter("campaign_exposed_words_total")
+        .add(exposed_words);
+
     const auto count = static_cast<double>(report.trials.size());
     report.meanAccuracy /= count;
     report.meanRelativeAccuracy /= count;

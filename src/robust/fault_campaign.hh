@@ -53,6 +53,8 @@
 
 namespace rana {
 
+class TraceSink;
+
 /** Configuration of one fault-injection campaign. */
 struct FaultCampaignConfig
 {
@@ -82,6 +84,13 @@ struct FaultCampaignConfig
     /** Cell retention-time distribution banks are sampled from. */
     RetentionDistribution retention =
         RetentionDistribution::typical65nm();
+    /**
+     * Observer of every simulated-execution event (nullptr = none;
+     * not owned). The timeline exporter hangs off this: attach a
+     * TimelineTraceSink to draw the campaign's simulations on the
+     * simulated-time axis.
+     */
+    TraceSink *traceSink = nullptr;
 };
 
 /** One (layer, data type) exposure record. */

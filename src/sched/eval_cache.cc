@@ -8,9 +8,30 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/metrics_registry.hh"
+
 namespace rana {
 
 namespace {
+
+/** Registry counters mirroring the cache's own hit/miss tallies. */
+struct CacheMetrics
+{
+    MetricsRegistry::Counter &hits;
+    MetricsRegistry::Counter &misses;
+
+    static CacheMetrics &
+    get()
+    {
+        static CacheMetrics *metrics = new CacheMetrics{
+            MetricsRegistry::global().counter(
+                "sched_eval_cache_hits_total"),
+            MetricsRegistry::global().counter(
+                "sched_eval_cache_misses_total"),
+        };
+        return *metrics;
+    }
+};
 
 /** Append the option fields every evaluation depends on. */
 void
@@ -54,9 +75,11 @@ EvalCache::lookup(const std::string &key) const
     const auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().misses.add();
         return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().hits.add();
     return it->second;
 }
 

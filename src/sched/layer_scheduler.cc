@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
 #include "sched/eval_cache.hh"
 #include "sched/tiling_search.hh"
 #include "util/thread_pool.hh"
@@ -15,6 +17,25 @@
 namespace rana {
 
 namespace {
+
+/** Registry counters for scheduler throughput. */
+struct SchedMetrics
+{
+    MetricsRegistry::Counter &layers;
+    MetricsRegistry::Counter &candidates;
+
+    static SchedMetrics &
+    get()
+    {
+        static SchedMetrics *metrics = new SchedMetrics{
+            MetricsRegistry::global().counter(
+                "sched_layers_scheduled_total"),
+            MetricsRegistry::global().counter(
+                "sched_candidates_evaluated_total"),
+        };
+        return *metrics;
+    }
+};
 
 /** One point of the per-layer design space, in serial search order. */
 struct Candidate
@@ -104,6 +125,9 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
                          "scheduler needs at least one pattern (layer ",
                          layer.name, ")");
     }
+    // One search span per layer: the timeline shows which layers
+    // dominate the design-space sweep.
+    ScopedSpan span("sched", layer.name);
 
     std::string search_key;
     if (options.memoize) {
@@ -132,6 +156,7 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
                     evals[i] = {true, schedule.energy.total(),
                                 analysis.layerSeconds};
                 });
+    SchedMetrics::get().candidates.add(candidates.size());
 
     // Reduction, strictly in candidate order. Energies within this
     // relative margin are considered equal and tie-broken by
@@ -184,6 +209,7 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
                          winner.promote, options),
             best);
     }
+    SchedMetrics::get().layers.add();
     return best;
 }
 
@@ -220,6 +246,7 @@ scheduleNetwork(const AcceleratorConfig &config,
                 const NetworkModel &network,
                 const SchedulerOptions &options)
 {
+    ScopedSpan span("sched", "schedule_network");
     // Layers are independent: schedule them concurrently into
     // indexed slots, then assemble (and surface the first error) in
     // layer order.

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "obs/metrics_registry.hh"
 #include "sim/pe_array_model.hh"
 #include "util/logging.hh"
 
@@ -21,6 +23,29 @@ constexpr std::size_t kOutput =
 constexpr std::size_t kWeight =
     static_cast<std::size_t>(DataType::Weight);
 
+/** Registry instruments for simulator progress (created once). */
+struct SimMetrics
+{
+    MetricsRegistry::Counter &layers;
+    MetricsRegistry::Counter &tiles;
+    MetricsRegistry::Gauge &banksInUse;
+    MetricsRegistry::Gauge &banksInUsePeak;
+
+    static SimMetrics &
+    get()
+    {
+        static SimMetrics *metrics = new SimMetrics{
+            MetricsRegistry::global().counter(
+                "sim_layers_simulated_total"),
+            MetricsRegistry::global().counter(
+                "sim_tiles_simulated_total"),
+            MetricsRegistry::global().gauge("sim_banks_in_use"),
+            MetricsRegistry::global().gauge("sim_banks_in_use_peak"),
+        };
+        return *metrics;
+    }
+};
+
 } // namespace
 
 LoopNestSimulator::LoopNestSimulator(const AcceleratorConfig &config,
@@ -32,6 +57,14 @@ LoopNestSimulator::LoopNestSimulator(const AcceleratorConfig &config,
       controller_(config.buffer, policy, config.frequencyHz,
                   interval_seconds)
 {
+    // Forward divider ticks to the trace sink so the timeline shows
+    // refresh activity alongside compute (emit() drops the event
+    // when no sink is attached).
+    controller_.setPulseListener(
+        [this](double when, std::uint64_t words) {
+            emit(TraceEventKind::RefreshPulse, when, DataType::Input,
+                 words, 0);
+        });
 }
 
 std::uint64_t
@@ -66,7 +99,18 @@ LayerSimResult
 LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
                             const LayerAnalysis &analysis)
 {
-    RANA_ASSERT(analysis.feasible, "simulating an infeasible analysis");
+    return runLayerChecked(layer, analysis).valueOrDie();
+}
+
+Result<LayerSimResult>
+LoopNestSimulator::runLayerChecked(const ConvLayerSpec &layer,
+                                   const LayerAnalysis &analysis)
+{
+    if (!analysis.feasible) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "cannot simulate layer ", layer.name,
+                         ": the analysis is infeasible");
+    }
     const ComputationPattern pattern = analysis.pattern;
     const Tiling &t = analysis.tiling;
     const TileSizes tiles = tileSizes(layer, t);
@@ -102,6 +146,14 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
         trace_->onLayerBegin(layer.name);
     emit(TraceEventKind::LayerBegin, layer_start, DataType::Input, 0,
          0);
+    const std::uint64_t banks_in_use =
+        config_.buffer.numBanks - demand.allocation.unusedBanks;
+    emit(TraceEventKind::BankOccupancy, layer_start, DataType::Input,
+         banks_in_use, 0);
+    SimMetrics &sim_metrics = SimMetrics::get();
+    sim_metrics.banksInUse.set(static_cast<double>(banks_in_use));
+    sim_metrics.banksInUsePeak.setMax(
+        static_cast<double>(banks_in_use));
 
     // Per-type staging times following the pattern's natural
     // residency; fully streamed types are always freshly staged.
@@ -265,6 +317,8 @@ LoopNestSimulator::runLayer(const ConvLayerSpec &layer,
     now_ = layer_end;
     emit(TraceEventKind::LayerEnd, layer_end, DataType::Input, 0,
          tile_index);
+    sim_metrics.layers.add();
+    sim_metrics.tiles.add(tile_index);
 
     // Assemble DRAM traffic from the event tallies: resident
     // fractions stream their complement on every reuse scan.

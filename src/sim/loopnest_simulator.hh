@@ -32,6 +32,7 @@
 #include "sim/pattern_analytics.hh"
 #include "sim/performance_model.hh"
 #include "sim/trace_export.hh"
+#include "util/result.hh"
 
 namespace rana {
 
@@ -74,7 +75,17 @@ class LoopNestSimulator
 
     /**
      * Simulate one layer under a previously computed analysis (which
-     * fixes the pattern, tiling and buffer residency).
+     * fixes the pattern, tiling and buffer residency). Fails with
+     * InvalidArgument when the analysis is infeasible instead of
+     * aborting the process.
+     */
+    Result<LayerSimResult>
+    runLayerChecked(const ConvLayerSpec &layer,
+                    const LayerAnalysis &analysis);
+
+    /**
+     * Abort-on-failure wrapper around runLayerChecked() for callers
+     * that validated the analysis themselves.
      */
     LayerSimResult runLayer(const ConvLayerSpec &layer,
                             const LayerAnalysis &analysis);

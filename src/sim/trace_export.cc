@@ -27,6 +27,12 @@ traceEventKindName(TraceEventKind kind)
         return "partial_reload";
       case TraceEventKind::LayerEnd:
         return "layer_end";
+      case TraceEventKind::RefreshPulse:
+        return "refresh_pulse";
+      case TraceEventKind::BankOccupancy:
+        return "bank_occupancy";
+      case TraceEventKind::Count:
+        break;
     }
     panic("unreachable trace event kind");
 }
@@ -61,7 +67,8 @@ void
 CountingTraceSink::onEvent(const TraceEvent &event)
 {
     const auto index = static_cast<std::size_t>(event.kind);
-    RANA_ASSERT(index < numKinds, "trace kind out of range");
+    RANA_ASSERT(index < numTraceEventKinds,
+                "trace kind out of range");
     ++counts_[index];
     words_[index] += event.words;
 }

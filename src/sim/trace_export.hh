@@ -35,7 +35,17 @@ enum class TraceEventKind {
     PartialReload,
     /** A layer completed. */
     LayerEnd,
+    /** The refresh controller issued a refresh pulse. */
+    RefreshPulse,
+    /** Bank-occupancy sample (words = banks currently allocated). */
+    BankOccupancy,
+    /** Sentinel: number of kinds. Keep last; never emitted. */
+    Count,
 };
+
+/** Number of real TraceEventKind values (excludes the sentinel). */
+constexpr std::size_t numTraceEventKinds =
+    static_cast<std::size_t>(TraceEventKind::Count);
 
 /** Name string for a TraceEventKind. */
 const char *traceEventKindName(TraceEventKind kind);
@@ -104,10 +114,9 @@ class CountingTraceSink : public TraceSink
     std::uint64_t wordsOf(TraceEventKind kind) const;
 
   private:
-    static constexpr std::size_t numKinds = 6;
     std::uint64_t layers_ = 0;
-    std::uint64_t counts_[numKinds] = {};
-    std::uint64_t words_[numKinds] = {};
+    std::uint64_t counts_[numTraceEventKinds] = {};
+    std::uint64_t words_[numTraceEventKinds] = {};
 };
 
 } // namespace rana

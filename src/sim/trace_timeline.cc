@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of the simulated-time Chrome-trace adapter.
+ */
+
+#include "sim/trace_timeline.hh"
+
+namespace rana {
+
+namespace {
+
+/** Simulated seconds to trace microseconds. */
+double
+toMicros(double seconds)
+{
+    return seconds * 1e6;
+}
+
+} // namespace
+
+TimelineTraceSink::TimelineTraceSink(TraceRecorder &recorder,
+                                     std::uint64_t sampleStride)
+    : recorder_(recorder),
+      sampleStride_(sampleStride > 0 ? sampleStride : 1)
+{
+}
+
+std::string
+TimelineTraceSink::trackName(const char *base) const
+{
+    if (run_ == 0)
+        return base;
+    return std::string(base) + "/run" + std::to_string(run_);
+}
+
+void
+TimelineTraceSink::beginRun()
+{
+    tilesCompleted_ = 0;
+    bufferWords_ = 0;
+    refreshWords_ = 0;
+    recorder_.setThreadName(TraceRecorder::kSimPid,
+                            static_cast<int>(run_),
+                            "sim run " + std::to_string(run_));
+    runOpened_ = true;
+}
+
+void
+TimelineTraceSink::sampleCounters(double seconds)
+{
+    const double ts = toMicros(seconds);
+    recorder_.counterEvent(TraceRecorder::kSimPid,
+                           trackName("tiles_completed"), ts, "tiles",
+                           static_cast<double>(tilesCompleted_));
+    recorder_.counterEvent(TraceRecorder::kSimPid,
+                           trackName("buffer_words"), ts, "words",
+                           static_cast<double>(bufferWords_));
+    recorder_.counterEvent(TraceRecorder::kSimPid,
+                           trackName("refresh_words"), ts, "words",
+                           static_cast<double>(refreshWords_));
+}
+
+void
+TimelineTraceSink::onLayerBegin(const std::string &name)
+{
+    pendingLayer_ = name;
+}
+
+void
+TimelineTraceSink::onEvent(const TraceEvent &event)
+{
+    ++eventsSeen_;
+    if (!runOpened_)
+        beginRun();
+    switch (event.kind) {
+      case TraceEventKind::LayerBegin:
+        // A layer starting earlier than the previous one means the
+        // producer restarted simulated time (the sweep runs many
+        // simulations through one sink): open a fresh set of tracks.
+        if (event.seconds + 1e-12 < lastLayerStart_) {
+            ++run_;
+            beginRun();
+        }
+        lastLayerStart_ = event.seconds;
+        layerStart_ = event.seconds;
+        currentLayer_ = pendingLayer_;
+        sampleCounters(event.seconds);
+        break;
+      case TraceEventKind::LayerEnd:
+        recorder_.completeEvent(
+            TraceRecorder::kSimPid, static_cast<int>(run_),
+            toMicros(layerStart_),
+            toMicros(event.seconds - layerStart_), "layer",
+            currentLayer_.empty() ? "layer" : currentLayer_);
+        sampleCounters(event.seconds);
+        break;
+      case TraceEventKind::TileCompute:
+        ++tilesCompleted_;
+        if (eventsSeen_ % sampleStride_ == 0)
+            sampleCounters(event.seconds);
+        break;
+      case TraceEventKind::CoreLoad:
+      case TraceEventKind::CoreStore:
+      case TraceEventKind::PartialReload:
+        bufferWords_ += event.words;
+        if (eventsSeen_ % sampleStride_ == 0)
+            sampleCounters(event.seconds);
+        break;
+      case TraceEventKind::RefreshPulse:
+        refreshWords_ += event.words;
+        recorder_.counterEvent(
+            TraceRecorder::kSimPid, trackName("refresh_words"),
+            toMicros(event.seconds), "words",
+            static_cast<double>(refreshWords_));
+        break;
+      case TraceEventKind::BankOccupancy:
+        recorder_.counterEvent(
+            TraceRecorder::kSimPid, trackName("banks_in_use"),
+            toMicros(event.seconds), "banks",
+            static_cast<double>(event.words));
+        break;
+      case TraceEventKind::Count:
+        break;
+    }
+}
+
+} // namespace rana

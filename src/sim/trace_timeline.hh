@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Adapter from simulator TraceSink events to Chrome-trace tracks on
+ * the simulated-time axis.
+ *
+ * The loop-nest simulator reports per-tile events in simulated
+ * seconds; this sink converts them into the recorder's pid-2
+ * ("simulated timeline") process: one X slice per layer, plus
+ * counter tracks for bank occupancy, completed tiles, buffer words
+ * moved and refresh words issued. Counter tracks are sampled every
+ * `sampleStride` events (and always at layer boundaries, refresh
+ * pulses and occupancy changes) so multi-million-tile layers stay
+ * loadable in Perfetto.
+ *
+ * The campaign sweep reuses one simulator sink across many
+ * simulations, each restarting at t = 0; a LayerBegin whose time
+ * jumps backwards starts a new run, which gets its own layer row and
+ * counter tracks ("…/run<N>") with tallies reset, so overlapping
+ * timelines never corrupt each other. Output depends only on the
+ * event sequence — identical simulations produce identical traces.
+ */
+
+#ifndef RANA_SIM_TRACE_TIMELINE_HH_
+#define RANA_SIM_TRACE_TIMELINE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/chrome_trace.hh"
+#include "sim/trace_export.hh"
+
+namespace rana {
+
+/** TraceSink rendering simulator events into a TraceRecorder. */
+class TimelineTraceSink : public TraceSink
+{
+  public:
+    /**
+     * @param recorder      destination recorder (kept by reference)
+     * @param sampleStride  events between counter-track samples
+     */
+    explicit TimelineTraceSink(
+        TraceRecorder &recorder = TraceRecorder::global(),
+        std::uint64_t sampleStride = 64);
+
+    void onLayerBegin(const std::string &name) override;
+    void onEvent(const TraceEvent &event) override;
+
+    /** Number of simulator events received. */
+    std::uint64_t eventsSeen() const { return eventsSeen_; }
+
+    /** Number of simulation runs detected (time restarts). */
+    std::uint64_t runs() const { return run_ + 1; }
+
+  private:
+    /** Track name with a per-run suffix after the first run. */
+    std::string trackName(const char *base) const;
+
+    /** Emit the cumulative counter samples at `seconds`. */
+    void sampleCounters(double seconds);
+
+    /** Reset per-run tallies and open run `run_`'s tracks. */
+    void beginRun();
+
+    TraceRecorder &recorder_;
+    std::uint64_t sampleStride_;
+    std::uint64_t eventsSeen_ = 0;
+    std::uint64_t run_ = 0;
+    bool runOpened_ = false;
+    std::string pendingLayer_;
+    std::string currentLayer_;
+    double layerStart_ = 0.0;
+    double lastLayerStart_ = 0.0;
+    std::uint64_t tilesCompleted_ = 0;
+    std::uint64_t bufferWords_ = 0;
+    std::uint64_t refreshWords_ = 0;
+};
+
+} // namespace rana
+
+#endif // RANA_SIM_TRACE_TIMELINE_HH_

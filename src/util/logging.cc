@@ -5,12 +5,76 @@
 
 #include "util/logging.hh"
 
+#include <atomic>
+#include <cstring>
+
+#include <unistd.h>
+
 namespace rana {
+
+namespace {
+
+/** Per-level call counts, indexed by LogLevel. */
+std::atomic<std::uint64_t> logCounts[4];
+
+/** -1 until the first read resolves RANA_LOG_LEVEL. */
+std::atomic<int> minLevel{-1};
+
+int
+parseEnvLogLevel()
+{
+    const char *env = std::getenv("RANA_LOG_LEVEL");
+    if (env == nullptr)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "warn") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "fatal") == 0)
+        return static_cast<int>(LogLevel::Fatal);
+    return static_cast<int>(LogLevel::Info);
+}
+
+} // namespace
+
+LogLevel
+minLogLevel()
+{
+    int level = minLevel.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = parseEnvLogLevel();
+        int expected = -1;
+        if (!minLevel.compare_exchange_strong(
+                expected, level, std::memory_order_relaxed)) {
+            level = expected;
+        }
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setMinLogLevel(LogLevel level)
+{
+    minLevel.store(static_cast<int>(level),
+                   std::memory_order_relaxed);
+}
+
+std::uint64_t
+logMessageCount(LogLevel level)
+{
+    return logCounts[static_cast<std::size_t>(level)].load(
+        std::memory_order_relaxed);
+}
+
 namespace detail {
 
 void
 emitLog(LogLevel level, const std::string &msg)
 {
+    logCounts[static_cast<std::size_t>(level)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (static_cast<int>(level) <
+        static_cast<int>(minLogLevel())) {
+        return;
+    }
     const char *prefix = "";
     switch (level) {
       case LogLevel::Info:
@@ -26,7 +90,17 @@ emitLog(LogLevel level, const std::string &msg)
         prefix = "panic: ";
         break;
     }
-    std::cerr << prefix << msg << "\n";
+    // Assemble the whole line first and hand it to the kernel in a
+    // single write() so lines from concurrent threads never
+    // interleave (iostream inserters interleave per operand).
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    ssize_t ignored =
+        ::write(STDERR_FILENO, line.data(), line.size());
+    (void)ignored;
 }
 
 } // namespace detail

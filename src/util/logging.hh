@@ -10,11 +10,20 @@
  *              status 1.
  *  - panic():  the run cannot continue because of an internal bug;
  *              aborts so a core dump / debugger can be attached.
+ *
+ * Emission is observability-friendly: each line goes out as one
+ * write() so concurrent threads never interleave mid-line, every
+ * call bumps a per-level counter (exported as log_<level>_total in
+ * metrics snapshots), and the RANA_LOG_LEVEL environment variable
+ * ("info", "warn", "fatal") suppresses printing below the chosen
+ * level. Filtering never suppresses the exit/abort of fatal() and
+ * panic(), and suppressed calls still count.
  */
 
 #ifndef RANA_UTIL_LOGGING_HH_
 #define RANA_UTIL_LOGGING_HH_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -30,6 +39,18 @@ enum class LogLevel {
     Panic,
 };
 
+/**
+ * Lowest level that is printed. Initialized from RANA_LOG_LEVEL on
+ * first use; setMinLogLevel overrides it (tests, embedding apps).
+ */
+LogLevel minLogLevel();
+
+/** Override the emission threshold at runtime. */
+void setMinLogLevel(LogLevel level);
+
+/** How many times `level` was logged (filtered calls included). */
+std::uint64_t logMessageCount(LogLevel level);
+
 namespace detail {
 
 /** Stream a pack of arguments into a string. */
@@ -42,7 +63,7 @@ concat(Args &&...args)
     return oss.str();
 }
 
-/** Emit one formatted log line to stderr. */
+/** Count and (unless filtered) emit one log line to stderr. */
 void emitLog(LogLevel level, const std::string &msg);
 
 } // namespace detail

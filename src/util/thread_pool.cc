@@ -8,10 +8,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
 namespace rana {
+
+namespace {
+
+/** The installed pool observer (nullptr when none). */
+std::atomic<ThreadPool::Telemetry *> poolTelemetry{nullptr};
+
+/** Run one task, reporting its duration to the observer. */
+void
+runTimed(std::packaged_task<void()> &task)
+{
+    ThreadPool::Telemetry *telemetry = ThreadPool::telemetry();
+    if (telemetry == nullptr) {
+        task();
+        return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    telemetry->onTaskCompleted(
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+} // namespace
+
+void
+ThreadPool::setTelemetry(Telemetry *telemetry)
+{
+    poolTelemetry.store(telemetry, std::memory_order_release);
+}
+
+ThreadPool::Telemetry *
+ThreadPool::telemetry()
+{
+    return poolTelemetry.load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(unsigned threads)
 {
@@ -37,14 +74,18 @@ ThreadPool::submit(std::function<void()> task)
     std::packaged_task<void()> packaged(std::move(task));
     std::future<void> future = packaged.get_future();
     if (workers_.empty()) {
-        packaged();
+        runTimed(packaged);
         return future;
     }
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(packaged));
+        depth = queue_.size();
     }
     cv_.notify_one();
+    if (Telemetry *telemetry = ThreadPool::telemetry())
+        telemetry->onTaskQueued(depth);
     return future;
 }
 
@@ -61,7 +102,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        runTimed(task);
     }
 }
 
@@ -166,6 +207,8 @@ parallelFor(std::size_t count, unsigned jobs,
 {
     if (count == 0)
         return;
+    if (ThreadPool::Telemetry *telemetry = ThreadPool::telemetry())
+        telemetry->onParallelFor(count);
     if (jobs <= 1 || count == 1) {
         for (std::size_t i = 0; i < count; ++i)
             body(i);

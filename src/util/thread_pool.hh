@@ -36,6 +36,33 @@ namespace rana {
 class ThreadPool
 {
   public:
+    /**
+     * Observer of pool activity. util cannot depend on the obs
+     * layer, so the metrics wiring lives behind this interface and
+     * obs installs an implementation at startup (see
+     * obs/pool_telemetry). Callbacks run on pool threads and must be
+     * thread-safe; the installed object must outlive the process.
+     */
+    struct Telemetry
+    {
+        virtual ~Telemetry() = default;
+        /** A task was enqueued; `queueDepth` includes it. */
+        virtual void onTaskQueued(std::size_t queueDepth) = 0;
+        /** A task finished after running for `seconds`. */
+        virtual void onTaskCompleted(double seconds) = 0;
+        /** A parallelFor started fanning out `items` items. */
+        virtual void onParallelFor(std::size_t items) = 0;
+    };
+
+    /**
+     * Install the process-wide pool observer (nullptr to remove).
+     * Applies to every pool and to parallelFor.
+     */
+    static void setTelemetry(Telemetry *telemetry);
+
+    /** The installed observer, or nullptr. */
+    static Telemetry *telemetry();
+
     /** Spawn `threads` workers (0 is allowed: submit() runs inline). */
     explicit ThreadPool(unsigned threads);
 

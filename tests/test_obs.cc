@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the observability layer: the metrics registry's exact
+ * concurrent aggregation, histogram bucket-edge semantics, the
+ * Chrome trace_event recorder, the simulated-timeline TraceSink
+ * adapter's determinism, the Result contract of the checked
+ * execution entry points, and the log-level filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/design_point.hh"
+#include "core/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
+#include "sim/loopnest_simulator.hh"
+#include "sim/trace_export.hh"
+#include "sim/trace_timeline.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace rana {
+namespace {
+
+// ----------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistry, CounterSumsExactlyUnderParallelFor)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Counter &events =
+        registry.counter("test_events_total");
+    MetricsRegistry::Counter &weighted =
+        registry.counter("test_weighted_total");
+    constexpr std::size_t kItems = 10000;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        registry.reset();
+        parallelFor(kItems, jobs, [&](std::size_t i) {
+            events.add();
+            weighted.add(i + 1);
+        });
+        EXPECT_EQ(events.value(), kItems);
+        EXPECT_EQ(weighted.value(), kItems * (kItems + 1) / 2);
+    }
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreInclusive)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Histogram &h =
+        registry.histogram("test_edges", {1.0, 2.0, 4.0});
+    // A value exactly on a bound lands in that bound's bucket.
+    h.observe(1.0);
+    h.observe(2.0);
+    h.observe(2.5);
+    h.observe(4.0);
+    h.observe(5.0); // overflow
+    const std::vector<std::uint64_t> counts = h.counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 2u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 14.5);
+}
+
+TEST(MetricsRegistry, HistogramAggregatesExactlyUnderParallelFor)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Histogram &h =
+        registry.histogram("test_concurrent", spanSecondsBounds());
+    constexpr std::size_t kItems = 8000;
+    parallelFor(kItems, 8, [&](std::size_t i) {
+        h.observe(static_cast<double>(i % 7));
+    });
+    EXPECT_EQ(h.count(), kItems);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < kItems; ++i)
+        expected += static_cast<double>(i % 7);
+    EXPECT_DOUBLE_EQ(h.sum(), expected);
+}
+
+TEST(MetricsRegistry, GaugeSetAndSetMax)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Gauge &g = registry.gauge("test_gauge");
+    g.set(3.0);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.setMax(2.0);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.setMax(7.5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+    g.set(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(MetricsRegistry, HandlesSurviveResetAndRepeatLookups)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Counter &first = registry.counter("test_stable");
+    first.add(5);
+    MetricsRegistry::Counter &second =
+        registry.counter("test_stable");
+    EXPECT_EQ(&first, &second);
+    registry.reset();
+    EXPECT_EQ(first.value(), 0u);
+    first.add(2);
+    EXPECT_EQ(second.value(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName)
+{
+    MetricsRegistry registry;
+    registry.counter("zeta").add(1);
+    registry.counter("alpha").add(2);
+    registry.gauge("mid").set(4.0);
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[0].value, 2u);
+    EXPECT_EQ(snap.counters[1].name, "zeta");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, 4.0);
+}
+
+TEST(MetricsRegistry, JsonDocumentCarriesSchemaAndInstruments)
+{
+    MetricsRegistry registry;
+    registry.counter("test_doc_total").add(3);
+    registry.histogram("test_doc_hist", {1.0}).observe(0.5);
+    const std::string doc = metricsJsonDocument(registry);
+    EXPECT_NE(doc.find("\"schema\": \"rana-metrics-1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"test_doc_total\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"test_doc_hist\""), std::string::npos);
+    // The process log counters are merged into every snapshot.
+    EXPECT_NE(doc.find("\"log_warn_total\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Chrome trace recorder.
+
+TEST(ChromeTrace, DisabledRecorderRecordsNothing)
+{
+    TraceRecorder recorder;
+    recorder.beginSpan("cat", "quiet");
+    recorder.endSpan("cat", "quiet");
+    recorder.counterEvent(TraceRecorder::kSimPid, "track", 0.0,
+                          "series", 1.0);
+    EXPECT_EQ(recorder.eventCount(), 0u);
+}
+
+TEST(ChromeTrace, JsonHasTraceEventsWithBalancedSpans)
+{
+    TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan("phase", "outer");
+    recorder.beginSpan("phase", "inner");
+    recorder.endSpan("phase", "inner");
+    recorder.endSpan("phase", "outer");
+    recorder.counterEvent(TraceRecorder::kSimPid, "load", 10.0,
+                          "words", 42.0);
+    recorder.completeEvent(TraceRecorder::kSimPid, 0, 0.0, 5.0,
+                           "layer", "conv1");
+    const std::string doc = recorder.json();
+    EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    auto occurrences = [&](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t at = doc.find(needle);
+             at != std::string::npos;
+             at = doc.find(needle, at + needle.size())) {
+            ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(occurrences("\"ph\": \"B\""), 2u);
+    EXPECT_EQ(occurrences("\"ph\": \"B\""),
+              occurrences("\"ph\": \"E\""));
+    EXPECT_EQ(occurrences("\"ph\": \"C\""), 1u);
+    EXPECT_EQ(occurrences("\"ph\": \"X\""), 1u);
+    // enable() names both processes.
+    EXPECT_EQ(occurrences("\"process_name\""), 2u);
+}
+
+TEST(ChromeTrace, SpanHistogramNameSanitizesNonIdentifiers)
+{
+    EXPECT_EQ(spanHistogramName("sched", "conv1/3x3 g-0"),
+              "span_seconds_sched_conv1_3x3_g_0");
+    EXPECT_EQ(spanHistogramName("core", "execute_schedule"),
+              "span_seconds_core_execute_schedule");
+}
+
+TEST(ChromeTrace, ScopedSpanFeedsHistogramWithoutTracing)
+{
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::string name =
+        spanHistogramName("obstest", "quiet_phase");
+    MetricsRegistry::Histogram &h =
+        registry.histogram(name, spanSecondsBounds());
+    const std::uint64_t before = h.count();
+    {
+        ScopedSpan span("obstest", "quiet_phase");
+    }
+    EXPECT_EQ(h.count(), before + 1);
+}
+
+// ----------------------------------------------------------------
+// Simulated-timeline adapter.
+
+/** Feed one synthetic two-layer run into `sink`, offset by t0. */
+void
+feedRun(TimelineTraceSink &sink, double t0)
+{
+    auto event = [&](TraceEventKind kind, double seconds,
+                     std::uint64_t words, std::uint64_t tile) {
+        TraceEvent e;
+        e.kind = kind;
+        e.seconds = t0 + seconds;
+        e.words = words;
+        e.tileIndex = tile;
+        sink.onEvent(e);
+    };
+    sink.onLayerBegin("conv1");
+    event(TraceEventKind::LayerBegin, 0.0, 0, 0);
+    event(TraceEventKind::BankOccupancy, 0.0, 12, 0);
+    event(TraceEventKind::CoreLoad, 1e-6, 256, 0);
+    event(TraceEventKind::TileCompute, 2e-6, 512, 0);
+    event(TraceEventKind::RefreshPulse, 3e-6, 64, 0);
+    event(TraceEventKind::LayerEnd, 4e-6, 0, 0);
+    sink.onLayerBegin("conv2");
+    event(TraceEventKind::LayerBegin, 5e-6, 0, 0);
+    event(TraceEventKind::TileCompute, 6e-6, 512, 1);
+    event(TraceEventKind::LayerEnd, 7e-6, 0, 1);
+}
+
+TEST(Timeline, IdenticalEventSequencesProduceIdenticalTraces)
+{
+    TraceRecorder first;
+    first.enable();
+    TraceRecorder second;
+    second.enable();
+    TimelineTraceSink sink_a(first, 4);
+    TimelineTraceSink sink_b(second, 4);
+    feedRun(sink_a, 0.0);
+    feedRun(sink_b, 0.0);
+    EXPECT_EQ(sink_a.eventsSeen(), sink_b.eventsSeen());
+    EXPECT_EQ(first.json(), second.json());
+}
+
+TEST(Timeline, TimeRestartOpensNewRunTracks)
+{
+    TraceRecorder recorder;
+    recorder.enable();
+    TimelineTraceSink sink(recorder, 4);
+    feedRun(sink, 0.0);
+    EXPECT_EQ(sink.runs(), 1u);
+    // The sweep reuses one sink; the next simulation restarts at
+    // t = 0, which must open fresh per-run tracks.
+    feedRun(sink, 0.0);
+    EXPECT_EQ(sink.runs(), 2u);
+    const std::string doc = recorder.json();
+    EXPECT_NE(doc.find("/run1"), std::string::npos);
+    EXPECT_NE(doc.find("\"banks_in_use\""), std::string::npos);
+    EXPECT_NE(doc.find("\"refresh_words\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tiles_completed\""), std::string::npos);
+}
+
+TEST(Timeline, TraceEventKindSentinelCoversNewKinds)
+{
+    static_assert(numTraceEventKinds == 8,
+                  "update the timeline adapter for new trace kinds");
+    EXPECT_STREQ(traceEventKindName(TraceEventKind::RefreshPulse),
+                 "refresh_pulse");
+    EXPECT_STREQ(traceEventKindName(TraceEventKind::BankOccupancy),
+                 "bank_occupancy");
+    // CountingTraceSink's tallies are sized from the sentinel, so
+    // the new kinds count without out-of-bounds writes.
+    CountingTraceSink counting;
+    TraceEvent pulse;
+    pulse.kind = TraceEventKind::RefreshPulse;
+    counting.onLayerBegin("l");
+    counting.onEvent(pulse);
+    EXPECT_EQ(counting.count(TraceEventKind::RefreshPulse), 1u);
+}
+
+// ----------------------------------------------------------------
+// Checked execution entry points.
+
+TEST(ObsResult, ExecuteScheduleCheckedRejectsMismatchedSchedule)
+{
+    const DesignPoint design = makeDesignPoint(
+        DesignKind::RanaE5, RetentionDistribution::typical65nm());
+    const NetworkModel network = makeAlexNet();
+    const NetworkSchedule empty;
+    const Result<ExecutionResult> result =
+        executeScheduleChecked(design, network, empty);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Mismatch);
+}
+
+TEST(ObsResult, RunLayerCheckedRejectsInfeasibleAnalysis)
+{
+    const DesignPoint design = makeDesignPoint(
+        DesignKind::RanaE5, RetentionDistribution::typical65nm());
+    LoopNestSimulator simulator(
+        design.config, design.options.policy,
+        design.options.refreshIntervalSeconds);
+    ConvLayerSpec layer;
+    layer.name = "bogus";
+    LayerAnalysis analysis; // default-constructed: infeasible
+    const Result<LayerSimResult> result =
+        simulator.runLayerChecked(layer, analysis);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::InvalidArgument);
+}
+
+// ----------------------------------------------------------------
+// Log-level filter and counters.
+
+TEST(ObsLogging, FilteredCallsStillCount)
+{
+    const LogLevel saved = minLogLevel();
+    setMinLogLevel(LogLevel::Warn);
+    const std::uint64_t before = logMessageCount(LogLevel::Info);
+    inform("this message is filtered by the Warn threshold");
+    EXPECT_EQ(logMessageCount(LogLevel::Info), before + 1);
+    setMinLogLevel(saved);
+}
+
+TEST(ObsLogging, ThresholdRoundTrips)
+{
+    const LogLevel saved = minLogLevel();
+    setMinLogLevel(LogLevel::Fatal);
+    EXPECT_EQ(minLogLevel(), LogLevel::Fatal);
+    setMinLogLevel(saved);
+    EXPECT_EQ(minLogLevel(), saved);
+}
+
+} // namespace
+} // namespace rana

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Structural validator for the observability artifacts.
+
+Checks the Chrome trace_event timeline and the metrics-registry
+snapshot that rana_faultsim / rana_compile emit:
+
+    check_trace.py <trace.json> [metrics.json]
+
+The trace check asserts the shape chrome://tracing and Perfetto
+load: a top-level "traceEvents" array whose entries carry the
+required phase fields, with at least one duration event (B/E or X)
+and counter (C) events on at least three distinct tracks. Timestamps
+must be finite and non-negative, B/E events must balance per
+(pid, tid) track, and metadata (M) events must name their thread or
+process.
+
+The metrics check asserts the "rana-metrics-1" schema: counters,
+gauges and histograms keyed by name, with the refresh-pulse and
+eval-cache counters present, at least one span_seconds_* histogram,
+and every histogram's counts array one longer than its bounds array
+(the overflow bucket) and summing to its count.
+
+Exit codes: 0 pass, 1 malformed artifact.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_COUNTERS = (
+    "edram_refresh_pulses_issued_total",
+    "edram_refresh_words_total",
+    "sched_eval_cache_hits_total",
+    "sched_eval_cache_misses_total",
+)
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_trace(trace):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("trace has no 'traceEvents' array")
+    counter_tracks = set()
+    duration_events = 0
+    open_spans = {}
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ("B", "E", "X", "C", "i", "M"):
+            return fail(f"event {index} has unknown phase {phase!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                return fail(f"event {index} missing integer '{key}'")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(
+                ts
+            ) or ts < 0:
+                return fail(f"event {index} has bad ts {ts!r}")
+        if not isinstance(event.get("name"), str):
+            return fail(f"event {index} missing 'name'")
+        track = (event["pid"], event["tid"])
+        if phase == "B":
+            duration_events += 1
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif phase == "E":
+            duration_events += 1
+            if open_spans.get(track, 0) <= 0:
+                return fail(
+                    f"event {index} ends a span that never began "
+                    f"on track {track}"
+                )
+            open_spans[track] -= 1
+        elif phase == "X":
+            duration_events += 1
+            if "dur" not in event:
+                return fail(f"X event {index} missing 'dur'")
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                return fail(f"C event {index} missing 'args'")
+            counter_tracks.add((*track, event["name"]))
+        elif phase == "M":
+            args = event.get("args", {})
+            if "name" not in args:
+                return fail(f"M event {index} missing args.name")
+    unbalanced = {t: n for t, n in open_spans.items() if n != 0}
+    if unbalanced:
+        return fail(f"unbalanced B/E spans on tracks {unbalanced}")
+    if duration_events == 0:
+        return fail("trace has no duration (B/E or X) events")
+    if len(counter_tracks) < 3:
+        return fail(
+            f"trace has {len(counter_tracks)} counter tracks, "
+            "expected at least 3"
+        )
+    print(
+        f"check_trace: {len(events)} events, "
+        f"{duration_events} duration events, "
+        f"{len(counter_tracks)} counter tracks"
+    )
+    return 0
+
+
+def check_metrics(metrics):
+    if metrics.get("schema") != "rana-metrics-1":
+        return fail(
+            f"metrics schema {metrics.get('schema')!r} != "
+            "'rana-metrics-1'"
+        )
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        return fail("metrics has no 'counters' object")
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            return fail(f"metrics missing counter '{name}'")
+    histograms = metrics.get("histograms")
+    if not isinstance(histograms, dict):
+        return fail("metrics has no 'histograms' object")
+    spans = [n for n in histograms if n.startswith("span_seconds_")]
+    if not spans:
+        return fail("metrics has no span_seconds_* histogram")
+    for name, histogram in histograms.items():
+        bounds = histogram.get("bounds", [])
+        counts = histogram.get("counts", [])
+        if len(counts) != len(bounds) + 1:
+            return fail(
+                f"histogram '{name}' has {len(counts)} buckets for "
+                f"{len(bounds)} bounds (expected bounds + overflow)"
+            )
+        if sum(counts) != histogram.get("count"):
+            return fail(
+                f"histogram '{name}' bucket sum {sum(counts)} != "
+                f"count {histogram.get('count')}"
+            )
+    print(
+        f"check_trace: {len(counters)} counters, "
+        f"{len(histograms)} histograms ({len(spans)} span phases)"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(
+            "usage: check_trace.py <trace.json> [metrics.json]",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        trace = load(argv[1])
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(str(error))
+    status = check_trace(trace)
+    if status != 0:
+        return status
+    if len(argv) > 2:
+        try:
+            metrics = load(argv[2])
+        except (OSError, json.JSONDecodeError) as error:
+            return fail(str(error))
+        status = check_metrics(metrics)
+        if status != 0:
+            return status
+    print("check_trace: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,6 +19,9 @@
  *                        it on the trace simulator
  *   --summary            print the energy summary (and the
  *                        evaluation-cache counters) after compiling
+ *   --metrics-json PATH  write a metrics-registry snapshot to PATH
+ *   --chrome-trace PATH  record a Chrome trace_event timeline
+ *                        (chrome://tracing / Perfetto) to PATH
  *
  * Exit codes: 0 success, 1 bad usage or failed compilation (the
  * error is printed, the process never aborts mid-library), 2 a
@@ -31,7 +34,11 @@
 #include <sstream>
 #include <string>
 
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/pool_telemetry.hh"
 #include "rana.hh"
+#include "sim/trace_timeline.hh"
 
 namespace {
 
@@ -91,6 +98,38 @@ fail(const Error &error)
     return 1;
 }
 
+/**
+ * Flush the requested observability outputs. Returns an error when a
+ * file cannot be written; otherwise the number of outputs written.
+ */
+Result<int>
+writeObservability(const std::string &metrics_path,
+                   const std::string &trace_path)
+{
+    int written = 0;
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot open ",
+                             metrics_path, " for writing");
+        }
+        out << metricsJsonDocument(MetricsRegistry::global());
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot write ",
+                             metrics_path);
+        }
+        ++written;
+    }
+    if (!trace_path.empty()) {
+        const Result<bool> wrote =
+            TraceRecorder::global().writeFile(trace_path);
+        if (!wrote.ok())
+            return wrote.error();
+        ++written;
+    }
+    return written;
+}
+
 } // namespace
 
 int
@@ -99,7 +138,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr << "usage: rana_compile <network> [--design NAME] "
                      "[--failure-rate R] [--jobs N] [--output FILE] "
-                     "[--verify FILE] [--summary]\n";
+                     "[--verify FILE] [--summary] "
+                     "[--metrics-json PATH] [--chrome-trace PATH]\n";
         return 1;
     }
 
@@ -110,6 +150,8 @@ main(int argc, char **argv)
     double failure_rate = -1.0;
     unsigned jobs = hardwareJobs();
     bool summary = false;
+    std::string metrics_path;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -150,6 +192,10 @@ main(int argc, char **argv)
             verify_path = next();
         } else if (arg == "--summary") {
             summary = true;
+        } else if (arg == "--metrics-json") {
+            metrics_path = next();
+        } else if (arg == "--chrome-trace") {
+            trace_path = next();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
@@ -177,6 +223,15 @@ main(int argc, char **argv)
                 : retention.worstCaseRetention();
     }
 
+    if (!metrics_path.empty() || !trace_path.empty())
+        installPoolTelemetry();
+    TimelineTraceSink timeline;
+    TraceSink *sink = nullptr;
+    if (!trace_path.empty()) {
+        TraceRecorder::global().enable();
+        sink = &timeline;
+    }
+
     if (!verify_path.empty()) {
         std::ifstream in(verify_path);
         if (!in)
@@ -190,12 +245,20 @@ main(int argc, char **argv)
             design.config, network, record.value());
         if (!schedule.ok())
             return fail(schedule.error());
-        const ExecutionResult executed =
-            executeSchedule(design, network, schedule.value());
+        const Result<ExecutionResult> execution =
+            executeScheduleChecked(design, network, schedule.value(),
+                                   TimingFaults{}, nullptr, sink);
+        if (!execution.ok())
+            return fail(execution.error());
+        const ExecutionResult &executed = execution.value();
         std::cerr << "verified " << verify_path << ": "
                   << schedule.value().layers.size() << " layers, "
                   << executed.violations << " retention violations, "
                   << "energy " << executed.energy.describe() << "\n";
+        const Result<int> wrote =
+            writeObservability(metrics_path, trace_path);
+        if (!wrote.ok())
+            return fail(wrote.error());
         return executed.violations == 0 ? 0 : 2;
     }
 
@@ -217,5 +280,9 @@ main(int argc, char **argv)
     }
     if (summary)
         printSummary(design, network, result.value().schedule);
+    const Result<int> wrote =
+        writeObservability(metrics_path, trace_path);
+    if (!wrote.ok())
+        return fail(wrote.error());
     return 0;
 }

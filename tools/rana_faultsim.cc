@@ -33,6 +33,9 @@
  *                        (default 0,1e-5,1e-4)
  *   --intervals LIST     comma-separated sweep refresh intervals in
  *                        seconds (default 45e-6,734e-6)
+ *   --metrics-json PATH  write a metrics-registry snapshot to PATH
+ *   --chrome-trace PATH  record a Chrome trace_event timeline
+ *                        (chrome://tracing / Perfetto) to PATH
  *
  * Exit codes: 0 success, 1 bad usage or failed campaign, 2 a guarded
  * run still observed corrupted-word events (the guard failed its
@@ -40,13 +43,18 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/pool_telemetry.hh"
 #include "rana.hh"
 #include "robust/campaign_sweep.hh"
 #include "robust/fault_campaign.hh"
+#include "sim/trace_timeline.hh"
 
 namespace {
 
@@ -122,6 +130,38 @@ fail(const Error &error)
     return 1;
 }
 
+/**
+ * Flush the requested observability outputs. Returns an error when a
+ * file cannot be written; otherwise the number of outputs written.
+ */
+Result<int>
+writeObservability(const std::string &metrics_path,
+                   const std::string &trace_path)
+{
+    int written = 0;
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot open ",
+                             metrics_path, " for writing");
+        }
+        out << metricsJsonDocument(MetricsRegistry::global());
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot write ",
+                             metrics_path);
+        }
+        ++written;
+    }
+    if (!trace_path.empty()) {
+        const Result<bool> wrote =
+            TraceRecorder::global().writeFile(trace_path);
+        if (!wrote.ok())
+            return wrote.error();
+        ++written;
+    }
+    return written;
+}
+
 } // namespace
 
 int
@@ -133,7 +173,8 @@ main(int argc, char **argv)
                      "[--jobs N] [--slowdown FACTOR] "
                      "[--stall SECONDS] [--guard] [--no-retrain] "
                      "[--markdown] [--sweep] [--rates LIST] "
-                     "[--intervals LIST]\n";
+                     "[--intervals LIST] [--metrics-json PATH] "
+                     "[--chrome-trace PATH]\n";
         return 1;
     }
 
@@ -145,6 +186,8 @@ main(int argc, char **argv)
     bool sweep = false;
     std::vector<double> sweep_rates = {0.0, 1e-5, 1e-4};
     std::vector<double> sweep_intervals = {45e-6, 734e-6};
+    std::string metrics_path;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -201,6 +244,10 @@ main(int argc, char **argv)
             if (!intervals.ok())
                 return fail(intervals.error());
             sweep_intervals = intervals.value();
+        } else if (arg == "--metrics-json") {
+            metrics_path = next();
+        } else if (arg == "--chrome-trace") {
+            trace_path = next();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
@@ -226,6 +273,14 @@ main(int argc, char **argv)
         makeDesignPoint(kind.value(), retention);
     config.retention = retention;
 
+    if (!metrics_path.empty() || !trace_path.empty())
+        installPoolTelemetry();
+    TimelineTraceSink timeline;
+    if (!trace_path.empty()) {
+        TraceRecorder::global().enable();
+        config.traceSink = &timeline;
+    }
+
     if (sweep) {
         CampaignSweepConfig sweep_config;
         sweep_config.failureRates = sweep_rates;
@@ -250,6 +305,10 @@ main(int argc, char **argv)
             for (const SweepCell &cell : report.cells)
                 std::cout << cell.report.describe() << "\n";
         }
+        const Result<int> wrote =
+            writeObservability(metrics_path, trace_path);
+        if (!wrote.ok())
+            return fail(wrote.error());
         return 0;
     }
 
@@ -273,6 +332,11 @@ main(int argc, char **argv)
         row.worstRelativeAccuracy = report.worstRelativeAccuracy;
         std::cout << markdownReliabilityTable({row});
     }
+
+    const Result<int> wrote =
+        writeObservability(metrics_path, trace_path);
+    if (!wrote.ok())
+        return fail(wrote.error());
 
     if (report.guarded && report.retentionViolations > 0)
         return 2;
