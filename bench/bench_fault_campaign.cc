@@ -12,6 +12,12 @@
  * (tools/check_bench.py): the gated statistic is the p50 relative
  * accuracy at the paper's retrained 1e-5 operating point.
  *
+ * A second section compares the three guard decision policies
+ * (permanent, hysteresis, binned) at the gate operating point under
+ * an injected scan stall that provokes watchdog trips; the per-policy
+ * counters and accuracy bands land in the JSON's "guard_policies"
+ * array, also under the regression gate.
+ *
  * The sweep is deterministic per seed for any worker-lane count, so
  * the JSON is reproducible across runs on the same build.
  */
@@ -54,6 +60,7 @@ intervalLabel(double seconds)
 /** Render the sweep as the machine-readable JSON artifact. */
 std::string
 sweepJson(const CampaignSweepReport &report,
+          const GuardPolicyComparisonReport &comparison,
           const CampaignSweepConfig &config)
 {
     JsonWriter json;
@@ -122,6 +129,27 @@ sweepJson(const CampaignSweepReport &report,
                    gate->report.worstRelativeAccuracy);
         json.endObject();
     }
+    // The guard-policy comparison at the gate point, one object per
+    // policy with the summed controller counters and the pooled
+    // accuracy band (tools/check_bench.py gates these too).
+    json.beginArray("guard_policies");
+    for (std::size_t p = 0; p < comparison.policyNames.size(); ++p) {
+        const GuardPolicyRow row = comparison.policyRow(p);
+        json.beginObject();
+        json.field("policy", row.policy);
+        json.field("trips", row.trips);
+        json.field("banks_reenabled", row.banksReenabled);
+        json.field("redisarms", row.redisarms);
+        json.field("escalations", row.escalations);
+        json.field("fallback_refresh_ops", row.fallbackRefreshOps);
+        json.field("armed_refresh_ops", row.armedRefreshOps);
+        json.field("retention_violations", row.violations);
+        json.field("p5_relative_accuracy", row.p5RelativeAccuracy);
+        json.field("p50_relative_accuracy", row.p50RelativeAccuracy);
+        json.field("p95_relative_accuracy", row.p95RelativeAccuracy);
+        json.endObject();
+    }
+    json.endArray();
     // The run's metrics-registry snapshot (refresh pulses, cache
     // hits, span durations, ...) rides along in the artifact.
     writeMetricsObject(json, "metrics", MetricsRegistry::global());
@@ -139,24 +167,30 @@ main()
     banner("Fault-campaign sweep - accuracy percentile bands over "
            "the failure-rate x refresh-interval grid");
 
+    std::uint32_t trials = 100;
+    if (const char *env = std::getenv("RANA_CAMPAIGN_TRIALS"))
+        trials = static_cast<std::uint32_t>(std::max(1, std::atoi(env)));
+    DatasetConfig dataset;
+    dataset.trainSamples = 256;
+    dataset.testSamples = 128;
+    dataset.imageSize = 12;
+    dataset.numClasses = 4;
+    TrainerConfig trainer;
+    trainer.pretrainEpochs = 6;
+    trainer.retrainEpochs = 2;
+    trainer.evalRepeats = 2;
+
     CampaignSweepConfig config;
     config.failureRates = {0.0, 1e-5, 1e-4, 1e-3};
     // 45us is the worst-case-cell interval, 734us the certified
     // 1e-5 interval, 1440us Figure 16's far end.
     config.refreshIntervals = {45e-6, 734e-6, 1440e-6};
-    config.campaign.trials = 100;
-    if (const char *env = std::getenv("RANA_CAMPAIGN_TRIALS")) {
-        config.campaign.trials = static_cast<std::uint32_t>(
-            std::max(1, std::atoi(env)));
-    }
-    config.campaign.seed = 3;
-    config.campaign.dataset.trainSamples = 256;
-    config.campaign.dataset.testSamples = 128;
-    config.campaign.dataset.imageSize = 12;
-    config.campaign.dataset.numClasses = 4;
-    config.campaign.trainer.pretrainEpochs = 6;
-    config.campaign.trainer.retrainEpochs = 2;
-    config.campaign.trainer.evalRepeats = 2;
+    config.campaign = FaultCampaignConfigBuilder()
+                          .trials(trials)
+                          .seed(3)
+                          .dataset(dataset)
+                          .trainer(trainer)
+                          .build();
 
     const DesignPoint design =
         makeDesignPoint(DesignKind::RanaE5, retention());
@@ -213,7 +247,41 @@ main()
                  "p50 [p5, p95]):\n\n"
               << report.percentileTable();
 
-    const std::string json = sweepJson(report, config);
+    // Guard-policy comparison at the gate operating point. The
+    // injected scan stall stretches observed lifetimes past the
+    // tolerable period so the watchdog actually trips (the recipe
+    // the robustness tests use); retraining is off so the policies
+    // are compared on the same pretrained model.
+    TimingFaults stall;
+    stall.scanStallSeconds = 0.03;
+    CampaignSweepConfig compare;
+    compare.failureRates = {kGateRate};
+    compare.refreshIntervals = {734e-6};
+    compare.campaign = FaultCampaignConfigBuilder()
+                           .trials(trials)
+                           .seed(3)
+                           .dataset(dataset)
+                           .trainer(trainer)
+                           .retrain(false)
+                           .timingFaults(stall)
+                           .guard(true)
+                           .build();
+
+    const Result<GuardPolicyComparisonReport> compared =
+        runGuardPolicyComparison(design, network, compare);
+    if (!compared.ok()) {
+        fatal("guard-policy comparison failed: ",
+              compared.error().message);
+    }
+    const GuardPolicyComparisonReport &comparison = compared.value();
+
+    std::cout << "\nGuard-policy comparison at "
+              << rateLabel(kGateRate) << " x "
+              << intervalLabel(compare.refreshIntervals[0])
+              << " under a 30ms scan stall:\n\n"
+              << comparison.comparisonTable();
+
+    const std::string json = sweepJson(report, comparison, config);
     std::ofstream out("BENCH_fault_campaign.json");
     out << json;
     out.close();

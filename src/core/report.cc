@@ -150,6 +150,31 @@ markdownReliabilityTable(const std::vector<ReliabilityScenarioRow> &rows)
 }
 
 std::string
+markdownGuardPolicyTable(const std::vector<GuardPolicyRow> &rows)
+{
+    std::ostringstream oss;
+    oss << "| Policy | Trips | Banks re-enabled | Re-disarms |"
+           " Escalations | Fallback refresh ops |"
+           " Armed refresh ops | Corrupted-word events |"
+           " Rel. accuracy p50 [p5, p95] |\n"
+           "|---|---|---|---|---|---|---|---|---|\n";
+    for (const GuardPolicyRow &row : rows) {
+        oss << "| " << row.policy << " | " << row.trips << " | "
+            << row.banksReenabled << " | " << row.redisarms << " | "
+            << row.escalations << " | " << row.fallbackRefreshOps
+            << " | " << row.armedRefreshOps << " | "
+            << row.violations << " | ";
+        oss.setf(std::ios::fixed);
+        oss.precision(3);
+        oss << row.p50RelativeAccuracy << " ["
+            << row.p5RelativeAccuracy << ", "
+            << row.p95RelativeAccuracy << "] |\n";
+        oss.unsetf(std::ios::fixed);
+    }
+    return oss.str();
+}
+
+std::string
 markdownValueGrid(const std::string &corner,
                   const std::vector<std::string> &row_labels,
                   const std::vector<std::string> &col_labels,

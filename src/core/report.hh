@@ -127,6 +127,44 @@ std::string markdownReliabilityTable(
     const std::vector<ReliabilityScenarioRow> &rows);
 
 /**
+ * One guard-policy row of the policy-comparison report: the guard
+ * and controller counters a policy accumulated over the comparison
+ * grid, plus the pooled relative-accuracy band of its campaign
+ * trials.
+ */
+struct GuardPolicyRow
+{
+    /** Policy name ("permanent", "hysteresis", "binned"). */
+    std::string policy;
+    /** Overage trips covered by the watchdog fallback. */
+    std::uint64_t trips = 0;
+    /** Banks whose refresh flag the guard re-enabled. */
+    std::uint64_t banksReenabled = 0;
+    /** Guard-armed flags the policy cleared again. */
+    std::uint64_t redisarms = 0;
+    /** Trips answered with a divider-bin escalation. */
+    std::uint64_t escalations = 0;
+    /** Refresh operations issued by the watchdog fallback. */
+    std::uint64_t fallbackRefreshOps = 0;
+    /** Refresh operations issued while groups stayed guard-armed. */
+    std::uint64_t armedRefreshOps = 0;
+    /** Corrupted-word events (stale reads) the controller counted. */
+    std::uint64_t violations = 0;
+    /** Pooled relative-accuracy band over the policy's trials. */
+    double p5RelativeAccuracy = 0.0;
+    double p50RelativeAccuracy = 0.0;
+    double p95RelativeAccuracy = 0.0;
+};
+
+/**
+ * Markdown table of the guard-policy comparison: one row per policy
+ * with trip, re-disarm, escalation and refresh-energy counters and
+ * the corruption band rendered as "p50 [p5, p95]".
+ */
+std::string
+markdownGuardPolicyTable(const std::vector<GuardPolicyRow> &rows);
+
+/**
  * Markdown pipe table of a labelled value grid: `corner` heads the
  * label column, one row per `row_labels` entry, one column per
  * `col_labels` entry. `cells` is row-major and must match the label

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Implementation of the reliability-guard decision policies.
+ */
+
+#include "edram/guard_policy.hh"
+
+#include <algorithm>
+
+#include "edram/retention_binning.hh"
+#include "util/logging.hh"
+
+namespace rana {
+
+const char *
+guardPolicyKindName(GuardPolicyKind kind)
+{
+    switch (kind) {
+      case GuardPolicyKind::Permanent:
+        return "permanent";
+      case GuardPolicyKind::Hysteresis:
+        return "hysteresis";
+      case GuardPolicyKind::Binned:
+        return "binned";
+    }
+    panic("unreachable guard policy kind");
+}
+
+Result<GuardPolicyKind>
+parseGuardPolicyKind(const std::string &name)
+{
+    if (name == "permanent")
+        return GuardPolicyKind::Permanent;
+    if (name == "hysteresis")
+        return GuardPolicyKind::Hysteresis;
+    if (name == "binned")
+        return GuardPolicyKind::Binned;
+    return makeError(ErrorCode::InvalidArgument,
+                     "unknown guard policy '", name,
+                     "' (expected permanent, hysteresis or binned)");
+}
+
+// ----------------------------------------------------------------
+// PermanentReenable
+// ----------------------------------------------------------------
+
+GuardAction
+PermanentReenable::onTrip(DataType)
+{
+    return {GuardActionKind::KeepArmed, 0.0};
+}
+
+GuardAction
+PermanentReenable::onCleanInterval(DataType)
+{
+    return {GuardActionKind::KeepArmed, 0.0};
+}
+
+// ----------------------------------------------------------------
+// HysteresisRedisarm
+// ----------------------------------------------------------------
+
+HysteresisRedisarm::HysteresisRedisarm(std::uint32_t clean_intervals)
+    : k_(clean_intervals)
+{
+    RANA_ASSERT(clean_intervals >= 1,
+                "hysteresis needs at least one clean interval");
+}
+
+void
+HysteresisRedisarm::beginLayer()
+{
+    streak_ = {0, 0, 0};
+}
+
+GuardAction
+HysteresisRedisarm::onTrip(DataType type)
+{
+    streak_[static_cast<std::size_t>(type)] = 0;
+    return {GuardActionKind::KeepArmed, 0.0};
+}
+
+GuardAction
+HysteresisRedisarm::onCleanInterval(DataType type)
+{
+    auto &streak = streak_[static_cast<std::size_t>(type)];
+    if (++streak >= k_) {
+        streak = 0;
+        return {GuardActionKind::Redisarm, 0.0};
+    }
+    return {GuardActionKind::KeepArmed, 0.0};
+}
+
+void
+HysteresisRedisarm::reset()
+{
+    streak_ = {0, 0, 0};
+}
+
+// ----------------------------------------------------------------
+// BinnedEscalation
+// ----------------------------------------------------------------
+
+BinnedEscalation::BinnedEscalation(std::vector<double> bin_intervals)
+    : bins_(std::move(bin_intervals))
+{
+    RANA_ASSERT(!bins_.empty(),
+                "binned escalation needs at least one bin");
+    RANA_ASSERT(std::is_sorted(bins_.begin(), bins_.end()),
+                "bin intervals must be sorted ascending");
+    RANA_ASSERT(bins_.front() > 0.0,
+                "bin intervals must be positive");
+    level_.fill(bins_.size());
+}
+
+void
+BinnedEscalation::beginLayer()
+{
+    level_.fill(bins_.size());
+}
+
+GuardAction
+BinnedEscalation::onTrip(DataType type)
+{
+    auto &level = level_[static_cast<std::size_t>(type)];
+    if (level == 0) {
+        // The shortest bin is exhausted: nothing shorter to step
+        // into, the group stays armed where it is.
+        return {GuardActionKind::KeepArmed, 0.0};
+    }
+    --level;
+    return {GuardActionKind::Escalate, bins_[level]};
+}
+
+GuardAction
+BinnedEscalation::onCleanInterval(DataType)
+{
+    return {GuardActionKind::KeepArmed, 0.0};
+}
+
+void
+BinnedEscalation::reset()
+{
+    level_.fill(bins_.size());
+}
+
+// ----------------------------------------------------------------
+// Factory
+// ----------------------------------------------------------------
+
+std::vector<double>
+escalationLadder(const RetentionBinning &binning)
+{
+    std::vector<double> ladder;
+    ladder.reserve(binning.numBins());
+    for (std::uint32_t bin = 0; bin < binning.numBins(); ++bin)
+        ladder.push_back(binning.binInterval(bin));
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()),
+                 ladder.end());
+    return ladder;
+}
+
+Result<std::unique_ptr<GuardPolicy>>
+makeGuardPolicy(const GuardPolicySpec &spec,
+                const BufferGeometry &geometry,
+                const RetentionDistribution &distribution,
+                double failure_rate, std::uint64_t seed)
+{
+    switch (spec.kind) {
+      case GuardPolicyKind::Permanent:
+        return std::unique_ptr<GuardPolicy>(new PermanentReenable());
+      case GuardPolicyKind::Hysteresis:
+        if (spec.hysteresisK == 0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "guard hysteresis K must be >= 1");
+        }
+        return std::unique_ptr<GuardPolicy>(
+            new HysteresisRedisarm(spec.hysteresisK));
+      case GuardPolicyKind::Binned: {
+        if (spec.bins == 0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "guard escalation needs >= 1 bin");
+        }
+        RetentionBinningParams params;
+        if (failure_rate > 0.0)
+            params.tolerableFailureRate = failure_rate;
+        params.numBins = spec.bins;
+        params.seed = seed;
+        const RetentionBinning binning(geometry, distribution,
+                                       params);
+        return std::unique_ptr<GuardPolicy>(
+            new BinnedEscalation(escalationLadder(binning)));
+      }
+    }
+    panic("unreachable guard policy kind in makeGuardPolicy");
+}
+
+} // namespace rana

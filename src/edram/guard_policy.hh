@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Pluggable decision policies for the runtime reliability guard.
+ *
+ * The original guard re-enabled a tripped bank group's refresh
+ * permanently for the rest of the layer. That is the safe but
+ * pessimistic answer: after a transient stall the re-armed banks
+ * keep refreshing at the certified interval although their data
+ * would once again live comfortably below it — exactly the
+ * static-schedule pessimism Refresh Triggered Computation (Jafri et
+ * al.) argues against. EDEN's per-bin interval assignment points at
+ * the other alternative: fall back to a *bank-specific* divider bin
+ * instead of the global certified interval.
+ *
+ * This header turns the guard's hard-wired reaction into a policy
+ * object. The refresh controller reports two kinds of events —
+ * overage trips and clean refresh intervals of guard-armed groups —
+ * and the policy answers with a GuardAction: keep the refresh flag
+ * armed, re-disarm it, or escalate the group onto its own
+ * (typically shorter) divider-bin refresh period. Three
+ * implementations ship:
+ *
+ *  - PermanentReenable: the historical behaviour, bit-identical
+ *    statistics to the pre-policy guard;
+ *  - HysteresisRedisarm: re-disarm after K consecutive clean
+ *    refresh intervals (a transient stall stops costing refresh
+ *    energy once it has passed);
+ *  - BinnedEscalation: step the tripped group through a ladder of
+ *    retention-binning divider intervals, longest first, one step
+ *    per re-trip, until the shortest bin is exhausted.
+ *
+ * Policies are consulted from the single-threaded simulation loop;
+ * they keep per-data-type state and need no synchronization.
+ */
+
+#ifndef RANA_EDRAM_GUARD_POLICY_HH_
+#define RANA_EDRAM_GUARD_POLICY_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edram/buffer_system.hh"
+#include "edram/retention_distribution.hh"
+#include "util/result.hh"
+
+namespace rana {
+
+class RetentionBinning;
+
+/** The selectable guard decision policies. */
+enum class GuardPolicyKind {
+    /** Re-enable refresh permanently for the rest of the layer. */
+    Permanent,
+    /** Re-disarm refresh after K clean refresh intervals. */
+    Hysteresis,
+    /** Escalate through retention-binning divider bins. */
+    Binned,
+};
+
+/** Name string for a GuardPolicyKind ("permanent", ...). */
+const char *guardPolicyKindName(GuardPolicyKind kind);
+
+/** Parse a policy name; fails with InvalidArgument on junk. */
+Result<GuardPolicyKind> parseGuardPolicyKind(const std::string &name);
+
+/** What the controller should do with the event's bank group. */
+enum class GuardActionKind {
+    /** Keep (or arm) the group's refresh flag at the global
+     *  interval. */
+    KeepArmed,
+    /** Clear the guard-armed refresh flag; the group coasts again. */
+    Redisarm,
+    /** Arm the group on its own divider-bin refresh period. */
+    Escalate,
+};
+
+/** A policy decision, with the bin period for Escalate. */
+struct GuardAction
+{
+    GuardActionKind kind = GuardActionKind::KeepArmed;
+    /** Escalate only: the group's new refresh period in seconds. */
+    double intervalSeconds = 0.0;
+};
+
+/**
+ * Decision interface consulted by the ReliabilityGuard. The guard
+ * does all counting; the policy only decides.
+ */
+class GuardPolicy
+{
+  public:
+    virtual ~GuardPolicy() = default;
+
+    /** Stable policy name for reports and tables. */
+    virtual const char *name() const = 0;
+
+    /** The kind this policy implements. */
+    virtual GuardPolicyKind kind() const = 0;
+
+    /**
+     * A layer's configuration was (re)loaded: per-layer adaptive
+     * state (clean streaks, escalation levels) starts over, matching
+     * the pre-policy guard's layer-scoped re-enable.
+     */
+    virtual void beginLayer() {}
+
+    /**
+     * An overage of `type`'s bank group was covered by the watchdog
+     * fallback. Must answer KeepArmed or Escalate (a trip can never
+     * leave the group disarmed).
+     */
+    virtual GuardAction onTrip(DataType type) = 0;
+
+    /**
+     * A guard-armed group of `type` completed one refresh interval
+     * without an overage.
+     */
+    virtual GuardAction onCleanInterval(DataType type) = 0;
+
+    /** Forget all accumulated state (e.g. between scenarios). */
+    virtual void reset() {}
+};
+
+/** The historical policy: once armed, stay armed. */
+class PermanentReenable : public GuardPolicy
+{
+  public:
+    const char *name() const override { return "permanent"; }
+    GuardPolicyKind kind() const override
+    {
+        return GuardPolicyKind::Permanent;
+    }
+    GuardAction onTrip(DataType type) override;
+    GuardAction onCleanInterval(DataType type) override;
+};
+
+/**
+ * Re-disarm after K consecutive clean refresh intervals; a later
+ * overage trips (and re-arms) the group again.
+ */
+class HysteresisRedisarm : public GuardPolicy
+{
+  public:
+    /** @param clean_intervals K >= 1 clean intervals to re-disarm. */
+    explicit HysteresisRedisarm(std::uint32_t clean_intervals);
+
+    const char *name() const override { return "hysteresis"; }
+    GuardPolicyKind kind() const override
+    {
+        return GuardPolicyKind::Hysteresis;
+    }
+    void beginLayer() override;
+    GuardAction onTrip(DataType type) override;
+    GuardAction onCleanInterval(DataType type) override;
+    void reset() override;
+
+    /** The configured K. */
+    std::uint32_t cleanIntervalsToRedisarm() const { return k_; }
+
+  private:
+    std::uint32_t k_;
+    std::array<std::uint32_t, numDataTypes> streak_ = {0, 0, 0};
+};
+
+/**
+ * Escalate a tripped group through a ladder of divider-bin refresh
+ * periods: the first trip arms the longest (cheapest) bin, every
+ * re-trip steps one bin shorter, and once the shortest bin is
+ * exhausted further trips keep it armed there.
+ */
+class BinnedEscalation : public GuardPolicy
+{
+  public:
+    /**
+     * @param bin_intervals divider-bin periods in seconds, sorted
+     *        ascending (shortest first); must be non-empty.
+     */
+    explicit BinnedEscalation(std::vector<double> bin_intervals);
+
+    const char *name() const override { return "binned"; }
+    GuardPolicyKind kind() const override
+    {
+        return GuardPolicyKind::Binned;
+    }
+    void beginLayer() override;
+    GuardAction onTrip(DataType type) override;
+    GuardAction onCleanInterval(DataType type) override;
+    void reset() override;
+
+    /** The ladder, shortest bin first. */
+    const std::vector<double> &binIntervals() const { return bins_; }
+
+  private:
+    std::vector<double> bins_;
+    /** Current ladder position per type; bins_.size() = disarmed. */
+    std::array<std::size_t, numDataTypes> level_;
+};
+
+/** Selection knobs for building a policy from configuration. */
+struct GuardPolicySpec
+{
+    GuardPolicyKind kind = GuardPolicyKind::Permanent;
+    /** HysteresisRedisarm: clean intervals before re-disarm. */
+    std::uint32_t hysteresisK = 4;
+    /** BinnedEscalation: number of retention-binning divider bins. */
+    std::uint32_t bins = 4;
+};
+
+/**
+ * Build the policy a spec describes. BinnedEscalation's ladder is
+ * the bin-interval table of a RetentionBinning sampled for
+ * `geometry` under `distribution` at `failure_rate` (0 falls back
+ * to the binning default) with `seed`; the other kinds ignore those
+ * arguments. Fails with InvalidArgument on a degenerate spec
+ * (hysteresisK = 0 or bins = 0).
+ */
+Result<std::unique_ptr<GuardPolicy>>
+makeGuardPolicy(const GuardPolicySpec &spec,
+                const BufferGeometry &geometry,
+                const RetentionDistribution &distribution,
+                double failure_rate, std::uint64_t seed);
+
+/**
+ * The escalation ladder of an existing RetentionBinning: its bin
+ * intervals sorted ascending with duplicates removed.
+ */
+std::vector<double> escalationLadder(const RetentionBinning &binning);
+
+} // namespace rana
+
+#endif // RANA_EDRAM_GUARD_POLICY_HH_

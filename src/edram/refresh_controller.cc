@@ -153,8 +153,14 @@ RefreshControllerSim::beginLayer(const BankAllocation &allocation,
         types_[i].holdsData = false;
         types_[i].lastRefresh = now;
         types_[i].refreshed = false;
+        types_[i].guardArmed = false;
+        types_[i].ownInterval = 0.0;
+        types_[i].nextOwnPulse = 0.0;
+        types_[i].cleanSinceRefresh = true;
     }
     unusedBanks_ = allocation.unusedBanks;
+    if (guard_ != nullptr)
+        guard_->beginLayer();
     gateOn_ = gate_on;
     // The controller restarts its pulse counter when a layer's
     // configuration is loaded.
@@ -206,8 +212,27 @@ RefreshControllerSim::onRead(DataType type, double now,
             state.lastRefresh =
                 last_recharge + static_cast<double>(pulses) * period;
             state.refreshed = true;
-            guard_->recordTrip(type, now - last_recharge, state.banks,
-                               reenabled, ops);
+            if (reenabled)
+                state.guardArmed = true;
+            state.cleanSinceRefresh = false;
+            const GuardAction action = guard_->coverTrip(
+                type, now - last_recharge, state.banks, reenabled,
+                ops);
+            if (action.kind == GuardActionKind::Escalate) {
+                // The group moves onto its own divider-bin pulse
+                // train; global pulses skip it from here on. The
+                // train continues from the watchdog's last recharge.
+                state.ownInterval = action.intervalSeconds;
+                state.nextOwnPulse =
+                    state.lastRefresh + state.ownInterval;
+                if (state.nextOwnPulse <= now_) {
+                    state.nextOwnPulse =
+                        now_ + state.ownInterval;
+                }
+            }
+            // KeepArmed changes nothing: a group already escalated
+            // stays on its bin (the exhausted shortest bin), a
+            // global-armed group stays on the global train.
         } else {
             ++violations_;
         }
@@ -227,18 +252,102 @@ RefreshControllerSim::advanceTo(double now)
         now_ = now;
         return;
     }
-    while (nextPulse_ <= now + 1e-15) {
-        now_ = nextPulse_;
-        issuePulse();
-        nextPulse_ += divider_.pulsePeriod();
+    for (;;) {
+        // Earliest due event: the global divider tick or an
+        // escalated group's own pulse. Ties go to the global pulse,
+        // then the lowest type index, so the event order (and with
+        // it every counter) is deterministic.
+        double when = nextPulse_;
+        std::size_t own = numDataTypes;
+        for (std::size_t i = 0; i < numDataTypes; ++i) {
+            if (types_[i].ownInterval > 0.0 &&
+                types_[i].nextOwnPulse < when) {
+                when = types_[i].nextOwnPulse;
+                own = i;
+            }
+        }
+        if (when > now + 1e-15)
+            break;
+        now_ = when;
+        if (own == numDataTypes) {
+            issuePulse();
+            nextPulse_ += divider_.pulsePeriod();
+        } else {
+            issueOwnPulse(own);
+        }
     }
     now_ = now;
 }
 
 void
+RefreshControllerSim::consultCleanInterval(TypeState &state,
+                                           DataType type)
+{
+    const bool clean = state.cleanSinceRefresh;
+    state.cleanSinceRefresh = true;
+    if (!clean)
+        return;
+    const GuardAction action =
+        guard_->cleanInterval(type, state.banks);
+    if (action.kind == GuardActionKind::Redisarm) {
+        // Only a guard-armed flag may be cleared; the caller never
+        // consults the policy for config-armed groups.
+        state.refreshFlag = false;
+        state.guardArmed = false;
+        state.ownInterval = 0.0;
+        state.nextOwnPulse = 0.0;
+    }
+}
+
+std::uint64_t
+RefreshControllerSim::refreshFlaggedType(TypeState &state,
+                                         DataType type)
+{
+    if (!state.refreshFlag || state.banks == 0)
+        return 0;
+    if (state.ownInterval > 0.0) {
+        // Escalated groups refresh on their own pulse train.
+        return 0;
+    }
+    const std::uint64_t words =
+        static_cast<std::uint64_t>(state.banks) *
+        geometry_.bankWords();
+    state.lastRefresh = now_;
+    state.refreshed = true;
+    if (state.guardArmed && guard_ != nullptr) {
+        guard_->recordArmedRefresh(words);
+        consultCleanInterval(state, type);
+    }
+    return words;
+}
+
+void
+RefreshControllerSim::issueOwnPulse(std::size_t index)
+{
+    TypeState &state = types_[index];
+    state.nextOwnPulse += state.ownInterval;
+    if (!state.refreshFlag || state.banks == 0)
+        return;
+    const std::uint64_t words =
+        static_cast<std::uint64_t>(state.banks) *
+        geometry_.bankWords();
+    state.lastRefresh = now_;
+    state.refreshed = true;
+    refreshOps_ += words;
+    RefreshMetrics &metrics = RefreshMetrics::get();
+    metrics.pulsesIssued.add();
+    metrics.words.add(words);
+    if (guard_ != nullptr) {
+        guard_->recordArmedRefresh(words);
+        consultCleanInterval(state, static_cast<DataType>(index));
+    }
+    if (pulseListener_)
+        pulseListener_(now_, words);
+}
+
+void
 RefreshControllerSim::issuePulse()
 {
-    const std::uint64_t bank_words = geometry_.bankWords();
     std::uint64_t words = 0;
     switch (policy_) {
       case RefreshPolicy::None:
@@ -260,26 +369,18 @@ RefreshControllerSim::issuePulse()
         } else {
             // A gated-off layer refreshes nothing by itself, but
             // banks the reliability guard re-enabled fall back to
-            // per-bank refresh.
-            for (auto &state : types_) {
-                if (state.refreshFlag && state.banks > 0) {
-                    words +=
-                        static_cast<std::uint64_t>(state.banks) *
-                        bank_words;
-                    state.lastRefresh = now_;
-                    state.refreshed = true;
-                }
+            // per-bank refresh (with the guard policy consulted on
+            // each clean interval).
+            for (std::size_t i = 0; i < numDataTypes; ++i) {
+                words += refreshFlaggedType(types_[i],
+                                            static_cast<DataType>(i));
             }
         }
         break;
       case RefreshPolicy::PerBank:
-        for (auto &state : types_) {
-            if (state.refreshFlag && state.banks > 0) {
-                words += static_cast<std::uint64_t>(state.banks) *
-                         bank_words;
-                state.lastRefresh = now_;
-                state.refreshed = true;
-            }
+        for (std::size_t i = 0; i < numDataTypes; ++i) {
+            words += refreshFlaggedType(types_[i],
+                                        static_cast<DataType>(i));
         }
         break;
     }

@@ -126,9 +126,13 @@ class RefreshControllerSim
      * violation: the guard re-enables the type's refresh flag, the
      * watchdog refresh pulses that kept the data within tolerance
      * are charged to the refresh-op counter, and the trip is
-     * recorded in the guard's counters. Subsequent pulses then
-     * refresh the re-enabled banks even under the gated-global
-     * policy (the per-bank controller fallback).
+     * recorded in the guard's counters. What happens *after* the
+     * covering trip is the guard policy's decision: KeepArmed leaves
+     * the group refreshing at the programmed interval (the
+     * historical per-bank controller fallback), Escalate puts the
+     * group on its own divider-bin pulse train, and a later clean
+     * refresh interval may answer Redisarm, returning the group to
+     * refresh-free coasting.
      */
     void attachGuard(ReliabilityGuard *guard) { guard_ = guard; }
 
@@ -196,9 +200,20 @@ class RefreshControllerSim
         std::uint32_t banks = 0;
         bool refreshFlag = false;
         bool holdsData = false;
+        /** Whether the guard (not the layer config) armed the flag. */
+        bool guardArmed = false;
+        /** Escalated refresh period (0 = global pulse train). */
+        double ownInterval = 0.0;
+        /** Next due pulse of the escalated train. */
+        double nextOwnPulse = 0.0;
+        /** No overage since the last pulse covering this group. */
+        bool cleanSinceRefresh = true;
     };
 
     void issuePulse();
+    void issueOwnPulse(std::size_t index);
+    std::uint64_t refreshFlaggedType(TypeState &state, DataType type);
+    void consultCleanInterval(TypeState &state, DataType type);
 
     BufferGeometry geometry_;
     RefreshPolicy policy_;

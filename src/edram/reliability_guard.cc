@@ -14,11 +14,15 @@
 
 namespace rana {
 
-ReliabilityGuard::ReliabilityGuard(double tolerable_retention_seconds)
-    : tolerable_(tolerable_retention_seconds)
+ReliabilityGuard::ReliabilityGuard(double tolerable_retention_seconds,
+                                   std::unique_ptr<GuardPolicy> policy)
+    : tolerable_(tolerable_retention_seconds),
+      policy_(std::move(policy))
 {
     RANA_ASSERT(tolerable_retention_seconds > 0.0,
                 "tolerable retention time must be positive");
+    if (!policy_)
+        policy_ = std::make_unique<PermanentReenable>();
 }
 
 void
@@ -46,19 +50,77 @@ ReliabilityGuard::recordTrip(DataType type,
         .setMax(observed_lifetime_seconds);
 }
 
+GuardAction
+ReliabilityGuard::coverTrip(DataType type,
+                            double observed_lifetime_seconds,
+                            std::uint32_t banks, bool reenabled,
+                            std::uint64_t refresh_ops)
+{
+    recordTrip(type, observed_lifetime_seconds, banks, reenabled,
+               refresh_ops);
+    GuardAction action = policy_->onTrip(type);
+    RANA_ASSERT(action.kind != GuardActionKind::Redisarm,
+                "a trip can never leave the group disarmed");
+    if (action.kind == GuardActionKind::Escalate) {
+        RANA_ASSERT(action.intervalSeconds > 0.0,
+                    "escalation needs a positive bin period");
+        ++stats_.escalations;
+        MetricsRegistry::global()
+            .counter("edram_guard_escalations_total").add();
+    }
+    return action;
+}
+
+GuardAction
+ReliabilityGuard::cleanInterval(DataType type, std::uint32_t banks)
+{
+    ++stats_.cleanIntervals;
+    MetricsRegistry &registry = MetricsRegistry::global();
+    registry.counter("edram_guard_clean_intervals_total").add();
+    GuardAction action = policy_->onCleanInterval(type);
+    RANA_ASSERT(action.kind != GuardActionKind::Escalate,
+                "a clean interval can never escalate");
+    if (action.kind == GuardActionKind::Redisarm) {
+        stats_.redisarms += banks;
+        registry.counter("edram_guard_redisarms_total").add(banks);
+    }
+    return action;
+}
+
+void
+ReliabilityGuard::recordArmedRefresh(std::uint64_t refresh_ops)
+{
+    stats_.armedRefreshOps += refresh_ops;
+    MetricsRegistry::global()
+        .counter("edram_guard_armed_refresh_words_total")
+        .add(refresh_ops);
+}
+
+void
+ReliabilityGuard::beginLayer()
+{
+    policy_->beginLayer();
+}
+
 void
 ReliabilityGuard::reset()
 {
     stats_ = Stats{};
+    policy_->reset();
 }
 
 std::string
 ReliabilityGuard::describe() const
 {
     std::ostringstream oss;
-    oss << "guard[" << formatTime(tolerable_) << "]: " << stats_.trips
-        << " trips, " << stats_.banksReenabled << " banks re-enabled, "
+    oss << "guard[" << formatTime(tolerable_) << ", "
+        << policy_->name() << "]: " << stats_.trips << " trips, "
+        << stats_.banksReenabled << " banks re-enabled, "
         << stats_.fallbackRefreshOps << " fallback refresh ops";
+    if (stats_.redisarms > 0)
+        oss << ", " << stats_.redisarms << " re-disarms";
+    if (stats_.escalations > 0)
+        oss << ", " << stats_.escalations << " escalations";
     if (stats_.trips > 0) {
         oss << ", worst lifetime "
             << formatTime(stats_.worstObservedLifetimeSeconds);

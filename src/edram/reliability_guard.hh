@@ -16,9 +16,12 @@
  *
  * The pattern follows Refresh Triggered Computation (Jafri et al.):
  * refresh is re-triggered from observed access timing rather than
- * trusted from a static schedule. The guard itself only decides and
- * counts; the event mechanics (recharges, pulse accounting) stay in
- * RefreshControllerSim, which calls into the guard on every overage.
+ * trusted from a static schedule. The guard counts and delegates the
+ * *decision* — keep the flag armed, re-disarm after a clean streak,
+ * or escalate onto a divider bin — to a pluggable GuardPolicy; the
+ * event mechanics (recharges, pulse accounting) stay in
+ * RefreshControllerSim, which calls into the guard on every overage
+ * and on every clean refresh interval of a guard-armed group.
  */
 
 #ifndef RANA_EDRAM_RELIABILITY_GUARD_HH_
@@ -26,9 +29,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "edram/buffer_system.hh"
+#include "edram/guard_policy.hh"
 
 namespace rana {
 
@@ -53,13 +58,25 @@ class ReliabilityGuard
                                                                0};
         /** Largest observed data age at a trip, in seconds. */
         double worstObservedLifetimeSeconds = 0.0;
+        /** Guard-armed flags the policy cleared again. */
+        std::uint64_t redisarms = 0;
+        /** Trips the policy answered with a divider-bin step. */
+        std::uint64_t escalations = 0;
+        /** Clean refresh intervals of guard-armed groups. */
+        std::uint64_t cleanIntervals = 0;
+        /** Refresh operations (16-bit words) issued while a group
+         *  stayed guard-armed after its covering trip. */
+        std::uint64_t armedRefreshOps = 0;
     };
 
     /**
      * @param tolerable_retention_seconds the certified tolerable
      *        retention time the guard enforces.
+     * @param policy decision policy; PermanentReenable when null.
      */
-    explicit ReliabilityGuard(double tolerable_retention_seconds);
+    explicit ReliabilityGuard(double tolerable_retention_seconds,
+                              std::unique_ptr<GuardPolicy> policy =
+                                  nullptr);
 
     /**
      * Record one covered overage: `banks` banks of `type` held data
@@ -73,6 +90,36 @@ class ReliabilityGuard
                     std::uint32_t banks, bool reenabled,
                     std::uint64_t refresh_ops);
 
+    /**
+     * recordTrip plus a policy consultation: counts the covered
+     * overage, then returns the policy's decision for the tripped
+     * group (KeepArmed or Escalate; a trip never redisarms).
+     */
+    GuardAction coverTrip(DataType type,
+                          double observed_lifetime_seconds,
+                          std::uint32_t banks, bool reenabled,
+                          std::uint64_t refresh_ops);
+
+    /**
+     * A guard-armed group of `type` (spanning `banks` banks)
+     * completed one refresh interval without an overage. Returns the
+     * policy's decision (KeepArmed or Redisarm).
+     */
+    GuardAction cleanInterval(DataType type, std::uint32_t banks);
+
+    /**
+     * Account `refresh_ops` word refreshes issued for a group that
+     * the guard keeps armed (the steady-state cost of staying armed,
+     * as opposed to the covering pulses recorded by the trip).
+     */
+    void recordArmedRefresh(std::uint64_t refresh_ops);
+
+    /** Forward a layer boundary to the policy's per-layer state. */
+    void beginLayer();
+
+    /** The decision policy in use. */
+    const GuardPolicy &policy() const { return *policy_; }
+
     /** The tolerable retention time the guard enforces. */
     double tolerableRetentionSeconds() const { return tolerable_; }
 
@@ -82,7 +129,7 @@ class ReliabilityGuard
     /** Whether any overage was covered. */
     bool tripped() const { return stats_.trips > 0; }
 
-    /** Reset the counters (e.g. between scenarios). */
+    /** Reset the counters and the policy (e.g. between scenarios). */
     void reset();
 
     /** One-line human-readable summary of the counters. */
@@ -90,6 +137,7 @@ class ReliabilityGuard
 
   private:
     double tolerable_;
+    std::unique_ptr<GuardPolicy> policy_;
     Stats stats_;
 };
 

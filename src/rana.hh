@@ -47,11 +47,17 @@
 #include "sim/loopnest_simulator.hh"
 #include "sim/performance_model.hh"
 
-// Robustness: fault campaigns and the runtime reliability guard.
+// Robustness: fault campaigns, the campaign sweep, retention
+// binning and the runtime reliability guard with its policies.
+#include "edram/guard_policy.hh"
 #include "edram/reliability_guard.hh"
+#include "edram/retention_binning.hh"
+#include "robust/campaign_sweep.hh"
+#include "robust/fault_campaign.hh"
 
-// Reporting and infrastructure.
+// Reporting, observability and infrastructure.
 #include "core/report.hh"
+#include "obs/metrics_registry.hh"
 #include "util/result.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"

@@ -6,13 +6,55 @@
 #include "robust/campaign_sweep.hh"
 
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "core/report.hh"
 #include "obs/chrome_trace.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace rana {
+
+namespace {
+
+/** Shared grid validation of the sweep and the policy comparison. */
+std::optional<Error>
+validateSweepGrid(const CampaignSweepConfig &config)
+{
+    if (config.failureRates.empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "campaign sweep needs at least one failure "
+                         "rate");
+    }
+    if (config.refreshIntervals.empty()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "campaign sweep needs at least one refresh "
+                         "interval");
+    }
+    for (double rate : config.failureRates) {
+        if (rate < 0.0 || rate >= 1.0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "sweep failure rate outside [0, 1): ",
+                             rate);
+        }
+    }
+    for (double interval : config.refreshIntervals) {
+        if (interval <= 0.0) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "sweep refresh interval must be "
+                             "positive: ",
+                             interval);
+        }
+    }
+    if (config.campaign.trials == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "fault campaign needs at least one trial");
+    }
+    return std::nullopt;
+}
+
+} // namespace
 
 const SweepCell &
 CampaignSweepReport::at(std::size_t rate, std::size_t interval) const
@@ -60,35 +102,8 @@ Result<CampaignSweepReport>
 runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
                  const CampaignSweepConfig &config)
 {
-    if (config.failureRates.empty()) {
-        return makeError(ErrorCode::InvalidArgument,
-                         "campaign sweep needs at least one failure "
-                         "rate");
-    }
-    if (config.refreshIntervals.empty()) {
-        return makeError(ErrorCode::InvalidArgument,
-                         "campaign sweep needs at least one refresh "
-                         "interval");
-    }
-    for (double rate : config.failureRates) {
-        if (rate < 0.0 || rate >= 1.0) {
-            return makeError(ErrorCode::InvalidArgument,
-                             "sweep failure rate outside [0, 1): ",
-                             rate);
-        }
-    }
-    for (double interval : config.refreshIntervals) {
-        if (interval <= 0.0) {
-            return makeError(ErrorCode::InvalidArgument,
-                             "sweep refresh interval must be "
-                             "positive: ",
-                             interval);
-        }
-    }
-    if (config.campaign.trials == 0) {
-        return makeError(ErrorCode::InvalidArgument,
-                         "fault campaign needs at least one trial");
-    }
+    if (std::optional<Error> invalid = validateSweepGrid(config))
+        return *invalid;
 
     ScopedSpan sweep_span("sweep", "campaign_sweep");
     CampaignSweepReport report;
@@ -153,6 +168,157 @@ runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
             cell.refreshIntervalSeconds = config.refreshIntervals[i];
             cell.report = std::move(cell_report).value();
             report.cells.push_back(std::move(cell));
+        }
+    }
+    return report;
+}
+
+const GuardPolicyComparisonCell &
+GuardPolicyComparisonReport::at(std::size_t policy, std::size_t rate,
+                                std::size_t interval) const
+{
+    RANA_ASSERT(policy < policyNames.size(),
+                "comparison policy index out of range: ", policy);
+    RANA_ASSERT(rate < failureRates.size(),
+                "comparison rate index out of range: ", rate);
+    RANA_ASSERT(interval < refreshIntervals.size(),
+                "comparison interval index out of range: ", interval);
+    return cells[(policy * failureRates.size() + rate) *
+                     refreshIntervals.size() +
+                 interval];
+}
+
+GuardPolicyRow
+GuardPolicyComparisonReport::policyRow(std::size_t policy) const
+{
+    GuardPolicyRow row;
+    row.policy = policyNames[policy];
+    std::vector<double> relatives;
+    for (std::size_t r = 0; r < failureRates.size(); ++r) {
+        for (std::size_t i = 0; i < refreshIntervals.size(); ++i) {
+            const FaultCampaignReport &report = at(policy, r, i).report;
+            for (const TrialResult &trial : report.trials)
+                relatives.push_back(trial.relativeAccuracy);
+        }
+    }
+    // The controller counters depend on the interval, not on the
+    // retraining rate, so sum them over one rate row only (the rate
+    // axis replicates the same simulated exposures).
+    for (std::size_t i = 0; i < refreshIntervals.size(); ++i) {
+        const FaultCampaignReport &report = at(policy, 0, i).report;
+        row.trips += report.guardStats.trips;
+        row.banksReenabled += report.guardStats.banksReenabled;
+        row.redisarms += report.guardStats.redisarms;
+        row.escalations += report.guardStats.escalations;
+        row.fallbackRefreshOps += report.guardStats.fallbackRefreshOps;
+        row.armedRefreshOps += report.guardStats.armedRefreshOps;
+        row.violations += report.retentionViolations;
+    }
+    row.p5RelativeAccuracy = percentile(relatives, 5.0);
+    row.p50RelativeAccuracy = percentile(relatives, 50.0);
+    row.p95RelativeAccuracy = percentile(relatives, 95.0);
+    return row;
+}
+
+std::string
+GuardPolicyComparisonReport::comparisonTable() const
+{
+    std::vector<GuardPolicyRow> rows;
+    rows.reserve(policyNames.size());
+    for (std::size_t p = 0; p < policyNames.size(); ++p)
+        rows.push_back(policyRow(p));
+    return markdownGuardPolicyTable(rows);
+}
+
+Result<GuardPolicyComparisonReport>
+runGuardPolicyComparison(const DesignPoint &design,
+                         const NetworkModel &network,
+                         const CampaignSweepConfig &config)
+{
+    if (std::optional<Error> invalid = validateSweepGrid(config))
+        return *invalid;
+
+    std::vector<GuardPolicySpec> policies = config.guardPolicies;
+    if (policies.empty()) {
+        policies.resize(3);
+        policies[0].kind = GuardPolicyKind::Permanent;
+        policies[1].kind = GuardPolicyKind::Hysteresis;
+        policies[2].kind = GuardPolicyKind::Binned;
+    }
+
+    ScopedSpan sweep_span("sweep", "guard_policy_comparison");
+    GuardPolicyComparisonReport report;
+    report.designName = design.name;
+    report.networkName = network.name();
+    report.failureRates = config.failureRates;
+    report.refreshIntervals = config.refreshIntervals;
+
+    // The simulated exposures depend on the policy and the interval
+    // (the policy steers the controller's fallback pulses), so the
+    // trace runs once per (policy, interval) pair and is reused
+    // across the rate axis.
+    std::vector<std::vector<CampaignExposures>> exposures;
+    std::vector<FaultCampaignConfig> campaigns;
+    exposures.reserve(policies.size());
+    campaigns.reserve(policies.size());
+    for (const GuardPolicySpec &spec : policies) {
+        FaultCampaignConfig campaign = config.campaign;
+        campaign.guard = true;
+        campaign.guardPolicy = spec;
+        std::vector<CampaignExposures> per_interval;
+        per_interval.reserve(config.refreshIntervals.size());
+        for (double interval : config.refreshIntervals) {
+            DesignPoint point = design;
+            point.options.refreshIntervalSeconds = interval;
+            Result<CampaignExposures> simulated =
+                simulateExposures(point, network, campaign);
+            if (!simulated.ok())
+                return simulated.error();
+            per_interval.push_back(std::move(simulated).value());
+        }
+        report.policyNames.push_back(
+            per_interval.front().guardPolicyName);
+        exposures.push_back(std::move(per_interval));
+        campaigns.push_back(std::move(campaign));
+    }
+
+    // One pretrained stand-in model serves every policy; each rate
+    // retrains from the pretrained snapshot once, shared across the
+    // policy axis.
+    RetentionAwareTrainer trainer(config.campaign.model,
+                                  config.campaign.dataset,
+                                  config.campaign.trainer);
+    report.baselineAccuracy = trainer.pretrain();
+    report.modelName = miniModelName(config.campaign.model);
+
+    report.cells.resize(policies.size() * config.failureRates.size() *
+                        config.refreshIntervals.size());
+    for (std::size_t r = 0; r < config.failureRates.size(); ++r) {
+        const double rate = config.failureRates[r];
+        const CampaignModel model =
+            prepareCampaignModel(trainer, config.campaign, rate);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            for (std::size_t i = 0;
+                 i < config.refreshIntervals.size(); ++i) {
+                DesignPoint point = design;
+                point.options.refreshIntervalSeconds =
+                    config.refreshIntervals[i];
+                point.failureRate = rate;
+                Result<FaultCampaignReport> cell_report =
+                    runPreparedCampaign(point, exposures[p][i], model,
+                                        campaigns[p]);
+                if (!cell_report.ok())
+                    return cell_report.error();
+                GuardPolicyComparisonCell cell;
+                cell.policyName = report.policyNames[p];
+                cell.failureRate = rate;
+                cell.refreshIntervalSeconds =
+                    config.refreshIntervals[i];
+                cell.report = std::move(cell_report).value();
+                report.cells[(p * config.failureRates.size() + r) *
+                                 config.refreshIntervals.size() +
+                             i] = std::move(cell);
+            }
         }
     }
     return report;

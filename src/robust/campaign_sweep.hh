@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/report.hh"
 #include "robust/fault_campaign.hh"
 
 namespace rana {
@@ -43,6 +44,13 @@ struct CampaignSweepConfig
     std::vector<double> refreshIntervals;
     /** Per-cell campaign configuration (trials, seed, jobs, ...). */
     FaultCampaignConfig campaign;
+    /**
+     * Guard policies of the comparison axis
+     * (runGuardPolicyComparison only; runCampaignSweep uses
+     * campaign.guardPolicy). Empty = compare the three stock
+     * policies at their default knobs.
+     */
+    std::vector<GuardPolicySpec> guardPolicies;
 };
 
 /** One grid cell: a full campaign at (rate, interval). */
@@ -90,6 +98,67 @@ struct CampaignSweepReport
 Result<CampaignSweepReport>
 runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
                  const CampaignSweepConfig &config);
+
+/** One cell of the guard-policy comparison grid. */
+struct GuardPolicyComparisonCell
+{
+    std::string policyName;
+    double failureRate = 0.0;
+    double refreshIntervalSeconds = 0.0;
+    FaultCampaignReport report;
+};
+
+/**
+ * Report of one guard-policy comparison: the sweep grid replicated
+ * once per guard policy, with the guard attached everywhere.
+ */
+struct GuardPolicyComparisonReport
+{
+    std::string designName;
+    std::string networkName;
+    std::string modelName;
+    /** Error-free fixed-point baseline accuracy. */
+    double baselineAccuracy = 0.0;
+    /** Policy names of the comparison axis, in config order. */
+    std::vector<std::string> policyNames;
+    /** Grid row values (failure rates), in configuration order. */
+    std::vector<double> failureRates;
+    /** Grid column values (refresh intervals), in config order. */
+    std::vector<double> refreshIntervals;
+    /** Cells in policy-major, rate-major, interval-minor order. */
+    std::vector<GuardPolicyComparisonCell> cells;
+
+    /** The cell at (policy index, rate index, interval index). */
+    const GuardPolicyComparisonCell &at(std::size_t policy,
+                                        std::size_t rate,
+                                        std::size_t interval) const;
+
+    /**
+     * The policy's counters summed over its grid plus the pooled
+     * relative-accuracy band of all its trials.
+     */
+    GuardPolicyRow policyRow(std::size_t policy) const;
+
+    /**
+     * Markdown guard-policy table: one row per policy, counters
+     * summed over the grid — byte-identical per seed for any lane
+     * count.
+     */
+    std::string comparisonTable() const;
+};
+
+/**
+ * Compare the guard policies of `config.guardPolicies` (the three
+ * stock policies when empty) on the failureRates x refreshIntervals
+ * grid of `config`: each policy re-simulates the exposures per
+ * interval with the guard attached, while the pretrained stand-in
+ * model and its per-rate retraining are shared across policies.
+ * Validation failures mirror runCampaignSweep.
+ */
+Result<GuardPolicyComparisonReport>
+runGuardPolicyComparison(const DesignPoint &design,
+                         const NetworkModel &network,
+                         const CampaignSweepConfig &config);
 
 } // namespace rana
 

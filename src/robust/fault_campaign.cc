@@ -63,8 +63,14 @@ FaultCampaignReport::describe() const
         << ") over " << trials.size() << " trials, "
         << retentionViolations << " corrupted-word events";
     if (guarded) {
-        oss << ", guard trips " << guardStats.trips << " ("
-            << guardStats.banksReenabled << " banks re-enabled)";
+        oss << ", guard[" << guardPolicyName << "] trips "
+            << guardStats.trips << " (" << guardStats.banksReenabled
+            << " banks re-enabled";
+        if (guardStats.redisarms > 0)
+            oss << ", " << guardStats.redisarms << " re-disarms";
+        if (guardStats.escalations > 0)
+            oss << ", " << guardStats.escalations << " escalations";
+        oss << ")";
     }
     return oss.str();
 }
@@ -94,9 +100,17 @@ simulateExposures(const DesignPoint &design,
     simulator.setTimingFaults(config.timingFaults);
     if (config.traceSink != nullptr)
         simulator.setTraceSink(config.traceSink);
-    ReliabilityGuard guard(design.options.refreshIntervalSeconds);
-    if (config.guard)
+    Result<std::unique_ptr<GuardPolicy>> policy = makeGuardPolicy(
+        config.guardPolicy, design.config.buffer, config.retention,
+        design.failureRate, config.seed);
+    if (!policy.ok())
+        return policy.error();
+    ReliabilityGuard guard(design.options.refreshIntervalSeconds,
+                           std::move(policy).value());
+    if (config.guard) {
         simulator.attachGuard(&guard);
+        result.guardPolicyName = guard.policy().name();
+    }
     std::vector<LayerSimResult> layer_sims;
     layer_sims.reserve(network.size());
     for (std::size_t i = 0; i < network.size(); ++i) {
@@ -190,6 +204,7 @@ runPreparedCampaign(const DesignPoint &design,
     report.operatingFailureRate = model.failureRate;
     report.baselineAccuracy = model.baselineAccuracy;
     report.guarded = exposures.guarded;
+    report.guardPolicyName = exposures.guardPolicyName;
     report.guardStats = exposures.guardStats;
     report.exposures = exposures.exposures;
     report.executionSeconds = exposures.executionSeconds;

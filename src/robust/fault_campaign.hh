@@ -81,6 +81,8 @@ struct FaultCampaignConfig
     TimingFaults timingFaults;
     /** Attach the runtime ReliabilityGuard during simulation. */
     bool guard = false;
+    /** Decision policy of the attached guard (guard = true only). */
+    GuardPolicySpec guardPolicy;
     /** Cell retention-time distribution banks are sampled from. */
     RetentionDistribution retention =
         RetentionDistribution::typical65nm();
@@ -91,6 +93,107 @@ struct FaultCampaignConfig
      * simulated-time axis.
      */
     TraceSink *traceSink = nullptr;
+};
+
+/**
+ * Fluent assembler for FaultCampaignConfig, mirroring
+ * SchedulerOptionsBuilder: call sites name the knobs they set
+ * instead of mutating the struct field by field. The plain struct
+ * stays the built product.
+ */
+class FaultCampaignConfigBuilder
+{
+  public:
+    /** Independent retention-sampling trials. */
+    FaultCampaignConfigBuilder &trials(std::uint32_t value)
+    {
+        config_.trials = value;
+        return *this;
+    }
+
+    /** Master seed; every trial derives its own seed from it. */
+    FaultCampaignConfigBuilder &seed(std::uint64_t value)
+    {
+        config_.seed = value;
+        return *this;
+    }
+
+    /** Worker lanes for the trial fan-out (0 = hardware threads). */
+    FaultCampaignConfigBuilder &jobs(unsigned value)
+    {
+        config_.jobs = value;
+        return *this;
+    }
+
+    /** Mini model standing in for the paper benchmark. */
+    FaultCampaignConfigBuilder &model(MiniModelKind value)
+    {
+        config_.model = value;
+        return *this;
+    }
+
+    /** Synthetic dataset the mini model trains on. */
+    FaultCampaignConfigBuilder &dataset(const DatasetConfig &value)
+    {
+        config_.dataset = value;
+        return *this;
+    }
+
+    /** Trainer hyper-parameters. */
+    FaultCampaignConfigBuilder &trainer(const TrainerConfig &value)
+    {
+        config_.trainer = value;
+        return *this;
+    }
+
+    /** Retrain at the design's failure rate before the campaign. */
+    FaultCampaignConfigBuilder &retrain(bool value)
+    {
+        config_.retrain = value;
+        return *this;
+    }
+
+    /** Timing perturbations injected into the simulation. */
+    FaultCampaignConfigBuilder &timingFaults(const TimingFaults &value)
+    {
+        config_.timingFaults = value;
+        return *this;
+    }
+
+    /** Attach the runtime ReliabilityGuard during simulation. */
+    FaultCampaignConfigBuilder &guard(bool value)
+    {
+        config_.guard = value;
+        return *this;
+    }
+
+    /** Decision policy of the attached guard. */
+    FaultCampaignConfigBuilder &guardPolicy(const GuardPolicySpec &value)
+    {
+        config_.guardPolicy = value;
+        return *this;
+    }
+
+    /** Cell retention-time distribution banks are sampled from. */
+    FaultCampaignConfigBuilder &
+    retention(const RetentionDistribution &value)
+    {
+        config_.retention = value;
+        return *this;
+    }
+
+    /** Observer of simulated-execution events (not owned). */
+    FaultCampaignConfigBuilder &traceSink(TraceSink *value)
+    {
+        config_.traceSink = value;
+        return *this;
+    }
+
+    /** The assembled configuration. */
+    FaultCampaignConfig build() const { return config_; }
+
+  private:
+    FaultCampaignConfig config_;
 };
 
 /** One (layer, data type) exposure record. */
@@ -131,6 +234,8 @@ struct CampaignExposures
     std::uint64_t refreshOps = 0;
     /** Whether the ReliabilityGuard was attached. */
     bool guarded = false;
+    /** Name of the guard's decision policy ("" when unguarded). */
+    std::string guardPolicyName;
     /** Guard counters of the simulated run (zero when unguarded). */
     ReliabilityGuard::Stats guardStats;
 };
@@ -227,6 +332,8 @@ struct FaultCampaignReport
 
     /** Whether the ReliabilityGuard was attached. */
     bool guarded = false;
+    /** Name of the guard's decision policy ("" when unguarded). */
+    std::string guardPolicyName;
     /** Guard counters of the simulated run (zero when unguarded). */
     ReliabilityGuard::Stats guardStats;
 

@@ -44,10 +44,12 @@ tinySweep()
     CampaignSweepConfig config;
     config.failureRates = {0.0, 1e-4};
     config.refreshIntervals = {45e-6, 734e-6};
-    config.campaign.trials = 4;
-    config.campaign.seed = 3;
-    config.campaign.dataset = tinyDataset();
-    config.campaign.trainer = tinyTrainer();
+    config.campaign = FaultCampaignConfigBuilder()
+                          .trials(4)
+                          .seed(3)
+                          .dataset(tinyDataset())
+                          .trainer(tinyTrainer())
+                          .build();
     return config;
 }
 

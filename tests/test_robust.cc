@@ -239,12 +239,12 @@ tinyTrainer()
 FaultCampaignConfig
 tinyCampaign()
 {
-    FaultCampaignConfig config;
-    config.trials = 4;
-    config.seed = 3;
-    config.dataset = tinyDataset();
-    config.trainer = tinyTrainer();
-    return config;
+    return FaultCampaignConfigBuilder()
+        .trials(4)
+        .seed(3)
+        .dataset(tinyDataset())
+        .trainer(tinyTrainer())
+        .build();
 }
 
 TEST(FaultCampaign, ZeroTrialsIsInvalid)

@@ -15,6 +15,12 @@ exact comparison: accuracies differ in the last few ULPs across
 compilers (FMA contraction), so only a real regression trips the
 gate.
 
+The guard-policy gate reads the "guard_policies" array (the
+permanent/hysteresis/binned comparison under an injected scan
+stall): every baseline policy must be present, must have absorbed
+its watchdog trips without corrupted-word events, and must hold the
+same p50 relative-accuracy floor as the main gate.
+
 The optional sched-scaling check is a sanity gate, not a performance
 gate (CI runners have noisy, heterogeneous CPUs): every lane must
 have produced an identical schedule and a positive runtime.
@@ -65,6 +71,48 @@ def check_fault_campaign(baseline, report):
     return 0
 
 
+def check_guard_policies(baseline, report):
+    expected = baseline.get("guard_policies")
+    if expected is None:
+        return 0
+    rows = {
+        row.get("policy"): row
+        for row in report.get("guard_policies", [])
+    }
+    tolerance = expected["tolerance"]
+    floor = expected["p50_relative_accuracy"] - tolerance
+    for policy in expected["policies"]:
+        row = rows.get(policy)
+        if row is None:
+            return fail(
+                f"guard_policies array is missing policy "
+                f"'{policy}'"
+            )
+        if row.get("trips", 0) <= 0:
+            return fail(
+                f"policy '{policy}' recorded no watchdog trips "
+                "(the stall no longer provokes the guard)"
+            )
+        if row.get("retention_violations", 0) != 0:
+            return fail(
+                f"policy '{policy}' leaked "
+                f"{row['retention_violations']} corrupted-word "
+                "events"
+            )
+        p50 = row.get("p50_relative_accuracy", 0.0)
+        if p50 < floor:
+            return fail(
+                f"policy '{policy}' p50 relative accuracy "
+                f"{p50:.6f} below floor {floor:.6f}"
+            )
+        print(
+            f"check_bench: guard policy '{policy}' "
+            f"{row['trips']} trips, 0 violations, p50 "
+            f"{p50:.6f} >= floor {floor:.6f}"
+        )
+    return 0
+
+
 def check_sched_scaling(report):
     points = report.get("points", [])
     if not points:
@@ -101,6 +149,9 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as error:
         return fail(str(error))
     status = check_fault_campaign(baseline, campaign)
+    if status != 0:
+        return status
+    status = check_guard_policies(baseline, campaign)
     if status != 0:
         return status
     if len(argv) > 3:

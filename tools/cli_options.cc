@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Implementation of the shared command-line options.
+ */
+
+#include "cli_options.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/chrome_trace.hh"
+#include "obs/metrics_registry.hh"
+
+namespace rana {
+namespace cli {
+
+namespace {
+
+/** The next argument value, or an error naming the option. */
+Result<std::string>
+nextValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "missing value after ", argv[i]);
+    }
+    return std::string(argv[++i]);
+}
+
+/** Parse a non-negative integer option value. */
+Result<std::uint32_t>
+parseCount(const std::string &option, const std::string &value)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return makeError(ErrorCode::InvalidArgument, option,
+                         " expects a non-negative integer, got '",
+                         value, "'");
+    }
+    return static_cast<std::uint32_t>(parsed);
+}
+
+} // namespace
+
+Result<DesignKind>
+parseDesign(const std::string &name)
+{
+    if (name == "S+ID")
+        return DesignKind::SramId;
+    if (name == "eD+ID")
+        return DesignKind::EdramId;
+    if (name == "eD+OD")
+        return DesignKind::EdramOd;
+    if (name == "RANA0")
+        return DesignKind::Rana0;
+    if (name == "RANAE5")
+        return DesignKind::RanaE5;
+    if (name == "RANA*")
+        return DesignKind::RanaStarE5;
+    return makeError(ErrorCode::InvalidArgument, "unknown design '",
+                     name,
+                     "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 "
+                     "or RANA*)");
+}
+
+const char *
+commonOptionsUsage()
+{
+    return "[--guard] [--guard-policy permanent|hysteresis|binned] "
+           "[--guard-k N] [--guard-bins N] [--metrics-json PATH] "
+           "[--chrome-trace PATH]";
+}
+
+Result<bool>
+consumeCommonOption(int argc, char **argv, int &i,
+                    CommonOptions &options)
+{
+    const std::string arg = argv[i];
+    if (arg == "--metrics-json") {
+        Result<std::string> value = nextValue(argc, argv, i);
+        if (!value.ok())
+            return value.error();
+        options.metricsJsonPath = std::move(value).value();
+        return true;
+    }
+    if (arg == "--chrome-trace") {
+        Result<std::string> value = nextValue(argc, argv, i);
+        if (!value.ok())
+            return value.error();
+        options.chromeTracePath = std::move(value).value();
+        return true;
+    }
+    if (arg == "--guard") {
+        options.guard = true;
+        return true;
+    }
+    if (arg == "--guard-policy") {
+        Result<std::string> value = nextValue(argc, argv, i);
+        if (!value.ok())
+            return value.error();
+        const Result<GuardPolicyKind> kind =
+            parseGuardPolicyKind(value.value());
+        if (!kind.ok())
+            return kind.error();
+        options.guard = true;
+        options.guardPolicy.kind = kind.value();
+        return true;
+    }
+    if (arg == "--guard-k") {
+        Result<std::string> value = nextValue(argc, argv, i);
+        if (!value.ok())
+            return value.error();
+        const Result<std::uint32_t> count =
+            parseCount(arg, value.value());
+        if (!count.ok())
+            return count.error();
+        options.guardPolicy.hysteresisK = count.value();
+        return true;
+    }
+    if (arg == "--guard-bins") {
+        Result<std::string> value = nextValue(argc, argv, i);
+        if (!value.ok())
+            return value.error();
+        const Result<std::uint32_t> count =
+            parseCount(arg, value.value());
+        if (!count.ok())
+            return count.error();
+        options.guardPolicy.bins = count.value();
+        return true;
+    }
+    return false;
+}
+
+Result<int>
+writeObservability(const CommonOptions &options)
+{
+    int written = 0;
+    if (!options.metricsJsonPath.empty()) {
+        std::ofstream out(options.metricsJsonPath);
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot open ",
+                             options.metricsJsonPath,
+                             " for writing");
+        }
+        out << metricsJsonDocument(MetricsRegistry::global());
+        if (!out) {
+            return makeError(ErrorCode::IoError, "cannot write ",
+                             options.metricsJsonPath);
+        }
+        ++written;
+    }
+    if (!options.chromeTracePath.empty()) {
+        const Result<bool> wrote =
+            TraceRecorder::global().writeFile(
+                options.chromeTracePath);
+        if (!wrote.ok())
+            return wrote.error();
+        ++written;
+    }
+    return written;
+}
+
+int
+fail(const char *tool, const Error &error)
+{
+    std::cerr << tool << ": " << error.describe() << "\n";
+    return 1;
+}
+
+} // namespace cli
+} // namespace rana

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Command-line options shared by the rana_compile and rana_faultsim
+ * front ends: design-name parsing, the observability outputs
+ * (--metrics-json / --chrome-trace) and the reliability-guard flags
+ * (--guard / --guard-policy / --guard-k / --guard-bins), with one
+ * usage/error path instead of a copy per tool.
+ */
+
+#ifndef RANA_TOOLS_CLI_OPTIONS_HH_
+#define RANA_TOOLS_CLI_OPTIONS_HH_
+
+#include <string>
+
+#include "core/design_point.hh"
+#include "edram/guard_policy.hh"
+#include "util/result.hh"
+
+namespace rana {
+namespace cli {
+
+/** Parse a Table-IV design-point name ("RANA*", "eD+ID", ...). */
+Result<DesignKind> parseDesign(const std::string &name);
+
+/** Options every tool accepts, filled by consumeCommonOption. */
+struct CommonOptions
+{
+    /** Metrics-registry JSON snapshot path ("" = none). */
+    std::string metricsJsonPath;
+    /** Chrome trace_event timeline path ("" = none). */
+    std::string chromeTracePath;
+    /** Attach the runtime reliability guard. */
+    bool guard = false;
+    /** Decision policy of the attached guard. */
+    GuardPolicySpec guardPolicy;
+
+    /** Whether any observability output was requested. */
+    bool
+    wantsObservability() const
+    {
+        return !metricsJsonPath.empty() || !chromeTracePath.empty();
+    }
+};
+
+/** Usage-line fragment documenting the shared options. */
+const char *commonOptionsUsage();
+
+/**
+ * Try to consume argv[i] (plus its value, advancing `i`) as one of
+ * the shared options. Returns true when consumed, false when the
+ * argument belongs to the tool, and an error on a missing or
+ * malformed value.
+ */
+Result<bool> consumeCommonOption(int argc, char **argv, int &i,
+                                 CommonOptions &options);
+
+/**
+ * Flush the requested observability outputs. Returns an error when a
+ * file cannot be written; otherwise the number of outputs written.
+ */
+Result<int> writeObservability(const CommonOptions &options);
+
+/** Print "<tool>: <error>" on stderr; returns the exit code 1. */
+int fail(const char *tool, const Error &error);
+
+} // namespace cli
+} // namespace rana
+
+#endif // RANA_TOOLS_CLI_OPTIONS_HH_

@@ -17,6 +17,12 @@
  *   --output FILE        write the config (default stdout)
  *   --verify FILE        load FILE, rebuild the schedule and execute
  *                        it on the trace simulator
+ *   --guard              attach the runtime reliability guard to the
+ *                        verified execution
+ *   --guard-policy NAME  guard decision policy: permanent |
+ *                        hysteresis | binned (implies --guard)
+ *   --guard-k N          hysteresis: clean intervals to re-disarm
+ *   --guard-bins N       binned: retention-binning divider bins
  *   --summary            print the energy summary (and the
  *                        evaluation-cache counters) after compiling
  *   --metrics-json PATH  write a metrics-registry snapshot to PATH
@@ -34,8 +40,8 @@
 #include <sstream>
 #include <string>
 
+#include "cli_options.hh"
 #include "obs/chrome_trace.hh"
-#include "obs/metrics_registry.hh"
 #include "obs/pool_telemetry.hh"
 #include "rana.hh"
 #include "sim/trace_timeline.hh"
@@ -43,27 +49,6 @@
 namespace {
 
 using namespace rana;
-
-Result<DesignKind>
-parseDesign(const std::string &name)
-{
-    if (name == "S+ID")
-        return DesignKind::SramId;
-    if (name == "eD+ID")
-        return DesignKind::EdramId;
-    if (name == "eD+OD")
-        return DesignKind::EdramOd;
-    if (name == "RANA0")
-        return DesignKind::Rana0;
-    if (name == "RANAE5")
-        return DesignKind::RanaE5;
-    if (name == "RANA*")
-        return DesignKind::RanaStarE5;
-    return makeError(ErrorCode::InvalidArgument, "unknown design '",
-                     name,
-                     "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 "
-                     "or RANA*)");
-}
 
 void
 printSummary(const DesignPoint &design, const NetworkModel &network,
@@ -94,40 +79,7 @@ printSummary(const DesignPoint &design, const NetworkModel &network,
 int
 fail(const Error &error)
 {
-    std::cerr << "rana_compile: " << error.describe() << "\n";
-    return 1;
-}
-
-/**
- * Flush the requested observability outputs. Returns an error when a
- * file cannot be written; otherwise the number of outputs written.
- */
-Result<int>
-writeObservability(const std::string &metrics_path,
-                   const std::string &trace_path)
-{
-    int written = 0;
-    if (!metrics_path.empty()) {
-        std::ofstream out(metrics_path);
-        if (!out) {
-            return makeError(ErrorCode::IoError, "cannot open ",
-                             metrics_path, " for writing");
-        }
-        out << metricsJsonDocument(MetricsRegistry::global());
-        if (!out) {
-            return makeError(ErrorCode::IoError, "cannot write ",
-                             metrics_path);
-        }
-        ++written;
-    }
-    if (!trace_path.empty()) {
-        const Result<bool> wrote =
-            TraceRecorder::global().writeFile(trace_path);
-        if (!wrote.ok())
-            return wrote.error();
-        ++written;
-    }
-    return written;
+    return cli::fail("rana_compile", error);
 }
 
 } // namespace
@@ -139,7 +91,7 @@ main(int argc, char **argv)
         std::cerr << "usage: rana_compile <network> [--design NAME] "
                      "[--failure-rate R] [--jobs N] [--output FILE] "
                      "[--verify FILE] [--summary] "
-                     "[--metrics-json PATH] [--chrome-trace PATH]\n";
+                  << cli::commonOptionsUsage() << "\n";
         return 1;
     }
 
@@ -150,10 +102,15 @@ main(int argc, char **argv)
     double failure_rate = -1.0;
     unsigned jobs = hardwareJobs();
     bool summary = false;
-    std::string metrics_path;
-    std::string trace_path;
+    cli::CommonOptions common;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        const Result<bool> consumed =
+            cli::consumeCommonOption(argc, argv, i, common);
+        if (!consumed.ok())
+            return fail(consumed.error());
+        if (consumed.value())
+            continue;
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << "rana_compile: missing value after "
@@ -192,17 +149,13 @@ main(int argc, char **argv)
             verify_path = next();
         } else if (arg == "--summary") {
             summary = true;
-        } else if (arg == "--metrics-json") {
-            metrics_path = next();
-        } else if (arg == "--chrome-trace") {
-            trace_path = next();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
         }
     }
 
-    const Result<DesignKind> kind = parseDesign(design_name);
+    const Result<DesignKind> kind = cli::parseDesign(design_name);
     if (!kind.ok())
         return fail(kind.error());
 
@@ -223,11 +176,11 @@ main(int argc, char **argv)
                 : retention.worstCaseRetention();
     }
 
-    if (!metrics_path.empty() || !trace_path.empty())
+    if (common.wantsObservability())
         installPoolTelemetry();
     TimelineTraceSink timeline;
     TraceSink *sink = nullptr;
-    if (!trace_path.empty()) {
+    if (!common.chromeTracePath.empty()) {
         TraceRecorder::global().enable();
         sink = &timeline;
     }
@@ -245,9 +198,18 @@ main(int argc, char **argv)
             design.config, network, record.value());
         if (!schedule.ok())
             return fail(schedule.error());
+        Result<std::unique_ptr<GuardPolicy>> policy =
+            makeGuardPolicy(common.guardPolicy, design.config.buffer,
+                            retention, design.failureRate, 1);
+        if (!policy.ok())
+            return fail(policy.error());
+        ReliabilityGuard guard(design.options.refreshIntervalSeconds,
+                               std::move(policy).value());
         const Result<ExecutionResult> execution =
             executeScheduleChecked(design, network, schedule.value(),
-                                   TimingFaults{}, nullptr, sink);
+                                   TimingFaults{},
+                                   common.guard ? &guard : nullptr,
+                                   sink);
         if (!execution.ok())
             return fail(execution.error());
         const ExecutionResult &executed = execution.value();
@@ -255,8 +217,9 @@ main(int argc, char **argv)
                   << schedule.value().layers.size() << " layers, "
                   << executed.violations << " retention violations, "
                   << "energy " << executed.energy.describe() << "\n";
-        const Result<int> wrote =
-            writeObservability(metrics_path, trace_path);
+        if (common.guard)
+            std::cerr << "  " << guard.describe() << "\n";
+        const Result<int> wrote = cli::writeObservability(common);
         if (!wrote.ok())
             return fail(wrote.error());
         return executed.violations == 0 ? 0 : 2;
@@ -280,8 +243,7 @@ main(int argc, char **argv)
     }
     if (summary)
         printSummary(design, network, result.value().schedule);
-    const Result<int> wrote =
-        writeObservability(metrics_path, trace_path);
+    const Result<int> wrote = cli::writeObservability(common);
     if (!wrote.ok())
         return fail(wrote.error());
     return 0;

@@ -23,6 +23,14 @@
  *   --slowdown FACTOR    multiply every tile's time (timing fault)
  *   --stall SECONDS      stall before each outer scan (timing fault)
  *   --guard              attach the runtime reliability guard
+ *   --guard-policy NAME  guard decision policy: permanent |
+ *                        hysteresis | binned (implies --guard and
+ *                        prints the markdown guard-policy row)
+ *   --guard-k N          hysteresis: clean intervals to re-disarm
+ *   --guard-bins N       binned: retention-binning divider bins
+ *   --compare-policies   run the guarded campaign once per stock
+ *                        policy over the --rates x --intervals grid
+ *                        and print the markdown comparison table
  *   --no-retrain         skip retention-aware retraining (control)
  *   --markdown           emit the scenario row as a markdown table
  *   --sweep              sweep the failure-rate x refresh-interval
@@ -43,43 +51,19 @@
  */
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "cli_options.hh"
 #include "obs/chrome_trace.hh"
-#include "obs/metrics_registry.hh"
 #include "obs/pool_telemetry.hh"
 #include "rana.hh"
-#include "robust/campaign_sweep.hh"
-#include "robust/fault_campaign.hh"
 #include "sim/trace_timeline.hh"
 
 namespace {
 
 using namespace rana;
-
-Result<DesignKind>
-parseDesign(const std::string &name)
-{
-    if (name == "S+ID")
-        return DesignKind::SramId;
-    if (name == "eD+ID")
-        return DesignKind::EdramId;
-    if (name == "eD+OD")
-        return DesignKind::EdramOd;
-    if (name == "RANA0")
-        return DesignKind::Rana0;
-    if (name == "RANAE5")
-        return DesignKind::RanaE5;
-    if (name == "RANA*")
-        return DesignKind::RanaStarE5;
-    return makeError(ErrorCode::InvalidArgument, "unknown design '",
-                     name,
-                     "' (expected S+ID, eD+ID, eD+OD, RANA0, RANAE5 "
-                     "or RANA*)");
-}
 
 Result<MiniModelKind>
 parseModel(const std::string &name)
@@ -126,40 +110,26 @@ parseNumberList(const std::string &list)
 int
 fail(const Error &error)
 {
-    std::cerr << "rana_faultsim: " << error.describe() << "\n";
-    return 1;
+    return cli::fail("rana_faultsim", error);
 }
 
-/**
- * Flush the requested observability outputs. Returns an error when a
- * file cannot be written; otherwise the number of outputs written.
- */
-Result<int>
-writeObservability(const std::string &metrics_path,
-                   const std::string &trace_path)
+/** The comparison-format row of one guarded campaign report. */
+GuardPolicyRow
+policyRowOf(const FaultCampaignReport &report)
 {
-    int written = 0;
-    if (!metrics_path.empty()) {
-        std::ofstream out(metrics_path);
-        if (!out) {
-            return makeError(ErrorCode::IoError, "cannot open ",
-                             metrics_path, " for writing");
-        }
-        out << metricsJsonDocument(MetricsRegistry::global());
-        if (!out) {
-            return makeError(ErrorCode::IoError, "cannot write ",
-                             metrics_path);
-        }
-        ++written;
-    }
-    if (!trace_path.empty()) {
-        const Result<bool> wrote =
-            TraceRecorder::global().writeFile(trace_path);
-        if (!wrote.ok())
-            return wrote.error();
-        ++written;
-    }
-    return written;
+    GuardPolicyRow row;
+    row.policy = report.guardPolicyName;
+    row.trips = report.guardStats.trips;
+    row.banksReenabled = report.guardStats.banksReenabled;
+    row.redisarms = report.guardStats.redisarms;
+    row.escalations = report.guardStats.escalations;
+    row.fallbackRefreshOps = report.guardStats.fallbackRefreshOps;
+    row.armedRefreshOps = report.guardStats.armedRefreshOps;
+    row.violations = report.retentionViolations;
+    row.p5RelativeAccuracy = report.p5RelativeAccuracy;
+    row.p50RelativeAccuracy = report.p50RelativeAccuracy;
+    row.p95RelativeAccuracy = report.p95RelativeAccuracy;
+    return row;
 }
 
 } // namespace
@@ -171,25 +141,35 @@ main(int argc, char **argv)
         std::cerr << "usage: rana_faultsim <network> [--design NAME] "
                      "[--model NAME] [--trials N] [--seed S] "
                      "[--jobs N] [--slowdown FACTOR] "
-                     "[--stall SECONDS] [--guard] [--no-retrain] "
-                     "[--markdown] [--sweep] [--rates LIST] "
-                     "[--intervals LIST] [--metrics-json PATH] "
-                     "[--chrome-trace PATH]\n";
+                     "[--stall SECONDS] [--no-retrain] [--markdown] "
+                     "[--sweep] [--compare-policies] [--rates LIST] "
+                     "[--intervals LIST] "
+                  << cli::commonOptionsUsage() << "\n";
         return 1;
     }
 
     const std::string network_name = argv[1];
     std::string design_name = "RANAE5";
     std::string model_name = "MiniVgg";
-    FaultCampaignConfig config;
+    FaultCampaignConfigBuilder builder;
+    cli::CommonOptions common;
     bool markdown = false;
     bool sweep = false;
+    bool compare = false;
+    bool policy_row = false;
     std::vector<double> sweep_rates = {0.0, 1e-5, 1e-4};
     std::vector<double> sweep_intervals = {45e-6, 734e-6};
-    std::string metrics_path;
-    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        const Result<bool> consumed =
+            cli::consumeCommonOption(argc, argv, i, common);
+        if (!consumed.ok())
+            return fail(consumed.error());
+        if (consumed.value()) {
+            if (arg == "--guard-policy")
+                policy_row = true;
+            continue;
+        }
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << "rana_faultsim: missing value after "
@@ -214,24 +194,27 @@ main(int argc, char **argv)
         } else if (arg == "--model") {
             model_name = next();
         } else if (arg == "--trials") {
-            config.trials =
-                static_cast<std::uint32_t>(number(next()));
+            builder.trials(static_cast<std::uint32_t>(number(next())));
         } else if (arg == "--seed") {
-            config.seed = static_cast<std::uint64_t>(number(next()));
+            builder.seed(static_cast<std::uint64_t>(number(next())));
         } else if (arg == "--jobs") {
-            config.jobs = static_cast<unsigned>(number(next()));
+            builder.jobs(static_cast<unsigned>(number(next())));
         } else if (arg == "--slowdown") {
-            config.timingFaults.slowdownFactor = number(next());
+            TimingFaults faults = builder.build().timingFaults;
+            faults.slowdownFactor = number(next());
+            builder.timingFaults(faults);
         } else if (arg == "--stall") {
-            config.timingFaults.scanStallSeconds = number(next());
-        } else if (arg == "--guard") {
-            config.guard = true;
+            TimingFaults faults = builder.build().timingFaults;
+            faults.scanStallSeconds = number(next());
+            builder.timingFaults(faults);
         } else if (arg == "--no-retrain") {
-            config.retrain = false;
+            builder.retrain(false);
         } else if (arg == "--markdown") {
             markdown = true;
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg == "--compare-policies") {
+            compare = true;
         } else if (arg == "--rates") {
             const Result<std::vector<double>> rates =
                 parseNumberList(next());
@@ -244,23 +227,19 @@ main(int argc, char **argv)
             if (!intervals.ok())
                 return fail(intervals.error());
             sweep_intervals = intervals.value();
-        } else if (arg == "--metrics-json") {
-            metrics_path = next();
-        } else if (arg == "--chrome-trace") {
-            trace_path = next();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
         }
     }
 
-    const Result<DesignKind> kind = parseDesign(design_name);
+    const Result<DesignKind> kind = cli::parseDesign(design_name);
     if (!kind.ok())
         return fail(kind.error());
     const Result<MiniModelKind> model = parseModel(model_name);
     if (!model.ok())
         return fail(model.error());
-    config.model = model.value();
+    builder.model(model.value());
 
     Result<NetworkModel> looked_up =
         makeBenchmarkChecked(network_name);
@@ -271,14 +250,53 @@ main(int argc, char **argv)
         RetentionDistribution::typical65nm();
     const DesignPoint design =
         makeDesignPoint(kind.value(), retention);
-    config.retention = retention;
+    builder.retention(retention)
+        .guard(common.guard)
+        .guardPolicy(common.guardPolicy);
 
-    if (!metrics_path.empty() || !trace_path.empty())
+    if (common.wantsObservability())
         installPoolTelemetry();
     TimelineTraceSink timeline;
-    if (!trace_path.empty()) {
+    if (!common.chromeTracePath.empty()) {
         TraceRecorder::global().enable();
-        config.traceSink = &timeline;
+        builder.traceSink(&timeline);
+    }
+    const FaultCampaignConfig config = builder.build();
+
+    if (compare) {
+        CampaignSweepConfig sweep_config;
+        sweep_config.failureRates = sweep_rates;
+        sweep_config.refreshIntervals = sweep_intervals;
+        sweep_config.campaign = config;
+        // The comparison's hysteresis/binned knobs follow --guard-k
+        // and --guard-bins; the policy set is the three stock ones.
+        sweep_config.guardPolicies.resize(3, config.guardPolicy);
+        sweep_config.guardPolicies[0].kind =
+            GuardPolicyKind::Permanent;
+        sweep_config.guardPolicies[1].kind =
+            GuardPolicyKind::Hysteresis;
+        sweep_config.guardPolicies[2].kind = GuardPolicyKind::Binned;
+        const Result<GuardPolicyComparisonReport> compared =
+            runGuardPolicyComparison(design, network, sweep_config);
+        if (!compared.ok())
+            return fail(compared.error());
+        const GuardPolicyComparisonReport &report = compared.value();
+        std::cerr << report.designName << " on "
+                  << report.networkName << " (" << report.modelName
+                  << "): baseline " << report.baselineAccuracy
+                  << ", guard-policy comparison over "
+                  << report.failureRates.size() << "x"
+                  << report.refreshIntervals.size() << " grid, "
+                  << config.trials << " trials per cell\n";
+        std::cout << report.comparisonTable();
+        const Result<int> wrote = cli::writeObservability(common);
+        if (!wrote.ok())
+            return fail(wrote.error());
+        for (const GuardPolicyComparisonCell &cell : report.cells) {
+            if (cell.report.retentionViolations > 0)
+                return 2;
+        }
+        return 0;
     }
 
     if (sweep) {
@@ -305,8 +323,7 @@ main(int argc, char **argv)
             for (const SweepCell &cell : report.cells)
                 std::cout << cell.report.describe() << "\n";
         }
-        const Result<int> wrote =
-            writeObservability(metrics_path, trace_path);
+        const Result<int> wrote = cli::writeObservability(common);
         if (!wrote.ok())
             return fail(wrote.error());
         return 0;
@@ -319,6 +336,12 @@ main(int argc, char **argv)
     const FaultCampaignReport &report = campaign.value();
 
     std::cerr << report.describe() << "\n";
+    if (policy_row) {
+        // --guard-policy renders the campaign in the comparison's
+        // table format, so single-policy runs line up with
+        // --compare-policies output.
+        std::cout << markdownGuardPolicyTable({policyRowOf(report)});
+    }
     if (markdown) {
         ReliabilityScenarioRow row;
         row.name = report.designName + " / " + report.networkName;
@@ -333,8 +356,7 @@ main(int argc, char **argv)
         std::cout << markdownReliabilityTable({row});
     }
 
-    const Result<int> wrote =
-        writeObservability(metrics_path, trace_path);
+    const Result<int> wrote = cli::writeObservability(common);
     if (!wrote.ok())
         return fail(wrote.error());
 
