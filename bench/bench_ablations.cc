@@ -13,7 +13,7 @@
  *     "performance loss is negligible" claim).
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "dram/ddr3_model.hh"
 #include "edram/retention_binning.hh"
@@ -253,15 +253,23 @@ dramModelAblation()
 
 } // namespace
 
-int
-main()
+namespace {
+
+/** Ablation studies (design choices and extensions) */
+void
+runAblations(rana::bench::BenchContext &ctx)
 {
-    banner("Ablation studies (design choices and extensions)");
+    (void)ctx;
     controllerAblation();
     patternAblation();
     timingModelAblation();
     promotionAblation();
     performanceAblation();
     dramModelAblation();
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("ablations",
+           "Ablation studies (design choices and extensions)",
+           runAblations);

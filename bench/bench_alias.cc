@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Thin compatibility alias: each legacy bench_<name> binary is this
+ * file compiled with RANA_BENCH_ALIAS_NAME="<name>", forwarding to
+ * the unified driver with that harness forced. Kept for one release;
+ * use `rana_bench --match=<name>` instead.
+ */
+
+#include "harness.hh"
+
+#ifndef RANA_BENCH_ALIAS_NAME
+#error "RANA_BENCH_ALIAS_NAME must name the forced harness"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return rana::bench::benchMain(argc, argv, RANA_BENCH_ALIAS_NAME);
+}

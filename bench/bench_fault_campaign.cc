@@ -6,11 +6,20 @@
  *
  * Sweeps the RANA(E-5) design on AlexNet across four retraining
  * failure rates and three refresh intervals, 100 trials per cell
- * (RANA_CAMPAIGN_TRIALS overrides), and reports the p5/p50/p95/worst
- * relative-accuracy band per cell. Emits the machine-readable
- * BENCH_fault_campaign.json consumed by the CI regression gate
- * (tools/check_bench.py): the gated statistic is the p50 relative
- * accuracy at the paper's retrained 1e-5 operating point.
+ * (--trials or RANA_CAMPAIGN_TRIALS overrides), and reports the
+ * p5/p50/p95/worst relative-accuracy band per cell. Emits the
+ * machine-readable BENCH_fault_campaign.json consumed by the CI
+ * regression gate (tools/check_bench.py): the gated statistics are
+ * the p50 relative accuracy at the paper's retrained 1e-5 operating
+ * point and the campaign throughput in grid cells per second (the
+ * trial-batched forward pass must stay >= min_speedup x the scalar
+ * baseline recorded in tools/bench_baseline.json).
+ *
+ * The corrupted forwards inside each cell run trial-major batches
+ * (FaultCampaignConfig::laneBlock trials per batched pass over the
+ * fixed-point kernels); RANA_CAMPAIGN_LANE_BLOCK overrides the lane
+ * count, and =1 selects the scalar reference path for baseline
+ * measurements. Results are bit-identical for any lane count.
  *
  * A second section compares the three guard decision policies
  * (permanent, hysteresis, binned) at the gate operating point under
@@ -22,13 +31,12 @@
  * the JSON is reproducible across runs on the same build.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
-#include <fstream>
 
-#include "obs/metrics_registry.hh"
 #include "robust/campaign_sweep.hh"
 #include "util/ascii_chart.hh"
 #include "util/json_writer.hh"
@@ -57,14 +65,13 @@ intervalLabel(double seconds)
     return buf;
 }
 
-/** Render the sweep as the machine-readable JSON artifact. */
-std::string
-sweepJson(const CampaignSweepReport &report,
+/** Append the sweep's legacy fields to the driver's open artifact. */
+void
+sweepJson(JsonWriter &json, const CampaignSweepReport &report,
           const GuardPolicyComparisonReport &comparison,
-          const CampaignSweepConfig &config)
+          const CampaignSweepConfig &config,
+          double cells_per_second)
 {
-    JsonWriter json;
-    json.beginObject();
     json.field("bench", "fault_campaign");
     json.field("design", report.designName);
     json.field("network", report.networkName);
@@ -72,7 +79,15 @@ sweepJson(const CampaignSweepReport &report,
     json.field("trials",
                static_cast<std::uint64_t>(config.campaign.trials));
     json.field("seed", config.campaign.seed);
+    json.field("lane_block",
+               static_cast<std::uint64_t>(
+                   config.campaign.laneBlock == 0
+                       ? kDefaultLaneBlock
+                       : config.campaign.laneBlock));
     json.field("baseline_accuracy", report.baselineAccuracy);
+    // The throughput gate's statistic (grid cells per second over
+    // the whole sweep), surfaced at the top level like "gate".
+    json.field("campaign_throughput", cells_per_second);
     json.beginArray("failure_rates");
     for (double rate : report.failureRates)
         json.element(rate);
@@ -150,26 +165,14 @@ sweepJson(const CampaignSweepReport &report,
         json.endObject();
     }
     json.endArray();
-    // The run's metrics-registry snapshot (refresh pulses, cache
-    // hits, span durations, ...) rides along in the artifact.
-    writeMetricsObject(json, "metrics", MetricsRegistry::global());
-    json.endObject();
-    return json.str();
 }
 
-} // namespace
-
-int
-main()
+void
+runFaultCampaignBench(rana::bench::BenchContext &ctx)
 {
     using namespace rana::bench;
 
-    banner("Fault-campaign sweep - accuracy percentile bands over "
-           "the failure-rate x refresh-interval grid");
-
-    std::uint32_t trials = 100;
-    if (const char *env = std::getenv("RANA_CAMPAIGN_TRIALS"))
-        trials = static_cast<std::uint32_t>(std::max(1, std::atoi(env)));
+    const std::uint32_t trials = ctx.trials > 0 ? ctx.trials : 100;
     DatasetConfig dataset;
     dataset.trainSamples = 256;
     dataset.testSamples = 128;
@@ -185,12 +188,19 @@ main()
     // 45us is the worst-case-cell interval, 734us the certified
     // 1e-5 interval, 1440us Figure 16's far end.
     config.refreshIntervals = {45e-6, 734e-6, 1440e-6};
-    config.campaign = FaultCampaignConfigBuilder()
-                          .trials(trials)
-                          .seed(3)
-                          .dataset(dataset)
-                          .trainer(trainer)
-                          .build();
+    FaultCampaignConfigBuilder campaign = FaultCampaignConfigBuilder()
+                                              .trials(trials)
+                                              .seed(3)
+                                              .dataset(dataset)
+                                              .trainer(trainer);
+    // =1 runs the scalar reference path (the pre-batching baseline
+    // for the campaign_throughput gate); results are bit-identical
+    // for any lane count.
+    if (const char *env = std::getenv("RANA_CAMPAIGN_LANE_BLOCK")) {
+        campaign.laneBlock(static_cast<std::uint32_t>(
+            std::max(1, std::atoi(env))));
+    }
+    config.campaign = campaign.build();
 
     const DesignPoint design =
         makeDesignPoint(DesignKind::RanaE5, retention());
@@ -199,13 +209,31 @@ main()
     std::cout << design.name << " on " << network.name() << ", "
               << config.campaign.trials << " trials per cell, "
               << config.failureRates.size() << "x"
-              << config.refreshIntervals.size() << " grid\n\n";
+              << config.refreshIntervals.size() << " grid, "
+              << (config.campaign.laneBlock == 0
+                      ? kDefaultLaneBlock
+                      : config.campaign.laneBlock)
+              << " trial lanes\n\n";
 
+    const auto sweep_start = std::chrono::steady_clock::now();
     const Result<CampaignSweepReport> swept =
         runCampaignSweep(design, network, config);
+    const double sweep_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count();
     if (!swept.ok())
         fatal("campaign sweep failed: ", swept.error().message);
     const CampaignSweepReport &report = swept.value();
+
+    const double cells = static_cast<double>(
+        config.failureRates.size() * config.refreshIntervals.size());
+    const double cells_per_second =
+        cells / std::max(sweep_seconds, 1e-9);
+    ctx.perf("campaign_throughput", cells_per_second, "cells/s");
+    ctx.perf("trials_per_second",
+             cells * trials / std::max(sweep_seconds, 1e-9),
+             "trials/s");
 
     // The Figure-16-comparable table: one row per grid cell with
     // the execution counters and the accuracy band.
@@ -228,6 +256,9 @@ main()
         table.rule();
     }
     table.print(std::cout);
+    std::cout << "\ncampaign throughput: " << ratio(cells_per_second)
+              << " cells/s (" << ratio(sweep_seconds)
+              << "s for the grid)\n";
 
     // The accuracy-vs-rate frontier at the certified interval.
     const std::size_t op_interval = 1;
@@ -281,11 +312,13 @@ main()
               << " under a 30ms scan stall:\n\n"
               << comparison.comparisonTable();
 
-    const std::string json = sweepJson(report, comparison, config);
-    std::ofstream out("BENCH_fault_campaign.json");
-    out << json;
-    out.close();
-    std::cout << "\nwrote BENCH_fault_campaign.json ("
-              << json.size() << " bytes)\n";
-    return 0;
+    sweepJson(*ctx.json, report, comparison, config,
+              cells_per_second);
 }
+
+} // namespace
+
+RANA_BENCH("fault_campaign",
+           "Fault-campaign sweep - accuracy percentile bands over "
+           "the failure-rate x refresh-interval grid",
+           runFaultCampaignBench);

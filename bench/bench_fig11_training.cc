@@ -12,21 +12,24 @@
  * Set RANA_FAST=1 for a quick low-fidelity run.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include <cstdlib>
 
 #include "train/trainer.hh"
 
-int
-main()
+namespace {
+
+/** Figure 11 - relative accuracy vs retention failure rate */
+void
+runFig11Training(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 11 - relative accuracy vs retention failure rate");
 
-    const bool fast = std::getenv("RANA_FAST") != nullptr;
+    const bool fast = ctx.fast;
 
     DatasetConfig dataset;
     TrainerConfig trainer_config;
@@ -70,5 +73,10 @@ main()
               << "Tolerable retention time at 1e-5: "
               << formatTime(retention().retentionTimeFor(1e-5))
               << "\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig11_training",
+           "Figure 11 - relative accuracy vs retention failure rate",
+           runFig11Training);

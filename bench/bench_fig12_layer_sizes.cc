@@ -6,15 +6,18 @@
  * the complementarity that motivates the WD pattern.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Figure 12 - layer size analysis of ResNet (16-bit) */
+void
+runFig12LayerSizes(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 12 - layer size analysis of ResNet (16-bit)");
 
     const NetworkModel net = makeResNet50();
     TextTable table;
@@ -52,5 +55,10 @@ main()
               << " vs weights " << paperMb(deep_w)
               << "\nPaper: inputs/outputs dominate shallow layers; "
                  "weight size grows as layers deepen.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig12_layer_sizes",
+           "Figure 12 - layer size analysis of ResNet (16-bit)",
+           runFig12LayerSizes);

@@ -7,17 +7,20 @@
  * energy saved by RANA*(E-5) vs. the baselines).
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "util/ascii_chart.hh"
 
-int
-main()
+namespace {
+
+/** Figure 15 - total system energy comparison */
+void
+runFig15TotalEnergy(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 15 - total system energy comparison");
 
     const auto designs = tableIvDesigns(retention());
     const auto &nets = networks();
@@ -130,5 +133,10 @@ main()
               << "  RANA*(E-5) refresh share of total energy: "
               << formatPercent(sums[5].refresh / sums[5].total())
               << "  (paper: 0.4%)\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig15_total_energy",
+           "Figure 15 - total system energy comparison",
+           runFig15TotalEnergy);

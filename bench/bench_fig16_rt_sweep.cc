@@ -7,16 +7,18 @@
  * faster than ID as the interval grows.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Figure 16 - accelerator energy vs retention time (ResNet) */
+void
+runFig16RtSweep(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 16 - accelerator energy vs retention time "
-           "(ResNet)");
 
     const NetworkModel net = makeResNet50();
     const std::vector<double> retention_times = {
@@ -75,5 +77,10 @@ main()
     std::cout << "\nRefresh energy drop from RT=90us to 180us: eD+ID "
               << formatPercent(id_drop) << " (paper: 50.0%), eD+OD "
               << formatPercent(od_drop) << " (paper: 80.1%).\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig16_rt_sweep",
+           "Figure 16 - accelerator energy vs retention time (ResNet)",
+           runFig16RtSweep);

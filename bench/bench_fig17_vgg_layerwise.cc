@@ -6,17 +6,20 @@
  * WD and removes the partial-sum spill traffic.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "sched/layer_scheduler.hh"
 
-int
-main()
+namespace {
+
+/** Figure 17 - layerwise VGG energy: eD+OD vs RANA (0) */
+void
+runFig17VggLayerwise(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 17 - layerwise VGG energy: eD+OD vs RANA (0)");
 
     const NetworkModel net = makeVgg16();
     const DesignPoint od_design =
@@ -55,5 +58,10 @@ main()
               << formatPercent(total_saving)
               << " (paper: 19.4%; per-layer savings of 47.8-67.0% on "
                  "the WD layers, off-chip savings of 79.5-91.6%).\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig17_vgg_layerwise",
+           "Figure 17 - layerwise VGG energy: eD+OD vs RANA (0)",
+           runFig17VggLayerwise);

@@ -10,15 +10,18 @@
  * stays flat once the intermediate data fits.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Figure 18 - sensitivity to buffer capacity */
+void
+runFig18CapacitySweep(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 18 - sensitivity to buffer capacity");
 
     // 0.25x .. 8x of the 46-bank (~1.45MB) baseline.
     const std::vector<std::uint32_t> bank_counts = {11, 23, 46,
@@ -100,5 +103,10 @@ main()
     std::cout << "\nPaper: 65.5-92.3% of RANA (E-5)'s refresh energy "
                  "removed by the refresh-optimized controller; with "
                  "1.454MB no benchmark needs extra off-chip access.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig18_capacity_sweep",
+           "Figure 18 - sensitivity to buffer capacity",
+           runFig18CapacitySweep);

@@ -6,15 +6,18 @@
  * are normalized per network to the original DaDianNao.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Figure 19 - scalability analysis on DaDianNao */
+void
+runFig19Dadiannao(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 19 - scalability analysis on DaDianNao");
 
     const auto designs = daDianNaoDesigns(retention());
     const auto &nets = networks();
@@ -94,5 +97,10 @@ main()
                              sums[0].offChipAccess -
                          1.0)
         << "  (paper: none)\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig19_dadiannao",
+           "Figure 19 - scalability analysis on DaDianNao",
+           runFig19Dadiannao);

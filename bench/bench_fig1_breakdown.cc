@@ -5,17 +5,20 @@
  * ResNet stage. Refresh energy is the new cost that motivates RANA.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include <map>
 
-int
-main()
+namespace {
+
+/** Figure 1 - ResNet energy breakdown on eD+ID */
+void
+runFig1Breakdown(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 1 - ResNet energy breakdown on eD+ID");
 
     const DesignPoint design =
         makeDesignPoint(DesignKind::EdramId, retention());
@@ -58,5 +61,10 @@ main()
               << formatPercent(result.energy.refresh / total)
               << " (the paper's Figure 1 shows refresh as a large "
                  "part of eD+ID's energy).\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig1_breakdown",
+           "Figure 1 - ResNet energy breakdown on eD+ID",
+           runFig1Breakdown);

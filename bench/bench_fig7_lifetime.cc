@@ -7,20 +7,23 @@
  * RANA techniques.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include <algorithm>
 
 #include "sched/layer_scheduler.hh"
 #include "util/ascii_chart.hh"
 
-int
-main()
+namespace {
+
+/** Figure 7 - ResNet data lifetime before optimization (ID) */
+void
+runFig7Lifetime(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 7 - ResNet data lifetime before optimization (ID)");
 
     const DesignPoint design =
         makeDesignPoint(DesignKind::EdramId, retention());
@@ -71,5 +74,10 @@ main()
               << "\nPaper: all layers exceed 45us under ID; only a "
                  "few fall below 734us before the OD/WD "
                  "optimizations.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig7_lifetime",
+           "Figure 7 - ResNet data lifetime before optimization (ID)",
+           runFig7Lifetime);

@@ -5,15 +5,18 @@
  * interval, with the paper's two quoted anchors.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Figure 8 - typical eDRAM retention time distribution */
+void
+runFig8Retention(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Figure 8 - typical eDRAM retention time distribution");
 
     const RetentionDistribution &dist = retention();
 
@@ -37,5 +40,10 @@ main()
                  "retention time at 1e-5 = "
               << formatTime(dist.retentionTimeFor(1e-5))
               << " (paper: 734us, a 16x refresh interval).\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("fig8_retention",
+           "Figure 8 - typical eDRAM retention time distribution",
+           runFig8Retention);

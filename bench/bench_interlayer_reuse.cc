@@ -6,18 +6,21 @@
  * activations on chip, and what the carried retention costs.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "sched/interlayer_reuse.hh"
 #include "sched/layer_scheduler.hh"
 
-int
-main()
+namespace {
+
+/** Extension - inter-layer output reuse on RANA*(E-5) */
+void
+runInterlayerReuse(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Extension - inter-layer output reuse on RANA*(E-5)");
 
     std::vector<NetworkModel> nets = networks();
     nets.push_back(makeResNet18());
@@ -79,5 +82,10 @@ main()
                  "pairs that fit can skip the round trip, at the "
                  "cost of carrying their retention across the layer "
                  "boundary.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("interlayer_reuse",
+           "Extension - inter-layer output reuse on RANA*(E-5)",
+           runInterlayerReuse);

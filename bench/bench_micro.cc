@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness.hh"
 #include "nn/model_zoo.hh"
 #include "sched/layer_scheduler.hh"
 #include "sim/loopnest_simulator.hh"
@@ -14,6 +15,7 @@
 #include "train/layers.hh"
 #include "train/loss.hh"
 #include "train/trainer.hh"
+#include "util/logging.hh"
 
 namespace {
 
@@ -173,6 +175,36 @@ BM_TrainingStep(benchmark::State &state)
 }
 BENCHMARK(BM_TrainingStep)->Unit(benchmark::kMillisecond);
 
+/**
+ * Runs the registered BM_* functions through google-benchmark's own
+ * runner. Correctness mode caps the per-benchmark measurement time:
+ * it only has to prove the hot paths still run, not produce stable
+ * timings. google-benchmark's Initialize() is once-only per process,
+ * so repeated runs (e.g. rana_bench with a broad --match) reuse the
+ * first call's flags.
+ */
+void
+runMicro(rana::bench::BenchContext &ctx)
+{
+    static bool initialized = false;
+    if (!initialized) {
+        initialized = true;
+        std::vector<const char *> argv = {"bench_micro"};
+        if (!ctx.perfMode())
+            argv.push_back("--benchmark_min_time=0.01");
+        int argc = static_cast<int>(argv.size());
+        benchmark::Initialize(&argc,
+                              const_cast<char **>(argv.data()));
+    }
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+    if (ran == 0)
+        fatal("no microbenchmarks ran");
+    ctx.perf("benchmarks_run", static_cast<double>(ran), "count");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+RANA_BENCH("micro",
+           "google-benchmark microbenchmarks of the framework hot "
+           "paths",
+           runMicro);

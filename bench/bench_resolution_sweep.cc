@@ -10,15 +10,18 @@
  * pattern keep RANA's advantage growing with resolution.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Extension - input-resolution sensitivity */
+void
+runResolutionSweep(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Extension - input-resolution sensitivity");
 
     const std::vector<std::uint32_t> resolutions = {160, 224, 320,
                                                     448};
@@ -60,5 +63,10 @@ main()
                  "set past both buffers; the hybrid pattern's "
                  "storage shrinking keeps RANA ahead as the paper's "
                  "introduction predicts.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("resolution_sweep",
+           "Extension - input-resolution sensitivity",
+           runResolutionSweep);

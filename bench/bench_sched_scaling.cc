@@ -12,20 +12,17 @@
  * search should scale to roughly N until candidate evaluation is no
  * longer the bottleneck.
  *
- * RANA_SCHED_REPEAT overrides the per-point repetition count
- * (default 3, best-of is reported).
+ * --repeat (or RANA_SCHED_REPEAT) overrides the per-point repetition
+ * count (default 3, best-of is reported).
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "obs/metrics_registry.hh"
 #include "rana.hh"
 #include "util/json_writer.hh"
 
@@ -69,20 +66,14 @@ times(double value)
     return buf;
 }
 
-} // namespace
-
-int
-main()
+void
+runSchedScaling(rana::bench::BenchContext &ctx)
 {
     using namespace rana::bench;
 
-    banner("Scheduler scaling - parallel engine vs. worker lanes");
-
     const AcceleratorConfig config = testAcceleratorEdram();
     const NetworkModel net = makeVgg16();
-    int repeat = 3;
-    if (const char *env = std::getenv("RANA_SCHED_REPEAT"))
-        repeat = std::max(1, std::atoi(env));
+    const int repeat = ctx.repeat > 0 ? ctx.repeat : 3;
 
     std::vector<unsigned> lanes = {1, 2, 4};
     const unsigned hw = hardwareJobs();
@@ -101,14 +92,14 @@ main()
 
     TextTable table("scheduleNetwork wall-clock vs. jobs");
     table.header({"jobs", "wall-clock", "speedup", "identical"});
-    JsonWriter json;
-    json.beginObject();
+    JsonWriter &json = *ctx.json;
     json.field("bench", "sched_scaling");
     json.field("network", net.name());
     json.field("hardware_jobs", static_cast<std::uint64_t>(hw));
     json.field("repeat", static_cast<std::uint64_t>(repeat));
     json.beginArray("points");
     double serial_seconds = 0.0;
+    double best_speedup = 0.0;
     for (unsigned jobs : lanes) {
         const SchedulerOptions options = SchedulerOptionsBuilder()
                                              .jobs(jobs)
@@ -117,6 +108,7 @@ main()
         const double best = timeSchedule(config, net, options, repeat);
         if (jobs == 1)
             serial_seconds = best;
+        best_speedup = std::max(best_speedup, serial_seconds / best);
         const std::string bytes = writeConfigString(toConfigRecord(
             scheduleNetworkOrDie(config, net, options)));
         table.row({std::to_string(jobs), seconds(best),
@@ -160,14 +152,14 @@ main()
     json.field("misses", stats.misses);
     json.field("entries", static_cast<std::uint64_t>(stats.entries));
     json.endObject();
-    // The run's metrics-registry snapshot (cache counters, span
-    // durations, pool telemetry, ...) rides along in the artifact.
-    writeMetricsObject(json, "metrics", MetricsRegistry::global());
-    json.endObject();
-    const std::string artifact = json.str();
-    std::ofstream out("BENCH_sched_scaling.json");
-    out << artifact;
-    std::cout << "\nwrote BENCH_sched_scaling.json ("
-              << artifact.size() << " bytes)\n";
-    return 0;
+
+    ctx.perf("serial_seconds", serial_seconds, "s");
+    ctx.perf("parallel_speedup", best_speedup, "x");
+    ctx.perf("cache_warm_speedup", cold / std::max(warm, 1e-9), "x");
 }
+
+} // namespace
+
+RANA_BENCH("sched_scaling",
+           "Scheduler scaling - parallel engine vs. worker lanes",
+           runSchedScaling);

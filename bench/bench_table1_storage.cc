@@ -5,15 +5,18 @@
  * input, output and weight storage.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
-int
-main()
+namespace {
+
+/** Table I - data storage requirements of CNNs (16-bit) */
+void
+runTable1Storage(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Table I - data storage requirements of CNNs (16-bit)");
 
     TextTable table;
     table.header({"CNN Model", "Max. Layer Inputs",
@@ -33,5 +36,10 @@ main()
     std::cout << "\nPaper Table I: AlexNet 0.30/0.57/1.73MB, VGG "
                  "6.27/6.27/4.61MB,\nGoogLeNet 0.39/1.57/1.30MB, "
                  "ResNet 1.57/1.57/4.61MB.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("table1_storage",
+           "Table I - data storage requirements of CNNs (16-bit)",
+           runTable1Storage);

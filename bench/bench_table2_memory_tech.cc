@@ -5,17 +5,20 @@
  * evaluation platform (384KB SRAM -> ~1.45MB eDRAM).
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "energy/technology.hh"
 
-int
-main()
+namespace {
+
+/** Table II - SRAM vs eDRAM characteristics (32KB, 65nm) */
+void
+runTable2MemoryTech(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Table II - SRAM vs eDRAM characteristics (32KB, 65nm)");
 
     TextTable table;
     table.header({"", "SRAM", "eDRAM"});
@@ -47,5 +50,10 @@ main()
                      equalAreaEdramBanks(12)) *
                              edram.capacityBytes)
               << ") at equal area.\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("table2_memory_tech",
+           "Table II - SRAM vs eDRAM characteristics (32KB, 65nm)",
+           runTable2MemoryTech);

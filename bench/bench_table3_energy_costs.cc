@@ -4,17 +4,20 @@
  * and their cost relative to one 16-bit MAC.
  */
 
-#include "bench_common.hh"
+#include "harness.hh"
 
 #include "energy/energy_table.hh"
 
-int
-main()
+namespace {
+
+/** Table III - energy cost in the 65nm technology node */
+void
+runTable3EnergyCosts(rana::bench::BenchContext &ctx)
 {
+    (void)ctx;
     using namespace rana;
     using namespace rana::bench;
 
-    banner("Table III - energy cost in the 65nm technology node");
 
     const EnergyTable edram = energyTable65nm(MemoryTechnology::Edram);
     const EnergyTable sram = energyTable65nm(MemoryTechnology::Sram);
@@ -36,5 +39,10 @@ main()
 
     std::cout << "\nPaper Table III relative costs: 1.0x / 14.3x / "
                  "8.3x / 37.7x / 1653.7x (vs one MAC, eDRAM rows).\n";
-    return 0;
 }
+
+} // namespace
+
+RANA_BENCH("table3_energy_costs",
+           "Table III - energy cost in the 65nm technology node",
+           runTable3EnergyCosts);

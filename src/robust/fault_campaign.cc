@@ -6,7 +6,9 @@
 #include "robust/fault_campaign.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "energy/technology.hh"
@@ -17,6 +19,7 @@
 #include "sim/trace_export.hh"
 #include "train/loss.hh"
 #include "train/mini_models.hh"
+#include "train/trial_batch.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
@@ -47,6 +50,73 @@ typeRefreshed(RefreshPolicy policy, const LayerSchedule &layer,
         return layer.refreshFlags[type];
     }
     panic("unreachable refresh policy in typeRefreshed");
+}
+
+/**
+ * Scalar reference: the corrupted forward pass and accuracy of one
+ * trial, exactly as the pre-batching campaign ran it. Serves the
+ * laneBlock=1 path and the RANA_BENCH_VERIFY parity check.
+ */
+double
+scalarTrialAccuracy(Layer &skeleton, const CampaignModel &model,
+                    const TrialResult &trial)
+{
+    BitErrorInjector act_injector(trial.activationFailureRate,
+                                  trial.seed * 2 + 1);
+    BitErrorInjector weight_injector(trial.weightFailureRate,
+                                     trial.seed * 2 + 2);
+    ForwardContext ctx;
+    ctx.quant = &model.format;
+    ctx.injector = &act_injector;
+    ctx.weightInjector = &weight_injector;
+    ctx.weightsPreQuantized = true;
+    ctx.training = false;
+    const Tensor logits = skeleton.forward(model.test.images, ctx);
+    const LossResult loss =
+        softmaxCrossEntropy(logits, model.test.labels);
+    return static_cast<double>(loss.correct) /
+           static_cast<double>(model.test.labels.size());
+}
+
+/**
+ * Batched path: fuse `lanes` consecutive trials starting at `first`
+ * into one lane-major forward pass and write each lane's accuracy
+ * back into its trial slot. Per lane the injector seeds, streams and
+ * arithmetic match scalarTrialAccuracy bit for bit.
+ */
+void
+batchedBlockAccuracies(Layer &skeleton, const CampaignModel &model,
+                       std::vector<TrialResult> &trials,
+                       std::size_t first, std::uint32_t lanes)
+{
+    std::vector<BitErrorInjector> act_injectors;
+    std::vector<BitErrorInjector> weight_injectors;
+    act_injectors.reserve(lanes);
+    weight_injectors.reserve(lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        const TrialResult &trial = trials[first + l];
+        act_injectors.emplace_back(trial.activationFailureRate,
+                                   trial.seed * 2 + 1);
+        weight_injectors.emplace_back(trial.weightFailureRate,
+                                      trial.seed * 2 + 2);
+    }
+    TrialForwardContext ctx;
+    ctx.quant = &model.format;
+    ctx.weightsPreQuantized = true;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        ctx.injectors.push_back(&act_injectors[l]);
+        ctx.weightInjectors.push_back(&weight_injectors[l]);
+    }
+    const Tensor stacked = packTrialLanes(model.test.images, lanes);
+    const Tensor logits = skeleton.forwardTrials(stacked, ctx);
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        const Tensor lane_logits = extractTrialLane(logits, l);
+        const LossResult loss =
+            softmaxCrossEntropy(lane_logits, model.test.labels);
+        trials[first + l].accuracy =
+            static_cast<double>(loss.correct) /
+            static_cast<double>(model.test.labels.size());
+    }
 }
 
 } // namespace
@@ -171,7 +241,7 @@ prepareCampaignModel(RetentionAwareTrainer &trainer,
     ScopedSpan span("campaign", "retrain");
     trainer.restorePretrained();
     if (config.retrain && failure_rate > 0.0)
-        trainer.retrainAndEvaluate(failure_rate);
+        trainer.retrain(failure_rate);
 
     CampaignModel model;
     model.modelName = miniModelName(config.model);
@@ -233,11 +303,11 @@ runPreparedCampaign(const DesignPoint &design,
             static_cast<double>(exposure.words[kOutput]);
     }
 
-    // Phase 4: trials. Each trial samples one chip (per-bank weakest
-    // cells), converts exposed words into effective failure rates,
-    // and measures the corrupted forward pass. Results land in
-    // per-trial slots, so the report is identical for any lane
-    // count.
+    // Phase 4a: per-trial chip sampling. Each trial samples one chip
+    // (per-bank weakest cells) and converts exposed words into
+    // effective failure rates. Results land in per-trial slots, so
+    // the report is identical for any lane count or job count.
+    const auto trials_started = std::chrono::steady_clock::now();
     const RetentionSampler sampler(
         config.retention, design.config.buffer.bankWords() * 16);
     const std::uint64_t bank_words = design.config.buffer.bankWords();
@@ -302,29 +372,60 @@ runPreparedCampaign(const DesignPoint &design,
         result.activationFailureRate =
             total_act_words > 0.0 ? weighted_act / total_act_words
                                   : 0.0;
-
-        BitErrorInjector act_injector(result.activationFailureRate,
-                                      trial_seed * 2 + 1);
-        BitErrorInjector weight_injector(result.weightFailureRate,
-                                         trial_seed * 2 + 2);
-        ForwardContext ctx;
-        ctx.quant = &model.format;
-        ctx.injector = &act_injector;
-        ctx.weightInjector = &weight_injector;
-        ctx.weightsPreQuantized = true;
-        ctx.training = false;
-        const Tensor logits = skeleton->forward(model.test.images, ctx);
-        const LossResult loss =
-            softmaxCrossEntropy(logits, model.test.labels);
-        result.accuracy =
-            static_cast<double>(loss.correct) /
-            static_cast<double>(model.test.labels.size());
-        result.relativeAccuracy =
-            report.baselineAccuracy > 0.0
-                ? result.accuracy / report.baselineAccuracy
-                : 0.0;
         report.trials[trial] = result;
     });
+
+    // Phase 4b: corrupted forwards. laneBlock trials are fused per
+    // lane-major batched pass (the scalar reference path when the
+    // block is 1); every lane is bit-identical to the scalar pass,
+    // so the choice only moves wall-clock.
+    const std::uint32_t lane_block =
+        config.laneBlock == 0 ? kDefaultLaneBlock : config.laneBlock;
+    if (lane_block <= 1) {
+        parallelFor(config.trials, jobs, [&](std::size_t trial) {
+            report.trials[trial].accuracy = scalarTrialAccuracy(
+                *skeleton, model, report.trials[trial]);
+        });
+    } else {
+        const std::size_t blocks =
+            (config.trials + lane_block - 1) / lane_block;
+        parallelFor(blocks, jobs, [&](std::size_t block) {
+            const std::size_t first = block * lane_block;
+            const auto lanes = static_cast<std::uint32_t>(
+                std::min<std::size_t>(lane_block,
+                                      config.trials - first));
+            batchedBlockAccuracies(*skeleton, model, report.trials,
+                                   first, lanes);
+        });
+        // Opt-in parity assertion: re-run every trial through the
+        // scalar reference and require bit-equal accuracies.
+        const char *verify = std::getenv("RANA_BENCH_VERIFY");
+        if (verify != nullptr && verify == std::string("1")) {
+            parallelFor(config.trials, jobs, [&](std::size_t trial) {
+                const double scalar = scalarTrialAccuracy(
+                    *skeleton, model, report.trials[trial]);
+                RANA_ASSERT(scalar == report.trials[trial].accuracy,
+                            "batched trial ", trial,
+                            " diverged from the scalar path: ",
+                            report.trials[trial].accuracy, " vs ",
+                            scalar);
+            });
+        }
+    }
+    for (TrialResult &trial : report.trials) {
+        trial.relativeAccuracy =
+            report.baselineAccuracy > 0.0
+                ? trial.accuracy / report.baselineAccuracy
+                : 0.0;
+    }
+    report.trialSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - trials_started)
+            .count();
+    report.trialsPerSecond =
+        report.trialSeconds > 0.0
+            ? static_cast<double>(config.trials) / report.trialSeconds
+            : 0.0;
 
     std::vector<double> accuracies;
     std::vector<double> relatives;
@@ -360,6 +461,8 @@ runPreparedCampaign(const DesignPoint &design,
         .add(corrupted);
     registry.counter("campaign_exposed_words_total")
         .add(exposed_words);
+    registry.gauge("campaign_trials_per_second")
+        .set(report.trialsPerSecond);
 
     const auto count = static_cast<double>(report.trials.size());
     report.meanAccuracy /= count;

@@ -55,6 +55,9 @@ namespace rana {
 
 class TraceSink;
 
+/** Default trial block of the batched forward path (laneBlock=0). */
+constexpr std::uint32_t kDefaultLaneBlock = 16;
+
 /** Configuration of one fault-injection campaign. */
 struct FaultCampaignConfig
 {
@@ -64,6 +67,14 @@ struct FaultCampaignConfig
     std::uint64_t seed = 1;
     /** Worker lanes for the trial fan-out (0 = hardware threads). */
     unsigned jobs = 0;
+    /**
+     * Trials fused per batched forward pass: the corrupted forwards
+     * run laneBlock trials at a time through the lane-major kernels
+     * (train/trial_batch.hh). 0 picks the tuned default block; 1
+     * forces the scalar per-trial reference path. Any value yields
+     * bit-identical reports — the block size is a speed knob only.
+     */
+    std::uint32_t laneBlock = 0;
     /** Mini model standing in for the paper benchmark. */
     MiniModelKind model = MiniModelKind::MiniVgg;
     /** Synthetic dataset the mini model trains on. */
@@ -122,6 +133,13 @@ class FaultCampaignConfigBuilder
     FaultCampaignConfigBuilder &jobs(unsigned value)
     {
         config_.jobs = value;
+        return *this;
+    }
+
+    /** Trials fused per batched forward (0 = default, 1 = scalar). */
+    FaultCampaignConfigBuilder &laneBlock(std::uint32_t value)
+    {
+        config_.laneBlock = value;
         return *this;
     }
 
@@ -329,6 +347,15 @@ struct FaultCampaignReport
     std::uint64_t retentionViolations = 0;
     /** Refresh operations the simulated run issued. */
     std::uint64_t refreshOps = 0;
+
+    /**
+     * Wall-clock seconds the trial fan-out took (sampling, corrupted
+     * forwards and accuracy measurement). Timing only — excluded
+     * from report-equality comparisons.
+     */
+    double trialSeconds = 0.0;
+    /** Trials per wall-clock second (the campaign throughput). */
+    double trialsPerSecond = 0.0;
 
     /** Whether the ReliabilityGuard was attached. */
     bool guarded = false;

@@ -53,11 +53,18 @@ std::uint64_t
 BitErrorInjector::corruptTensor(Tensor &tensor,
                                 const FixedPointFormat &format)
 {
+    return corruptStrided(tensor.data(), tensor.size(), 1, format);
+}
+
+std::uint64_t
+BitErrorInjector::corruptStrided(float *data, std::size_t count,
+                                 std::size_t stride,
+                                 const FixedPointFormat &format)
+{
+    RANA_ASSERT(stride > 0, "stride must be positive");
     if (rate_ <= 0.0)
         return 0;
 
-    float *data = tensor.data();
-    const std::size_t count = tensor.size();
     std::uint64_t corrupted = 0;
 
     if (wordRate_ < 0.05) {
@@ -70,7 +77,8 @@ BitErrorInjector::corruptTensor(Tensor &tensor,
             if (jump >= static_cast<double>(count - index))
                 break;
             index += static_cast<std::size_t>(jump);
-            const std::int16_t word = format.quantize(data[index]);
+            float &slot = data[index * stride];
+            const std::int16_t word = format.quantize(slot);
             // Conditioned on >= 1 failure; approximate by failing
             // one uniformly chosen bit (multi-bit failures in one
             // word are negligible at sparse rates).
@@ -80,8 +88,7 @@ BitErrorInjector::corruptTensor(Tensor &tensor,
             auto bits = static_cast<std::uint16_t>(word);
             bits = static_cast<std::uint16_t>(
                 (bits & ~(1u << bit)) | (random_bit << bit));
-            data[index] =
-                format.dequantize(static_cast<std::int16_t>(bits));
+            slot = format.dequantize(static_cast<std::int16_t>(bits));
             ++corrupted;
             ++index;
             if (index >= count)
@@ -92,8 +99,9 @@ BitErrorInjector::corruptTensor(Tensor &tensor,
         // counts as corrupted when any bit failed, even if the
         // random replacement happened to match the original value.
         for (std::size_t i = 0; i < count; ++i) {
+            float &slot = data[i * stride];
             auto bits = static_cast<std::uint16_t>(
-                format.quantize(data[i]));
+                format.quantize(slot));
             bool any_failed = false;
             for (int b = 0; b < wordBits; ++b) {
                 if (rng_.bernoulli(rate_)) {
@@ -105,8 +113,7 @@ BitErrorInjector::corruptTensor(Tensor &tensor,
             }
             if (any_failed)
                 ++corrupted;
-            data[i] =
-                format.dequantize(static_cast<std::int16_t>(bits));
+            slot = format.dequantize(static_cast<std::int16_t>(bits));
         }
     }
     return corrupted;

@@ -50,6 +50,21 @@ class BitErrorInjector
     std::uint64_t corruptTensor(Tensor &tensor,
                                 const FixedPointFormat &format);
 
+    /**
+     * Corrupt `count` logical words stored `stride` floats apart,
+     * starting at `data`. The RNG consumption depends only on
+     * `count` and the rate, never on the stride, so corrupting one
+     * lane of a lane-major trial batch (stride = lane count) draws
+     * exactly the same error pattern as corrupting the contiguous
+     * scalar tensor — the batched campaign path stays bit-identical
+     * to the per-trial reference. corruptTensor is the stride-1
+     * special case.
+     * @return the number of words that had at least one failed bit.
+     */
+    std::uint64_t corruptStrided(float *data, std::size_t count,
+                                 std::size_t stride,
+                                 const FixedPointFormat &format);
+
     /** Reseed the injector. */
     void reseed(std::uint64_t seed);
 

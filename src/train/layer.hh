@@ -28,6 +28,8 @@
 
 namespace rana {
 
+struct TrialForwardContext;
+
 /** Per-forward-pass execution options. */
 struct ForwardContext
 {
@@ -106,6 +108,17 @@ class Layer
     /** Compute the layer's output for `input` under `ctx`. */
     virtual Tensor forward(const Tensor &input,
                            const ForwardContext &ctx) = 0;
+
+    /**
+     * Eval-mode forward over a lane-major trial batch: `input`
+     * carries the scalar shape plus a trailing lane dimension, and
+     * `ctx` one injector pair per lane (see train/trial_batch.hh).
+     * Per lane the result is bit-identical to forward() with the
+     * lane's injectors. The base implementation panics; every
+     * campaign-reachable layer overrides it.
+     */
+    virtual Tensor forwardTrials(const Tensor &input,
+                                 const TrialForwardContext &ctx);
 
     /**
      * Back-propagate `grad_output`, accumulating parameter

@@ -9,9 +9,206 @@
 #include <cmath>
 #include <sstream>
 
+#include "train/trial_batch.hh"
 #include "util/logging.hh"
 
 namespace rana {
+
+namespace {
+
+/**
+ * Convolution forward kernel shared by the per-trial and the
+ * trial-batched paths. Bit-compatible with the reference loop nest:
+ * every output element accumulates bias + sum over (n, ky, kx) of
+ * the valid taps, in exactly that order, so refactoring the loop
+ * structure cannot change a single ULP. The speed comes from the
+ * loop shape: the output-x dimension is innermost, contiguous and
+ * branch-free (the padding clip is hoisted into the [x_lo, x_hi)
+ * bounds), so the compiler vectorizes the multiply-accumulate
+ * across independent output accumulators without reordering any
+ * per-accumulator addition.
+ */
+void
+convolveForward(const float *in, const float *wt, const float *bias,
+                float *out, std::uint32_t batch,
+                std::uint32_t in_channels, std::uint32_t h,
+                std::uint32_t w, std::uint32_t out_channels,
+                std::uint32_t r, std::uint32_t c,
+                std::uint32_t kernel, std::uint32_t stride,
+                std::uint32_t pad)
+{
+    const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+    const std::size_t in_sample = in_plane * in_channels;
+    const std::size_t out_plane = static_cast<std::size_t>(r) * c;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel) * kernel;
+    std::vector<float> acc_buf(c);
+    float *acc = acc_buf.data();
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t m = 0; m < out_channels; ++m) {
+            float *out_m = out + (b * out_channels + m) * out_plane;
+            const float *wt_m = wt + m * in_channels * wt_kernel;
+            const float bias_m = bias[m];
+            for (std::uint32_t y = 0; y < r; ++y) {
+                const std::int64_t base_y =
+                    static_cast<std::int64_t>(y) * stride - pad;
+                for (std::uint32_t x = 0; x < c; ++x)
+                    acc[x] = bias_m;
+                for (std::uint32_t n = 0; n < in_channels; ++n) {
+                    const float *in_n =
+                        in + b * in_sample + n * in_plane;
+                    const float *wt_n = wt_m + n * wt_kernel;
+                    for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                        const std::int64_t in_y = base_y + ky;
+                        if (in_y < 0 || in_y >= h)
+                            continue;
+                        const float *in_row = in_n + in_y * w;
+                        const float *wt_row = wt_n + ky * kernel;
+                        for (std::uint32_t kx = 0; kx < kernel;
+                             ++kx) {
+                            // Valid x satisfy 0 <= x*stride + off < w.
+                            const std::int64_t off =
+                                static_cast<std::int64_t>(kx) - pad;
+                            std::int64_t x_lo = 0;
+                            if (off < 0) {
+                                x_lo = (-off + stride - 1) / stride;
+                            }
+                            std::int64_t x_hi = 0;
+                            if (w >= off + 1) {
+                                x_hi = (w - 1 - off) / stride + 1;
+                            }
+                            x_hi = std::min<std::int64_t>(x_hi, c);
+                            if (x_lo >= x_hi)
+                                continue;
+                            const float wv = wt_row[kx];
+                            if (stride == 1) {
+                                const float *src = in_row + off;
+                                for (std::int64_t x = x_lo; x < x_hi;
+                                     ++x)
+                                    acc[x] += src[x] * wv;
+                            } else {
+                                for (std::int64_t x = x_lo; x < x_hi;
+                                     ++x)
+                                    acc[x] +=
+                                        in_row[x * stride + off] * wv;
+                            }
+                        }
+                    }
+                }
+                float *out_row = out_m + static_cast<std::size_t>(y) * c;
+                for (std::uint32_t x = 0; x < c; ++x)
+                    out_row[x] = acc[x];
+            }
+        }
+    }
+}
+
+/**
+ * Dense forward kernel shared by the per-trial and the trial-batched
+ * paths. Keeps the reference accumulation order (one sequential dot
+ * product per output); the win over the reference loop is the raw
+ * contiguous pointers instead of per-element index arithmetic.
+ */
+void
+denseForward(const float *in, const float *wt, const float *bias,
+             float *out, std::uint32_t batch,
+             std::uint32_t in_features, std::uint32_t out_features)
+{
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        const float *in_b =
+            in + static_cast<std::size_t>(b) * in_features;
+        float *out_b =
+            out + static_cast<std::size_t>(b) * out_features;
+        for (std::uint32_t o = 0; o < out_features; ++o) {
+            const float *wt_o =
+                wt + static_cast<std::size_t>(o) * in_features;
+            float acc = bias[o];
+            for (std::uint32_t i = 0; i < in_features; ++i)
+                acc += in_b[i] * wt_o[i];
+            out_b[o] = acc;
+        }
+    }
+}
+
+/**
+ * Batched counterpart of effectiveOperand: quantize the whole
+ * lane-major tensor once (element-wise, so the shared quantization
+ * is bit-identical per lane), then walk each lane with its own
+ * injector at the lane stride — the per-lane RNG streams match the
+ * scalar path exactly.
+ */
+void
+corruptTrialOperand(Tensor &stacked, const TrialForwardContext &ctx)
+{
+    if (ctx.quant == nullptr)
+        return;
+    const std::uint32_t lanes = ctx.lanes();
+    quantizeTrialSpan(stacked.data(), stacked.size(), *ctx.quant);
+    const std::size_t lane_count = stacked.size() / lanes;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        if (ctx.injectors[l] != nullptr) {
+            ctx.injectors[l]->corruptStrided(stacked.data() + l,
+                                             lane_count, lanes,
+                                             *ctx.quant);
+        }
+    }
+}
+
+/**
+ * Per-lane copy-on-corrupt weights packed lane-major: each lane runs
+ * the scalar corruptedWeights transformation (same injector fallback,
+ * same RNG stream), and the resulting scalar-layout views are
+ * interleaved into one {<weight shape>, L} buffer for the kernels.
+ */
+std::vector<float>
+packTrialWeights(const Tensor &weights, const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    std::vector<Tensor> copies;
+    copies.reserve(lanes);
+    std::vector<const float *> ptrs(lanes, weights.data());
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        ForwardContext lane_ctx;
+        lane_ctx.quant = ctx.quant;
+        lane_ctx.injector = ctx.injectors[l];
+        lane_ctx.weightInjector = ctx.weightInjectors[l];
+        lane_ctx.weightsPreQuantized = ctx.weightsPreQuantized;
+        std::optional<Tensor> corrupted =
+            corruptedWeights(weights, lane_ctx);
+        if (corrupted) {
+            copies.push_back(std::move(*corrupted));
+            ptrs[l] = copies.back().data();
+        }
+    }
+    std::vector<float> packed(weights.size() *
+                              static_cast<std::size_t>(lanes));
+    packLanePointers(ptrs, weights.size(), packed.data());
+    return packed;
+}
+
+/** Bias replicated across lanes ({O} -> {O, L}; never corrupted). */
+std::vector<float>
+packTrialBias(const Tensor &bias, std::uint32_t lanes)
+{
+    std::vector<float> packed(bias.size() *
+                              static_cast<std::size_t>(lanes));
+    for (std::size_t i = 0; i < bias.size(); ++i)
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            packed[i * lanes + l] = bias[i];
+    return packed;
+}
+
+} // namespace
+
+Tensor
+Layer::forwardTrials(const Tensor &input,
+                     const TrialForwardContext &ctx)
+{
+    (void)input;
+    (void)ctx;
+    panic("layer does not support trial-batched forward: ",
+          describe());
+}
 
 Tensor
 effectiveOperand(const Tensor &operand, const ForwardContext &ctx)
@@ -127,49 +324,44 @@ Conv2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
     }
 
     Tensor output({batch, outChannels_, r, c});
-    const float *in = eff_input.data();
-    const float *wt = eff_weights.data();
-    float *out = output.data();
-    const std::size_t in_plane = static_cast<std::size_t>(h) * w;
-    const std::size_t in_sample = in_plane * inChannels_;
-    const std::size_t out_plane = static_cast<std::size_t>(r) * c;
-    const std::size_t wt_kernel =
-        static_cast<std::size_t>(kernel_) * kernel_;
-    for (std::uint32_t b = 0; b < batch; ++b) {
-        for (std::uint32_t m = 0; m < outChannels_; ++m) {
-            float *out_row = out + (b * outChannels_ + m) * out_plane;
-            const float *wt_m = wt + m * inChannels_ * wt_kernel;
-            for (std::uint32_t y = 0; y < r; ++y) {
-                for (std::uint32_t x = 0; x < c; ++x) {
-                    float acc = bias[m];
-                    const std::int64_t base_y =
-                        static_cast<std::int64_t>(y) * stride_ - pad_;
-                    const std::int64_t base_x =
-                        static_cast<std::int64_t>(x) * stride_ - pad_;
-                    for (std::uint32_t n = 0; n < inChannels_; ++n) {
-                        const float *in_n =
-                            in + b * in_sample + n * in_plane;
-                        const float *wt_n = wt_m + n * wt_kernel;
-                        for (std::uint32_t ky = 0; ky < kernel_; ++ky) {
-                            const std::int64_t in_y = base_y + ky;
-                            if (in_y < 0 || in_y >= h)
-                                continue;
-                            const float *in_row = in_n + in_y * w;
-                            const float *wt_row = wt_n + ky * kernel_;
-                            for (std::uint32_t kx = 0; kx < kernel_;
-                                 ++kx) {
-                                const std::int64_t in_x = base_x + kx;
-                                if (in_x < 0 || in_x >= w)
-                                    continue;
-                                acc += in_row[in_x] * wt_row[kx];
-                            }
-                        }
-                    }
-                    out_row[y * c + x] = acc;
-                }
-            }
-        }
-    }
+    convolveForward(eff_input.data(), eff_weights.data(), bias.data(),
+                    output.data(), batch, inChannels_, h, w,
+                    outChannels_, r, c, kernel_, stride_, pad_);
+    return output;
+}
+
+Tensor
+Conv2dLayer::forwardTrials(const Tensor &input,
+                           const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    RANA_ASSERT(input.shape().size() == 5 &&
+                input.dim(1) == inChannels_ &&
+                input.dim(4) == lanes,
+                "conv trial-batch input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h + 2 * pad_ >= kernel_ && w + 2 * pad_ >= kernel_,
+                "conv kernel larger than padded input");
+    const std::uint32_t r = (h + 2 * pad_ - kernel_) / stride_ + 1;
+    const std::uint32_t c = (w + 2 * pad_ - kernel_) / stride_ + 1;
+
+    const Tensor &weights =
+        sharedWeights_ != nullptr ? *sharedWeights_ : weights_;
+    const Tensor &bias =
+        sharedBias_ != nullptr ? *sharedBias_ : bias_;
+    Tensor eff_input = input;
+    corruptTrialOperand(eff_input, ctx);
+    const std::vector<float> packed_weights =
+        packTrialWeights(weights, ctx);
+    const std::vector<float> packed_bias = packTrialBias(bias, lanes);
+
+    Tensor output({batch, outChannels_, r, c, lanes});
+    convolveTrialLanes(eff_input.data(), packed_weights.data(),
+                       packed_bias.data(), output.data(), batch,
+                       inChannels_, h, w, outChannels_, r, c, kernel_,
+                       stride_, pad_, lanes);
     return output;
 }
 
@@ -282,6 +474,16 @@ ReluLayer::forward(const Tensor &input, const ForwardContext &ctx)
 }
 
 Tensor
+ReluLayer::forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx)
+{
+    (void)ctx;
+    Tensor output = input;
+    reluTrialSpan(output.data(), output.size());
+    return output;
+}
+
+Tensor
 ReluLayer::backward(const Tensor &grad_output)
 {
     Tensor grad = grad_output;
@@ -342,6 +544,25 @@ MaxPool2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
 }
 
 Tensor
+MaxPool2dLayer::forwardTrials(const Tensor &input,
+                              const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    RANA_ASSERT(input.shape().size() == 5 && input.dim(4) == lanes,
+                "maxpool trial-batch input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t channels = input.dim(1);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h % 2 == 0 && w % 2 == 0,
+                "maxpool2x2 needs even spatial dims");
+    Tensor output({batch, channels, h / 2, w / 2, lanes});
+    maxPoolTrialLanes(input.data(), output.data(), batch, channels, h,
+                      w, lanes);
+    return output;
+}
+
+Tensor
 MaxPool2dLayer::backward(const Tensor &grad_output)
 {
     Tensor grad_input(inputShape_);
@@ -396,6 +617,25 @@ AvgPool2dLayer::forward(const Tensor &input, const ForwardContext &ctx)
             }
         }
     }
+    return output;
+}
+
+Tensor
+AvgPool2dLayer::forwardTrials(const Tensor &input,
+                              const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    RANA_ASSERT(input.shape().size() == 5 && input.dim(4) == lanes,
+                "avgpool trial-batch input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+    const std::uint32_t channels = input.dim(1);
+    const std::uint32_t h = input.dim(2);
+    const std::uint32_t w = input.dim(3);
+    RANA_ASSERT(h % 2 == 0 && w % 2 == 0,
+                "avgpool2x2 needs even spatial dims");
+    Tensor output({batch, channels, h / 2, w / 2, lanes});
+    avgPoolTrialLanes(input.data(), output.data(), batch, channels, h,
+                      w, lanes);
     return output;
 }
 
@@ -464,14 +704,36 @@ DenseLayer::forward(const Tensor &input, const ForwardContext &ctx)
     }
 
     Tensor output({batch, outFeatures_});
-    for (std::uint32_t b = 0; b < batch; ++b) {
-        for (std::uint32_t o = 0; o < outFeatures_; ++o) {
-            float acc = bias[o];
-            for (std::uint32_t i = 0; i < inFeatures_; ++i)
-                acc += eff_input.at2(b, i) * eff_weights.at2(o, i);
-            output.at2(b, o) = acc;
-        }
-    }
+    denseForward(eff_input.data(), eff_weights.data(), bias.data(),
+                 output.data(), batch, inFeatures_, outFeatures_);
+    return output;
+}
+
+Tensor
+DenseLayer::forwardTrials(const Tensor &input,
+                          const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    RANA_ASSERT(input.shape().size() == 3 &&
+                input.dim(1) == inFeatures_ &&
+                input.dim(2) == lanes,
+                "dense trial-batch input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+
+    const Tensor &weights =
+        sharedWeights_ != nullptr ? *sharedWeights_ : weights_;
+    const Tensor &bias =
+        sharedBias_ != nullptr ? *sharedBias_ : bias_;
+    Tensor eff_input = input;
+    corruptTrialOperand(eff_input, ctx);
+    const std::vector<float> packed_weights =
+        packTrialWeights(weights, ctx);
+    const std::vector<float> packed_bias = packTrialBias(bias, lanes);
+
+    Tensor output({batch, outFeatures_, lanes});
+    denseTrialLanes(eff_input.data(), packed_weights.data(),
+                    packed_bias.data(), output.data(), batch,
+                    inFeatures_, outFeatures_, lanes);
     return output;
 }
 
@@ -535,6 +797,22 @@ FlattenLayer::forward(const Tensor &input, const ForwardContext &ctx)
 }
 
 Tensor
+FlattenLayer::forwardTrials(const Tensor &input,
+                            const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    RANA_ASSERT(input.shape().size() >= 2 &&
+                input.shape().back() == lanes,
+                "flatten trial-batch input shape mismatch");
+    const std::uint32_t batch = input.dim(0);
+    // The lane index is innermost, so collapsing the middle
+    // dimensions is the same pure reshape as the scalar layer.
+    const auto features = static_cast<std::uint32_t>(
+        input.size() / batch / lanes);
+    return input.reshaped({batch, features, lanes});
+}
+
+Tensor
 FlattenLayer::backward(const Tensor &grad_output)
 {
     return grad_output.reshaped(inputShape_);
@@ -556,6 +834,16 @@ Sequential::forward(const Tensor &input, const ForwardContext &ctx)
     Tensor current = input;
     for (auto &layer : layers_)
         current = layer->forward(current, ctx);
+    return current;
+}
+
+Tensor
+Sequential::forwardTrials(const Tensor &input,
+                          const TrialForwardContext &ctx)
+{
+    Tensor current = input;
+    for (auto &layer : layers_)
+        current = layer->forwardTrials(current, ctx);
     return current;
 }
 
@@ -618,6 +906,20 @@ ResidualBlock::forward(const Tensor &input, const ForwardContext &ctx)
                 "residual body must preserve the shape");
     for (std::size_t i = 0; i < branch.size(); ++i)
         branch[i] += input[i];
+    return branch;
+}
+
+Tensor
+ResidualBlock::forwardTrials(const Tensor &input,
+                             const TrialForwardContext &ctx)
+{
+    Tensor branch = body_->forwardTrials(input, ctx);
+    RANA_ASSERT(branch.size() == input.size(),
+                "residual body must preserve the shape");
+    // As in the scalar layer, the skip adds the raw (uncorrupted)
+    // block input element-wise; per lane the addition pairs are
+    // identical to the scalar pass.
+    addTrialSpan(branch.data(), input.data(), branch.size());
     return branch;
 }
 
@@ -693,6 +995,55 @@ InceptionConcat::forward(const Tensor &input, const ForwardContext &ctx)
                     }
                 }
             }
+            channel_base += channels[i];
+        }
+    }
+    return concat;
+}
+
+Tensor
+InceptionConcat::forwardTrials(const Tensor &input,
+                               const TrialForwardContext &ctx)
+{
+    const std::uint32_t lanes = ctx.lanes();
+    std::vector<Tensor> outputs;
+    outputs.reserve(branches_.size());
+    std::vector<std::uint32_t> channels;
+    channels.reserve(branches_.size());
+    std::uint32_t total_channels = 0;
+    for (auto &branch : branches_) {
+        outputs.push_back(branch->forwardTrials(input, ctx));
+        const Tensor &out = outputs.back();
+        RANA_ASSERT(out.shape().size() == 5 && out.dim(4) == lanes,
+                    "inception branches must output lane-major 4-D "
+                    "maps");
+        RANA_ASSERT(out.dim(0) == outputs.front().dim(0) &&
+                    out.dim(2) == outputs.front().dim(2) &&
+                    out.dim(3) == outputs.front().dim(3),
+                    "inception branch output shapes must align");
+        channels.push_back(out.dim(1));
+        total_channels += out.dim(1);
+    }
+
+    const std::uint32_t batch = outputs.front().dim(0);
+    const std::uint32_t h = outputs.front().dim(2);
+    const std::uint32_t w = outputs.front().dim(3);
+    // Lane-major channel concatenation is a block copy: for one
+    // sample, a branch's {c_i, h, w, L} slab is contiguous in both
+    // the source and the destination.
+    const std::size_t plane = static_cast<std::size_t>(h) * w * lanes;
+    Tensor concat({batch, total_channels, h, w, lanes});
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        std::uint32_t channel_base = 0;
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+            const std::size_t slab = channels[i] * plane;
+            const float *src = outputs[i].data() + b * slab;
+            float *dst = concat.data() +
+                         (static_cast<std::size_t>(b) *
+                              total_channels +
+                          channel_base) *
+                             plane;
+            std::copy(src, src + slab, dst);
             channel_base += channels[i];
         }
     }

@@ -34,6 +34,8 @@ class Conv2dLayer : public Layer
 
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
     void bindSharedParams(SharedParamCursor &cursor) override;
@@ -62,6 +64,8 @@ class ReluLayer : public Layer
   public:
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::string describe() const override { return "relu"; }
 
@@ -75,6 +79,8 @@ class MaxPool2dLayer : public Layer
   public:
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::string describe() const override { return "maxpool2x2"; }
 
@@ -90,6 +96,8 @@ class AvgPool2dLayer : public Layer
   public:
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::string describe() const override { return "avgpool2x2"; }
 
@@ -107,6 +115,8 @@ class DenseLayer : public Layer
 
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
     void bindSharedParams(SharedParamCursor &cursor) override;
@@ -132,6 +142,8 @@ class FlattenLayer : public Layer
   public:
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::string describe() const override { return "flatten"; }
 
@@ -153,6 +165,8 @@ class Sequential : public Layer
 
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
     void bindSharedParams(SharedParamCursor &cursor) override;
@@ -171,6 +185,8 @@ class ResidualBlock : public Layer
 
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
     void bindSharedParams(SharedParamCursor &cursor) override;
@@ -193,6 +209,8 @@ class InceptionConcat : public Layer
 
     Tensor forward(const Tensor &input, const ForwardContext &ctx)
         override;
+    Tensor forwardTrials(const Tensor &input,
+                         const TrialForwardContext &ctx) override;
     Tensor backward(const Tensor &grad_output) override;
     std::vector<Param> params() override;
     void bindSharedParams(SharedParamCursor &cursor) override;

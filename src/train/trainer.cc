@@ -187,6 +187,20 @@ RetentionAwareTrainer::retrainAndEvaluate(double failure_rate)
     return point;
 }
 
+void
+RetentionAwareTrainer::retrain(double failure_rate)
+{
+    RANA_ASSERT(pretrained_, "call pretrain() first");
+    restoreWeights();
+    // Same optimizer rebuild and epoch schedule as
+    // retrainAndEvaluate; only the bracketing evaluate() calls are
+    // dropped, which leaves the weight trajectory untouched.
+    optimizer_ = std::make_unique<SgdOptimizer>(
+        model_->params(), config_.learningRate * 0.2, config_.momentum,
+        config_.weightDecay, config_.gradClip);
+    trainEpochs(config_.retrainEpochs, failure_rate, true);
+}
+
 std::vector<AccuracyPoint>
 RetentionAwareTrainer::sweep(const std::vector<double> &failure_rates)
 {

@@ -91,6 +91,17 @@ class RetentionAwareTrainer
      */
     AccuracyPoint retrainAndEvaluate(double failure_rate);
 
+    /**
+     * Restore the pretrained weights and retrain with bit errors at
+     * `failure_rate`, skipping the before/after evaluations. The
+     * weight trajectory is bit-identical to retrainAndEvaluate
+     * (evaluate() draws its injector seeds independently and never
+     * touches the training RNG); callers that discard the accuracy
+     * point — the fault campaign measures accuracy per trial anyway
+     * — save two injected evaluation passes.
+     */
+    void retrain(double failure_rate);
+
     /** Figure-11 sweep: retrainAndEvaluate over a ladder of rates. */
     std::vector<AccuracyPoint>
     sweep(const std::vector<double> &failure_rates);

@@ -1,0 +1,692 @@
+/**
+ * @file
+ * Lane-major kernels of the trial-batched campaign forward pass.
+ *
+ * This translation unit is compiled at -O3 (see the CMakeLists) and
+ * the hot kernels carry target_clones("default","avx"): the loader
+ * picks the AVX clone on capable CPUs while the binary stays
+ * runnable on baseline x86-64. The lane count is a template
+ * parameter for the power-of-two block sizes the campaign uses, so
+ * the innermost lane loop has a compile-time trip count and turns
+ * into straight-line vector code; other lane counts take the
+ * runtime-lane fallback, which is slower but bit-identical.
+ *
+ * Every kernel keeps the scalar reference's per-accumulator
+ * operation order — vectorization only spans independent lanes and
+ * output positions — so the results match the scalar path bit for
+ * bit (no FMA contraction exists at the x86-64 baseline or AVX
+ * feature levels).
+ */
+
+#include "train/trial_batch.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define RANA_TRIAL_CLONES                                             \
+    __attribute__((target_clones("default", "avx")))
+#else
+#define RANA_TRIAL_CLONES
+#endif
+
+/**
+ * Convolution of one output channel `m` of one sample over a
+ * lane-major tensor, compile-time lane count. `acc` is a
+ * caller-provided {c, L} scratch row.
+ */
+template <std::uint32_t L>
+RANA_TRIAL_CLONES void
+convolveLanesOne(const float *__restrict in,
+                 const float *__restrict wt,
+                 const float *__restrict bias,
+                 float *__restrict out, std::uint32_t b,
+                 std::uint32_t m, std::uint32_t in_channels,
+                 std::uint32_t h, std::uint32_t w,
+                 std::uint32_t out_channels, std::uint32_t r,
+                 std::uint32_t c, std::uint32_t kernel,
+                 std::uint32_t stride, std::uint32_t pad,
+                 float *__restrict acc)
+{
+    const std::size_t in_plane =
+        static_cast<std::size_t>(h) * w * L;
+    const std::size_t in_sample = in_plane * in_channels;
+    const std::size_t in_row = static_cast<std::size_t>(w) * L;
+    const std::size_t out_plane =
+        static_cast<std::size_t>(r) * c * L;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel) * kernel * L;
+    float *out_m = out + (b * out_channels + m) * out_plane;
+    const float *wt_m = wt + m * in_channels * wt_kernel;
+    const float *bias_m = bias + static_cast<std::size_t>(m) * L;
+    for (std::uint32_t y = 0; y < r; ++y) {
+        const std::int64_t base_y =
+            static_cast<std::int64_t>(y) * stride - pad;
+        for (std::uint32_t x = 0; x < c; ++x)
+            for (std::uint32_t l = 0; l < L; ++l)
+                acc[x * L + l] = bias_m[l];
+        for (std::uint32_t n = 0; n < in_channels; ++n) {
+            const float *in_n = in + b * in_sample + n * in_plane;
+            const float *wt_n = wt_m + n * wt_kernel;
+            for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                const std::int64_t in_y = base_y + ky;
+                if (in_y < 0 || in_y >= h)
+                    continue;
+                const float *row = in_n + in_y * in_row;
+                const float *wt_row =
+                    wt_n + static_cast<std::size_t>(ky) * kernel * L;
+                for (std::uint32_t kx = 0; kx < kernel; ++kx) {
+                    // Valid x satisfy 0 <= x*stride + off < w.
+                    const std::int64_t off =
+                        static_cast<std::int64_t>(kx) - pad;
+                    std::int64_t x_lo = 0;
+                    if (off < 0) {
+                        x_lo = (-off + stride - 1) / stride;
+                    }
+                    std::int64_t x_hi = 0;
+                    if (w >= off + 1) {
+                        x_hi = (w - 1 - off) / stride + 1;
+                    }
+                    x_hi = std::min<std::int64_t>(x_hi, c);
+                    if (x_lo >= x_hi)
+                        continue;
+                    const float *__restrict wv =
+                        wt_row + static_cast<std::size_t>(kx) * L;
+                    if (stride == 1) {
+                        const float *src = row + off * L;
+                        for (std::int64_t x = x_lo; x < x_hi; ++x) {
+                            float *__restrict a = acc + x * L;
+                            const float *__restrict s = src + x * L;
+                            for (std::uint32_t l = 0; l < L; ++l)
+                                a[l] += s[l] * wv[l];
+                        }
+                    } else {
+                        for (std::int64_t x = x_lo; x < x_hi; ++x) {
+                            float *__restrict a = acc + x * L;
+                            const float *__restrict s =
+                                row + (x * stride + off) * L;
+                            for (std::uint32_t l = 0; l < L; ++l)
+                                a[l] += s[l] * wv[l];
+                        }
+                    }
+                }
+            }
+        }
+        float *out_row = out_m + static_cast<std::size_t>(y) * c * L;
+        for (std::size_t i = 0; i < static_cast<std::size_t>(c) * L;
+             ++i)
+            out_row[i] = acc[i];
+    }
+}
+
+/**
+ * Convolution of the output-channel pair {m, m+1} of one sample,
+ * compile-time lane count. `acc` is a caller-provided {2, c, L}
+ * scratch block.
+ *
+ * Pairing output channels reuses each loaded input vector for two
+ * multiply-adds and keeps two independent accumulator chains in
+ * flight, hiding the add latency the single-channel loop exposes.
+ * Each channel's accumulation sequence is exactly the single-channel
+ * order — pairing only interleaves independent accumulators — so
+ * the result stays bit-identical to the scalar reference.
+ */
+template <std::uint32_t L>
+RANA_TRIAL_CLONES void
+convolveLanesPair(const float *__restrict in,
+                  const float *__restrict wt,
+                  const float *__restrict bias,
+                  float *__restrict out, std::uint32_t b,
+                  std::uint32_t m, std::uint32_t in_channels,
+                  std::uint32_t h, std::uint32_t w,
+                  std::uint32_t out_channels, std::uint32_t r,
+                  std::uint32_t c, std::uint32_t kernel,
+                  std::uint32_t stride, std::uint32_t pad,
+                  float *__restrict acc)
+{
+    const std::size_t in_plane =
+        static_cast<std::size_t>(h) * w * L;
+    const std::size_t in_sample = in_plane * in_channels;
+    const std::size_t in_row = static_cast<std::size_t>(w) * L;
+    const std::size_t out_plane =
+        static_cast<std::size_t>(r) * c * L;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel) * kernel * L;
+    float *out_m0 = out + (b * out_channels + m) * out_plane;
+    float *out_m1 = out_m0 + out_plane;
+    const float *wt_m0 = wt + m * in_channels * wt_kernel;
+    const float *wt_m1 = wt_m0 + in_channels * wt_kernel;
+    const float *bias_m0 = bias + static_cast<std::size_t>(m) * L;
+    const float *bias_m1 = bias_m0 + L;
+    float *__restrict a0 = acc;
+    float *__restrict a1 = acc + static_cast<std::size_t>(c) * L;
+    for (std::uint32_t y = 0; y < r; ++y) {
+        const std::int64_t base_y =
+            static_cast<std::int64_t>(y) * stride - pad;
+        for (std::uint32_t x = 0; x < c; ++x)
+            for (std::uint32_t l = 0; l < L; ++l) {
+                a0[x * L + l] = bias_m0[l];
+                a1[x * L + l] = bias_m1[l];
+            }
+        for (std::uint32_t n = 0; n < in_channels; ++n) {
+            const float *in_n = in + b * in_sample + n * in_plane;
+            const float *wt_n0 = wt_m0 + n * wt_kernel;
+            const float *wt_n1 = wt_m1 + n * wt_kernel;
+            for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                const std::int64_t in_y = base_y + ky;
+                if (in_y < 0 || in_y >= h)
+                    continue;
+                const float *row = in_n + in_y * in_row;
+                const float *wt_row0 =
+                    wt_n0 + static_cast<std::size_t>(ky) * kernel * L;
+                const float *wt_row1 =
+                    wt_n1 + static_cast<std::size_t>(ky) * kernel * L;
+                for (std::uint32_t kx = 0; kx < kernel; ++kx) {
+                    // Valid x satisfy 0 <= x*stride + off < w.
+                    const std::int64_t off =
+                        static_cast<std::int64_t>(kx) - pad;
+                    std::int64_t x_lo = 0;
+                    if (off < 0) {
+                        x_lo = (-off + stride - 1) / stride;
+                    }
+                    std::int64_t x_hi = 0;
+                    if (w >= off + 1) {
+                        x_hi = (w - 1 - off) / stride + 1;
+                    }
+                    x_hi = std::min<std::int64_t>(x_hi, c);
+                    if (x_lo >= x_hi)
+                        continue;
+                    const float *__restrict wv0 =
+                        wt_row0 + static_cast<std::size_t>(kx) * L;
+                    const float *__restrict wv1 =
+                        wt_row1 + static_cast<std::size_t>(kx) * L;
+                    if (stride == 1) {
+                        const float *src = row + off * L;
+                        for (std::int64_t x = x_lo; x < x_hi; ++x) {
+                            const float *__restrict s = src + x * L;
+                            float *__restrict p0 = a0 + x * L;
+                            float *__restrict p1 = a1 + x * L;
+                            for (std::uint32_t l = 0; l < L; ++l) {
+                                p0[l] += s[l] * wv0[l];
+                                p1[l] += s[l] * wv1[l];
+                            }
+                        }
+                    } else {
+                        for (std::int64_t x = x_lo; x < x_hi; ++x) {
+                            const float *__restrict s =
+                                row + (x * stride + off) * L;
+                            float *__restrict p0 = a0 + x * L;
+                            float *__restrict p1 = a1 + x * L;
+                            for (std::uint32_t l = 0; l < L; ++l) {
+                                p0[l] += s[l] * wv0[l];
+                                p1[l] += s[l] * wv1[l];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        float *out_row0 =
+            out_m0 + static_cast<std::size_t>(y) * c * L;
+        float *out_row1 =
+            out_m1 + static_cast<std::size_t>(y) * c * L;
+        for (std::size_t i = 0; i < static_cast<std::size_t>(c) * L;
+             ++i) {
+            out_row0[i] = a0[i];
+            out_row1[i] = a1[i];
+        }
+    }
+}
+
+/**
+ * Convolution over one lane-major tensor with a compile-time lane
+ * count. `acc` is a caller-provided {2, c, L} scratch block.
+ *
+ * Output channels are paired on narrow multi-input layers, where
+ * the pairing measures 1.2-1.3x. Wide rows (c > 6) and single-input
+ * layers stay on the one-channel path: there the second accumulator
+ * row costs more than the input reuse earns (empirically tuned on
+ * the campaign's MiniVgg/MiniAlexNet shapes).
+ */
+template <std::uint32_t L>
+void
+convolveLanesImpl(const float *__restrict in,
+                  const float *__restrict wt,
+                  const float *__restrict bias,
+                  float *__restrict out, std::uint32_t batch,
+                  std::uint32_t in_channels, std::uint32_t h,
+                  std::uint32_t w, std::uint32_t out_channels,
+                  std::uint32_t r, std::uint32_t c,
+                  std::uint32_t kernel, std::uint32_t stride,
+                  std::uint32_t pad, float *__restrict acc)
+{
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        std::uint32_t m = 0;
+        if (in_channels >= 2 && c <= 6) {
+            for (; m + 2 <= out_channels; m += 2)
+                convolveLanesPair<L>(in, wt, bias, out, b, m,
+                                     in_channels, h, w, out_channels,
+                                     r, c, kernel, stride, pad, acc);
+        }
+        for (; m < out_channels; ++m)
+            convolveLanesOne<L>(in, wt, bias, out, b, m, in_channels,
+                                h, w, out_channels, r, c, kernel,
+                                stride, pad, acc);
+    }
+}
+
+/** Runtime-lane convolution fallback (any lane count). */
+RANA_TRIAL_CLONES void
+convolveLanesGeneric(const float *__restrict in,
+                     const float *__restrict wt,
+                     const float *__restrict bias,
+                     float *__restrict out, std::uint32_t batch,
+                     std::uint32_t in_channels, std::uint32_t h,
+                     std::uint32_t w, std::uint32_t out_channels,
+                     std::uint32_t r, std::uint32_t c,
+                     std::uint32_t kernel, std::uint32_t stride,
+                     std::uint32_t pad, std::uint32_t lanes,
+                     float *__restrict acc)
+{
+    const std::size_t in_plane =
+        static_cast<std::size_t>(h) * w * lanes;
+    const std::size_t in_sample = in_plane * in_channels;
+    const std::size_t in_row = static_cast<std::size_t>(w) * lanes;
+    const std::size_t out_plane =
+        static_cast<std::size_t>(r) * c * lanes;
+    const std::size_t wt_kernel =
+        static_cast<std::size_t>(kernel) * kernel * lanes;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t m = 0; m < out_channels; ++m) {
+            float *out_m = out + (b * out_channels + m) * out_plane;
+            const float *wt_m = wt + m * in_channels * wt_kernel;
+            const float *bias_m =
+                bias + static_cast<std::size_t>(m) * lanes;
+            for (std::uint32_t y = 0; y < r; ++y) {
+                const std::int64_t base_y =
+                    static_cast<std::int64_t>(y) * stride - pad;
+                for (std::uint32_t x = 0; x < c; ++x)
+                    for (std::uint32_t l = 0; l < lanes; ++l)
+                        acc[x * lanes + l] = bias_m[l];
+                for (std::uint32_t n = 0; n < in_channels; ++n) {
+                    const float *in_n =
+                        in + b * in_sample + n * in_plane;
+                    const float *wt_n = wt_m + n * wt_kernel;
+                    for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                        const std::int64_t in_y = base_y + ky;
+                        if (in_y < 0 || in_y >= h)
+                            continue;
+                        const float *row = in_n + in_y * in_row;
+                        const float *wt_row =
+                            wt_n + static_cast<std::size_t>(ky) *
+                                       kernel * lanes;
+                        for (std::uint32_t kx = 0; kx < kernel;
+                             ++kx) {
+                            const std::int64_t off =
+                                static_cast<std::int64_t>(kx) - pad;
+                            std::int64_t x_lo = 0;
+                            if (off < 0) {
+                                x_lo = (-off + stride - 1) / stride;
+                            }
+                            std::int64_t x_hi = 0;
+                            if (w >= off + 1) {
+                                x_hi = (w - 1 - off) / stride + 1;
+                            }
+                            x_hi = std::min<std::int64_t>(x_hi, c);
+                            if (x_lo >= x_hi)
+                                continue;
+                            const float *__restrict wv =
+                                wt_row + static_cast<std::size_t>(kx) *
+                                             lanes;
+                            for (std::int64_t x = x_lo; x < x_hi;
+                                 ++x) {
+                                float *__restrict a = acc + x * lanes;
+                                const float *__restrict s =
+                                    row + (x * stride + off) * lanes;
+                                for (std::uint32_t l = 0; l < lanes;
+                                     ++l)
+                                    a[l] += s[l] * wv[l];
+                            }
+                        }
+                    }
+                }
+                float *out_row =
+                    out_m + static_cast<std::size_t>(y) * c * lanes;
+                for (std::size_t i = 0;
+                     i < static_cast<std::size_t>(c) * lanes; ++i)
+                    out_row[i] = acc[i];
+            }
+        }
+    }
+}
+
+/** Dense layer over lane-major operands, compile-time lane count. */
+template <std::uint32_t L>
+RANA_TRIAL_CLONES void
+denseLanesImpl(const float *__restrict in, const float *__restrict wt,
+               const float *__restrict bias,
+               float *__restrict out, std::uint32_t batch,
+               std::uint32_t in_features, std::uint32_t out_features)
+{
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        const float *in_b =
+            in + static_cast<std::size_t>(b) * in_features * L;
+        float *out_b =
+            out + static_cast<std::size_t>(b) * out_features * L;
+        for (std::uint32_t o = 0; o < out_features; ++o) {
+            const float *wt_o =
+                wt + static_cast<std::size_t>(o) * in_features * L;
+            const float *bias_o =
+                bias + static_cast<std::size_t>(o) * L;
+            float acc[L];
+            for (std::uint32_t l = 0; l < L; ++l)
+                acc[l] = bias_o[l];
+            for (std::uint32_t i = 0; i < in_features; ++i) {
+                const float *__restrict s =
+                    in_b + static_cast<std::size_t>(i) * L;
+                const float *__restrict v =
+                    wt_o + static_cast<std::size_t>(i) * L;
+                for (std::uint32_t l = 0; l < L; ++l)
+                    acc[l] += s[l] * v[l];
+            }
+            float *d = out_b + static_cast<std::size_t>(o) * L;
+            for (std::uint32_t l = 0; l < L; ++l)
+                d[l] = acc[l];
+        }
+    }
+}
+
+/** Runtime-lane dense fallback. */
+RANA_TRIAL_CLONES void
+denseLanesGeneric(const float *__restrict in,
+                  const float *__restrict wt,
+                  const float *__restrict bias,
+                  float *__restrict out, std::uint32_t batch,
+                  std::uint32_t in_features, std::uint32_t out_features,
+                  std::uint32_t lanes, float *__restrict acc)
+{
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        const float *in_b =
+            in + static_cast<std::size_t>(b) * in_features * lanes;
+        float *out_b =
+            out + static_cast<std::size_t>(b) * out_features * lanes;
+        for (std::uint32_t o = 0; o < out_features; ++o) {
+            const float *wt_o =
+                wt + static_cast<std::size_t>(o) * in_features * lanes;
+            const float *bias_o =
+                bias + static_cast<std::size_t>(o) * lanes;
+            for (std::uint32_t l = 0; l < lanes; ++l)
+                acc[l] = bias_o[l];
+            for (std::uint32_t i = 0; i < in_features; ++i) {
+                const float *__restrict s =
+                    in_b + static_cast<std::size_t>(i) * lanes;
+                const float *__restrict v =
+                    wt_o + static_cast<std::size_t>(i) * lanes;
+                for (std::uint32_t l = 0; l < lanes; ++l)
+                    acc[l] += s[l] * v[l];
+            }
+            float *d = out_b + static_cast<std::size_t>(o) * lanes;
+            for (std::uint32_t l = 0; l < lanes; ++l)
+                d[l] = acc[l];
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+packTrialLanes(const Tensor &scalar, std::uint32_t lanes)
+{
+    RANA_ASSERT(lanes > 0, "lane count must be positive");
+    std::vector<std::uint32_t> shape = scalar.shape();
+    shape.push_back(lanes);
+    Tensor out(std::move(shape));
+    const float *src = scalar.data();
+    float *dst = out.data();
+    const std::size_t count = scalar.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const float v = src[i];
+        float *d = dst + i * lanes;
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            d[l] = v;
+    }
+    return out;
+}
+
+Tensor
+extractTrialLane(const Tensor &stacked, std::uint32_t lane)
+{
+    RANA_ASSERT(stacked.shape().size() >= 2,
+                "lane-major tensors carry a trailing lane dimension");
+    std::vector<std::uint32_t> shape = stacked.shape();
+    const std::uint32_t lanes = shape.back();
+    RANA_ASSERT(lane < lanes, "lane index out of range");
+    shape.pop_back();
+    Tensor out(std::move(shape));
+    const float *src = stacked.data();
+    float *dst = out.data();
+    const std::size_t count = out.size();
+    for (std::size_t i = 0; i < count; ++i)
+        dst[i] = src[i * lanes + lane];
+    return out;
+}
+
+RANA_TRIAL_CLONES void
+quantizeTrialSpan(float *data, std::size_t count,
+                  const FixedPointFormat &format)
+{
+    RANA_ASSERT(format.fracBits <= 15, "at most 15 fractional bits");
+    const double scale = format.scale();
+    for (std::size_t i = 0; i < count; ++i) {
+        // copysign(floor(|d| + 0.5), d) equals std::round(d), and
+        // skipping the int16 hop is exact because the clamped value
+        // is already integral — both verified exhaustively over
+        // every float bit pattern against FixedPointFormat::
+        // quantize/dequantize.
+        const double d = static_cast<double>(data[i]) * scale;
+        const double rounded =
+            std::copysign(std::floor(std::fabs(d) + 0.5), d);
+        const double clamped =
+            std::max(-32768.0, std::min(rounded, 32767.0));
+        data[i] = static_cast<float>(clamped / scale);
+    }
+}
+
+RANA_TRIAL_CLONES void
+reluTrialSpan(float *data, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        data[i] = std::max(0.0f, data[i]);
+}
+
+RANA_TRIAL_CLONES void
+addTrialSpan(float *__restrict dst, const float *__restrict src,
+             std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        dst[i] += src[i];
+}
+
+void
+convolveTrialLanes(const float *in, const float *wt, const float *bias,
+                   float *out, std::uint32_t batch,
+                   std::uint32_t in_channels, std::uint32_t h,
+                   std::uint32_t w, std::uint32_t out_channels,
+                   std::uint32_t r, std::uint32_t c,
+                   std::uint32_t kernel, std::uint32_t stride,
+                   std::uint32_t pad, std::uint32_t lanes)
+{
+    // Two accumulator rows: the lane-templated path pairs output
+    // channels; the generic fallback uses only the first row.
+    std::vector<float> acc(static_cast<std::size_t>(2) * c * lanes);
+    switch (lanes) {
+      case 16:
+        convolveLanesImpl<16>(in, wt, bias, out, batch, in_channels,
+                              h, w, out_channels, r, c, kernel,
+                              stride, pad, acc.data());
+        return;
+      case 8:
+        convolveLanesImpl<8>(in, wt, bias, out, batch, in_channels, h,
+                             w, out_channels, r, c, kernel, stride,
+                             pad, acc.data());
+        return;
+      case 4:
+        convolveLanesImpl<4>(in, wt, bias, out, batch, in_channels, h,
+                             w, out_channels, r, c, kernel, stride,
+                             pad, acc.data());
+        return;
+      case 2:
+        convolveLanesImpl<2>(in, wt, bias, out, batch, in_channels, h,
+                             w, out_channels, r, c, kernel, stride,
+                             pad, acc.data());
+        return;
+      default:
+        convolveLanesGeneric(in, wt, bias, out, batch, in_channels, h,
+                             w, out_channels, r, c, kernel, stride,
+                             pad, lanes, acc.data());
+        return;
+    }
+}
+
+void
+denseTrialLanes(const float *in, const float *wt, const float *bias,
+                float *out, std::uint32_t batch,
+                std::uint32_t in_features, std::uint32_t out_features,
+                std::uint32_t lanes)
+{
+    switch (lanes) {
+      case 16:
+        denseLanesImpl<16>(in, wt, bias, out, batch, in_features,
+                           out_features);
+        return;
+      case 8:
+        denseLanesImpl<8>(in, wt, bias, out, batch, in_features,
+                          out_features);
+        return;
+      case 4:
+        denseLanesImpl<4>(in, wt, bias, out, batch, in_features,
+                          out_features);
+        return;
+      case 2:
+        denseLanesImpl<2>(in, wt, bias, out, batch, in_features,
+                          out_features);
+        return;
+      default: {
+        std::vector<float> acc(lanes);
+        denseLanesGeneric(in, wt, bias, out, batch, in_features,
+                          out_features, lanes, acc.data());
+        return;
+      }
+    }
+}
+
+RANA_TRIAL_CLONES void
+maxPoolTrialLanes(const float *__restrict in, float *__restrict out,
+                  std::uint32_t batch,
+                  std::uint32_t channels, std::uint32_t h,
+                  std::uint32_t w, std::uint32_t lanes)
+{
+    const std::uint32_t r = h / 2;
+    const std::uint32_t c = w / 2;
+    const std::size_t in_row = static_cast<std::size_t>(w) * lanes;
+    const std::size_t out_row = static_cast<std::size_t>(c) * lanes;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            const float *in_plane =
+                in + (static_cast<std::size_t>(b) * channels + ch) *
+                         h * in_row;
+            float *out_plane =
+                out + (static_cast<std::size_t>(b) * channels + ch) *
+                          r * out_row;
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    float *d = out_plane + y * out_row +
+                               static_cast<std::size_t>(x) * lanes;
+                    for (std::uint32_t l = 0; l < lanes; ++l)
+                        d[l] = -1e30f;
+                    // Candidate order (dy, dx) matches the scalar
+                    // layer; per lane the strict > picks the same
+                    // element.
+                    for (std::uint32_t dy = 0; dy < 2; ++dy) {
+                        for (std::uint32_t dx = 0; dx < 2; ++dx) {
+                            const float *s =
+                                in_plane +
+                                (2 * y + dy) * in_row +
+                                static_cast<std::size_t>(2 * x + dx) *
+                                    lanes;
+                            for (std::uint32_t l = 0; l < lanes;
+                                 ++l) {
+                                if (s[l] > d[l])
+                                    d[l] = s[l];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+RANA_TRIAL_CLONES void
+avgPoolTrialLanes(const float *__restrict in, float *__restrict out,
+                  std::uint32_t batch,
+                  std::uint32_t channels, std::uint32_t h,
+                  std::uint32_t w, std::uint32_t lanes)
+{
+    const std::uint32_t r = h / 2;
+    const std::uint32_t c = w / 2;
+    const std::size_t in_row = static_cast<std::size_t>(w) * lanes;
+    const std::size_t out_row = static_cast<std::size_t>(c) * lanes;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            const float *in_plane =
+                in + (static_cast<std::size_t>(b) * channels + ch) *
+                         h * in_row;
+            float *out_plane =
+                out + (static_cast<std::size_t>(b) * channels + ch) *
+                          r * out_row;
+            for (std::uint32_t y = 0; y < r; ++y) {
+                for (std::uint32_t x = 0; x < c; ++x) {
+                    float *d = out_plane + y * out_row +
+                               static_cast<std::size_t>(x) * lanes;
+                    for (std::uint32_t l = 0; l < lanes; ++l)
+                        d[l] = 0.0f;
+                    // Summation order (dy, dx) matches the scalar
+                    // layer.
+                    for (std::uint32_t dy = 0; dy < 2; ++dy) {
+                        for (std::uint32_t dx = 0; dx < 2; ++dx) {
+                            const float *s =
+                                in_plane +
+                                (2 * y + dy) * in_row +
+                                static_cast<std::size_t>(2 * x + dx) *
+                                    lanes;
+                            for (std::uint32_t l = 0; l < lanes; ++l)
+                                d[l] += s[l];
+                        }
+                    }
+                    for (std::uint32_t l = 0; l < lanes; ++l)
+                        d[l] *= 0.25f;
+                }
+            }
+        }
+    }
+}
+
+void
+packLanePointers(const std::vector<const float *> &lane_ptrs,
+                 std::size_t count, float *out)
+{
+    const auto lanes = static_cast<std::uint32_t>(lane_ptrs.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        float *d = out + i * lanes;
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            d[l] = lane_ptrs[l][i];
+    }
+}
+
+} // namespace rana

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Trial-major batched forward pass for the fault campaign.
+ *
+ * A campaign cell runs N independent corrupted forward passes over
+ * the same test batch and the same shared weight store; only the
+ * injected bit errors differ per trial. The batched path fuses a
+ * block of trials into one pass by appending a *lane* dimension to
+ * every activation tensor — layout {..., L} with the lane index
+ * innermost — so the per-output multiply-accumulate runs on L
+ * contiguous floats at a time and vectorizes across trials instead
+ * of re-walking the network N times.
+ *
+ * Bit-exactness contract: for every lane, the batched pass performs
+ * exactly the per-element operations of the scalar reference in
+ * exactly the reference order. Vectorization only spans *independent*
+ * accumulators (different lanes, different output positions), never
+ * reorders the additions inside one accumulator, and the toolchain
+ * target (x86-64 baseline / AVX via target_clones) has no FMA
+ * contraction, so the batched campaign is bit-identical to the
+ * scalar one for any lane count. The robustness test suite asserts
+ * this across lane counts.
+ */
+
+#ifndef RANA_TRAIN_TRIAL_BATCH_HH_
+#define RANA_TRAIN_TRIAL_BATCH_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/error_injection.hh"
+#include "train/fixed_point.hh"
+#include "train/tensor.hh"
+
+namespace rana {
+
+/**
+ * Per-batched-forward execution options: the fixed-point format
+ * shared by every lane plus one injector pair per lane. Mirrors
+ * ForwardContext, with the scalar injector slots widened to one
+ * entry per trial lane (null entry = no injection on that lane).
+ */
+struct TrialForwardContext
+{
+    /** Quantize operands to fixed point (16-bit hardware model). */
+    const FixedPointFormat *quant = nullptr;
+    /** Per-lane activation injectors (size = lane count). */
+    std::vector<BitErrorInjector *> injectors;
+    /**
+     * Per-lane weight injectors (size = lane count). A null entry
+     * falls back to the lane's activation injector, exactly like
+     * ForwardContext::weightInjector.
+     */
+    std::vector<BitErrorInjector *> weightInjectors;
+    /** The bound weight store is already in format `quant`. */
+    bool weightsPreQuantized = false;
+
+    /** Number of trial lanes fused into the pass. */
+    std::uint32_t lanes() const
+    {
+        return static_cast<std::uint32_t>(injectors.size());
+    }
+};
+
+/**
+ * Replicate a scalar-layout tensor across `lanes` trial lanes:
+ * shape {...} becomes {..., lanes} with every element repeated
+ * `lanes` times (lane index innermost).
+ */
+Tensor packTrialLanes(const Tensor &scalar, std::uint32_t lanes);
+
+/**
+ * Extract one lane of a lane-major tensor back into scalar layout
+ * (drops the trailing lane dimension).
+ */
+Tensor extractTrialLane(const Tensor &stacked, std::uint32_t lane);
+
+/**
+ * Quantize-dequantize every element in place; bit-identical to
+ * quantizeTensor (verified exhaustively over all float bit
+ * patterns), but with the format assertion hoisted out of the loop
+ * and a branch-free rounding formulation the compiler vectorizes.
+ */
+void quantizeTrialSpan(float *data, std::size_t count,
+                       const FixedPointFormat &format);
+
+/** In-place ReLU over a span: v = max(0, v), as the scalar layer. */
+void reluTrialSpan(float *data, std::size_t count);
+
+/** Element-wise dst[i] += src[i] (the residual skip connection). */
+void addTrialSpan(float *dst, const float *src, std::size_t count);
+
+/**
+ * Lane-major convolution: activations {B, N, H, W, L}, packed
+ * weights {M, N, K, K, L}, bias {M, L}, output {B, M, R, C, L}.
+ * Per lane, accumulates bias + sum over (n, ky, kx) of the valid
+ * taps in exactly the scalar kernel's order.
+ */
+void convolveTrialLanes(const float *in, const float *wt,
+                        const float *bias, float *out,
+                        std::uint32_t batch, std::uint32_t in_channels,
+                        std::uint32_t h, std::uint32_t w,
+                        std::uint32_t out_channels, std::uint32_t r,
+                        std::uint32_t c, std::uint32_t kernel,
+                        std::uint32_t stride, std::uint32_t pad,
+                        std::uint32_t lanes);
+
+/**
+ * Lane-major dense layer: input {B, F, L}, packed weights {O, F, L},
+ * bias {O, L}, output {B, O, L}. One sequential dot product per
+ * (output, lane), as the scalar kernel.
+ */
+void denseTrialLanes(const float *in, const float *wt,
+                     const float *bias, float *out, std::uint32_t batch,
+                     std::uint32_t in_features,
+                     std::uint32_t out_features, std::uint32_t lanes);
+
+/**
+ * Lane-major 2x2/stride-2 max pooling: input {B, C, H, W, L},
+ * output {B, C, H/2, W/2, L}. Candidate order and the strict
+ * greater-than comparison match the scalar layer.
+ */
+void maxPoolTrialLanes(const float *in, float *out, std::uint32_t batch,
+                       std::uint32_t channels, std::uint32_t h,
+                       std::uint32_t w, std::uint32_t lanes);
+
+/**
+ * Lane-major 2x2/stride-2 average pooling: input {B, C, H, W, L},
+ * output {B, C, H/2, W/2, L}. Summation order matches the scalar
+ * layer.
+ */
+void avgPoolTrialLanes(const float *in, float *out, std::uint32_t batch,
+                       std::uint32_t channels, std::uint32_t h,
+                       std::uint32_t w, std::uint32_t lanes);
+
+/**
+ * Pack per-lane scalar-layout tensors into one lane-major buffer:
+ * out[i * lanes + l] = lanes_ptrs[l][i]. Used for the per-lane
+ * copy-on-corrupt weight copies.
+ */
+void packLanePointers(const std::vector<const float *> &lane_ptrs,
+                      std::size_t count, float *out);
+
+} // namespace rana
+
+#endif // RANA_TRAIN_TRIAL_BATCH_HH_

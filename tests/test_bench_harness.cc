@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests of the bench-harness registry behind the unified
+ * rana_bench driver: registration and lookup, --match regex
+ * filtering and the shared perf-template emitter. The tests link
+ * rana_bench_core only, so the registry holds exactly the harnesses
+ * registered here — not the full figure suite.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "util/json_writer.hh"
+
+namespace rana {
+namespace bench {
+namespace {
+
+void
+runAlpha(BenchContext &ctx)
+{
+    ctx.perf("alpha_metric", 1.5, "widgets/s");
+}
+
+void
+runBeta(BenchContext &ctx)
+{
+    ctx.perf("beta_metric", 2.5, "ms");
+}
+
+RANA_BENCH("zz_test_alpha", "registry test harness alpha", runAlpha);
+RANA_BENCH("zz_test_beta", "registry test harness beta", runBeta);
+
+TEST(BenchHarness, RegistryIsSortedAndFindsByExactName)
+{
+    const std::vector<BenchHarness> all = benchRegistry();
+    ASSERT_GE(all.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(
+        all.begin(), all.end(),
+        [](const BenchHarness &a, const BenchHarness &b) {
+            return a.name < b.name;
+        }));
+
+    const BenchHarness *alpha = findBench("zz_test_alpha");
+    ASSERT_NE(alpha, nullptr);
+    EXPECT_EQ(alpha->description, "registry test harness alpha");
+    EXPECT_EQ(findBench("zz_test_alph"), nullptr);
+    EXPECT_EQ(findBench("no_such_harness"), nullptr);
+}
+
+TEST(BenchHarness, MatchFiltersWithUnanchoredRegex)
+{
+    std::string error;
+    std::vector<std::string> hits = matchBenches("zz_test", &error);
+    EXPECT_TRUE(error.empty());
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0], "zz_test_alpha");
+    EXPECT_EQ(hits[1], "zz_test_beta");
+
+    hits = matchBenches("beta$", &error);
+    EXPECT_TRUE(error.empty());
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], "zz_test_beta");
+
+    hits = matchBenches("zz_test_(alpha|beta)", &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(hits.size(), 2u);
+
+    hits = matchBenches("no_such_harness", &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST(BenchHarness, InvalidRegexReportsAnError)
+{
+    std::string error;
+    const std::vector<std::string> hits = matchBenches("(", &error);
+    EXPECT_TRUE(hits.empty());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchHarness, ContextAccumulatesPerfSamples)
+{
+    BenchContext ctx;
+    ctx.mode = BenchMode::Perf;
+    EXPECT_TRUE(ctx.perfMode());
+
+    const BenchHarness *alpha = findBench("zz_test_alpha");
+    ASSERT_NE(alpha, nullptr);
+    alpha->run(ctx);
+    const BenchHarness *beta = findBench("zz_test_beta");
+    ASSERT_NE(beta, nullptr);
+    beta->run(ctx);
+
+    ASSERT_EQ(ctx.samples().size(), 2u);
+    EXPECT_EQ(ctx.samples()[0].metric, "alpha_metric");
+    EXPECT_DOUBLE_EQ(ctx.samples()[0].value, 1.5);
+    EXPECT_EQ(ctx.samples()[0].unit, "widgets/s");
+    EXPECT_EQ(ctx.samples()[1].metric, "beta_metric");
+    EXPECT_EQ(ctx.samples()[1].unit, "ms");
+}
+
+TEST(BenchHarness, PerfTemplateEmitsOneLinePerSample)
+{
+    BenchContext ctx;
+    ctx.mode = BenchMode::Perf;
+    const BenchHarness *alpha = findBench("zz_test_alpha");
+    ASSERT_NE(alpha, nullptr);
+    alpha->run(ctx);
+
+    testing::internal::CaptureStdout();
+    emitPerfTemplate(*alpha, ctx);
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("RANA_BENCH_PERF harness=zz_test_alpha "
+                       "metric=alpha_metric value=1.5 "
+                       "unit=widgets/s"),
+              std::string::npos);
+}
+
+TEST(BenchHarness, SamplesRoundTripThroughTheUnifiedArtifact)
+{
+    // The driver writes each recorded sample into the artifact's
+    // "samples" array; mirror that here and check the JSON shape
+    // check_bench.py validates (metric/value/unit per sample).
+    BenchContext ctx;
+    ctx.perf("campaign_throughput", 12.25, "cells/s");
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("harness", "zz_test_alpha");
+    json.field("mode", "perf");
+    json.beginArray("samples");
+    for (const PerfSample &sample : ctx.samples()) {
+        json.beginObject();
+        json.field("metric", sample.metric);
+        json.field("value", sample.value);
+        json.field("unit", sample.unit);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    const std::string doc = json.str();
+    EXPECT_NE(doc.find("\"harness\": \"zz_test_alpha\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"metric\": \"campaign_throughput\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"value\": 12.25"), std::string::npos);
+    EXPECT_NE(doc.find("\"unit\": \"cells/s\""), std::string::npos);
+}
+
+} // namespace
+} // namespace bench
+} // namespace rana

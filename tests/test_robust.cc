@@ -339,6 +339,52 @@ TEST(FaultCampaign, GuardPreventsCorruptionUnderStalls)
     EXPECT_GT(report.meanRelativeAccuracy, 0.9);
 }
 
+TEST(FaultCampaign, BatchedTrialsAreBitIdenticalToScalar)
+{
+    // The trial-batched forward path (laneBlock > 1) is an exact
+    // transform of the scalar per-trial loop: every lane keeps the
+    // scalar accumulation order, so accuracies must match bit for
+    // bit — across a lane count that divides the trial count, one
+    // that leaves a remainder block, a non-power-of-two count on
+    // the runtime-lane fallback kernels, and the tuned default.
+    const RetentionDistribution retention =
+        RetentionDistribution::typical65nm();
+    const DesignPoint design =
+        makeDesignPoint(DesignKind::RanaE5, retention);
+    FaultCampaignConfig config = tinyCampaign();
+    config.trials = 7;
+    config.laneBlock = 1; // scalar reference path
+    const Result<FaultCampaignReport> scalar =
+        runFaultCampaign(design, makeAlexNet(), config);
+    ASSERT_TRUE(scalar.ok());
+    const FaultCampaignReport &reference = scalar.value();
+
+    for (std::uint32_t lanes : {3u, 5u, kDefaultLaneBlock}) {
+        config.laneBlock = lanes;
+        const Result<FaultCampaignReport> batched =
+            runFaultCampaign(design, makeAlexNet(), config);
+        ASSERT_TRUE(batched.ok());
+        const FaultCampaignReport &report = batched.value();
+
+        EXPECT_DOUBLE_EQ(report.baselineAccuracy,
+                         reference.baselineAccuracy);
+        ASSERT_EQ(report.trials.size(), reference.trials.size());
+        for (std::size_t i = 0; i < report.trials.size(); ++i) {
+            EXPECT_EQ(report.trials[i].seed,
+                      reference.trials[i].seed);
+            EXPECT_EQ(report.trials[i].accuracy,
+                      reference.trials[i].accuracy)
+                << "lane count " << lanes << ", trial " << i;
+            EXPECT_EQ(report.trials[i].relativeAccuracy,
+                      reference.trials[i].relativeAccuracy);
+            EXPECT_EQ(report.trials[i].weightFailureRate,
+                      reference.trials[i].weightFailureRate);
+            EXPECT_EQ(report.trials[i].activationFailureRate,
+                      reference.trials[i].activationFailureRate);
+        }
+    }
+}
+
 TEST(FaultCampaign, DeterministicPerSeed)
 {
     const RetentionDistribution retention =

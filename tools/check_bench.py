@@ -7,6 +7,11 @@ baseline with explicit tolerances:
     check_bench.py <baseline.json> <fault_campaign.json> \
                    [sched_scaling.json]
 
+Every artifact must carry the unified rana_bench envelope: a known
+"harness" name matching its argument slot, a "mode" of correctness
+or perf and a non-empty "samples" array; anything else fails with
+the list of known harnesses.
+
 The fault-campaign gate reads the "gate" object that
 bench_fault_campaign emits for its retrained operating point
 (failure rate 1e-5) and fails if the p50 relative accuracy drops by
@@ -14,6 +19,11 @@ more than the baseline's tolerance. Tolerance-based rather than
 exact comparison: accuracies differ in the last few ULPs across
 compilers (FMA contraction), so only a real regression trips the
 gate.
+
+The campaign-throughput gate (baseline key "campaign_throughput")
+holds the trial-batched sweep to min_speedup x the recorded scalar
+(laneBlock=1) cells-per-second baseline, so a regression in the
+batched forward path trips CI even while accuracies stay identical.
 
 The guard-policy gate reads the "guard_policies" array (the
 permanent/hysteresis/binned comparison under an injected scan
@@ -31,6 +41,32 @@ Exit codes: 0 pass, 1 regression or malformed input.
 import json
 import sys
 
+# Every harness the unified rana_bench driver can emit. An artifact
+# naming anything else is either stale or misrouted, and the gate
+# says so instead of silently passing it through.
+KNOWN_HARNESSES = (
+    "table1_storage",
+    "table2_memory_tech",
+    "table3_energy_costs",
+    "fig1_breakdown",
+    "fig7_lifetime",
+    "fig8_retention",
+    "fig11_training",
+    "fig12_layer_sizes",
+    "fig15_total_energy",
+    "fig16_rt_sweep",
+    "fig17_vgg_layerwise",
+    "fig18_capacity_sweep",
+    "fig19_dadiannao",
+    "ablations",
+    "interlayer_reuse",
+    "resolution_sweep",
+    "sched_scaling",
+    "fault_campaign",
+    "campaign_batch",
+    "micro",
+)
+
 
 def fail(message):
     print(f"check_bench: FAIL: {message}", file=sys.stderr)
@@ -40,6 +76,80 @@ def fail(message):
 def load(path):
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def check_unified_schema(report, path, expected_harness):
+    """Validate the unified BENCH_*.json envelope the rana_bench
+    driver writes: a known "harness" name (expected_harness for this
+    slot), a valid "mode" and a well-formed "samples" array."""
+    harness = report.get("harness")
+    if harness is None:
+        return fail(
+            f"{path} is missing the 'harness' field (not written "
+            f"by rana_bench?); known harnesses: "
+            f"{', '.join(KNOWN_HARNESSES)}"
+        )
+    if harness not in KNOWN_HARNESSES:
+        return fail(
+            f"{path} names unknown harness '{harness}'; known "
+            f"harnesses: {', '.join(KNOWN_HARNESSES)}"
+        )
+    if harness != expected_harness:
+        return fail(
+            f"{path} holds harness '{harness}' but this argument "
+            f"slot expects '{expected_harness}'"
+        )
+    mode = report.get("mode")
+    if mode not in ("correctness", "perf"):
+        return fail(
+            f"{path} has invalid mode '{mode}' (expect "
+            "'correctness' or 'perf')"
+        )
+    samples = report.get("samples")
+    if not isinstance(samples, list) or not samples:
+        return fail(f"{path} has no 'samples' array")
+    for sample in samples:
+        if not all(key in sample for key in ("metric", "value", "unit")):
+            return fail(
+                f"{path} has a malformed perf sample: {sample}"
+            )
+    print(
+        f"check_bench: {path}: harness '{harness}', mode '{mode}', "
+        f"{len(samples)} perf sample(s)"
+    )
+    return 0
+
+
+def check_campaign_throughput(baseline, report):
+    """Gate the trial-batched campaign speed: cells/second over the
+    sweep grid must hold min_speedup x the recorded scalar
+    (laneBlock=1) baseline."""
+    expected = baseline.get("campaign_throughput")
+    if expected is None:
+        return 0
+    throughput = report.get("campaign_throughput")
+    if throughput is None:
+        return fail(
+            "fault campaign JSON has no 'campaign_throughput' "
+            "field"
+        )
+    floor = (
+        expected["baseline_cells_per_second"]
+        * expected["min_speedup"]
+    )
+    if throughput < floor:
+        return fail(
+            f"campaign_throughput {throughput:.3f} cells/s below "
+            f"{expected['min_speedup']:.1f}x scalar baseline "
+            f"{expected['baseline_cells_per_second']:.3f} "
+            f"(floor {floor:.3f})"
+        )
+    print(
+        f"check_bench: campaign_throughput {throughput:.3f} "
+        f"cells/s >= floor {floor:.3f} "
+        f"({expected['min_speedup']:.1f}x scalar baseline)"
+    )
+    return 0
 
 
 def check_fault_campaign(baseline, report):
@@ -148,7 +258,13 @@ def main(argv):
         campaign = load(argv[2])
     except (OSError, json.JSONDecodeError) as error:
         return fail(str(error))
+    status = check_unified_schema(campaign, argv[2], "fault_campaign")
+    if status != 0:
+        return status
     status = check_fault_campaign(baseline, campaign)
+    if status != 0:
+        return status
+    status = check_campaign_throughput(baseline, campaign)
     if status != 0:
         return status
     status = check_guard_policies(baseline, campaign)
@@ -159,6 +275,9 @@ def main(argv):
             sched = load(argv[3])
         except (OSError, json.JSONDecodeError) as error:
             return fail(str(error))
+        status = check_unified_schema(sched, argv[3], "sched_scaling")
+        if status != 0:
+            return status
         status = check_sched_scaling(sched)
         if status != 0:
             return status

@@ -20,6 +20,9 @@
  *   --trials N           retention-sampling trials (default 8)
  *   --seed S             master seed (default 1)
  *   --jobs N             trial worker lanes (0 = hardware threads)
+ *   --lane-block N       trials fused per batched forward pass
+ *                        (0 = tuned default, 1 = scalar reference;
+ *                        bit-identical results for any value)
  *   --slowdown FACTOR    multiply every tile's time (timing fault)
  *   --stall SECONDS      stall before each outer scan (timing fault)
  *   --guard              attach the runtime reliability guard
@@ -44,6 +47,10 @@
  *   --metrics-json PATH  write a metrics-registry snapshot to PATH
  *   --chrome-trace PATH  record a Chrome trace_event timeline
  *                        (chrome://tracing / Perfetto) to PATH
+ *
+ * RANA_BENCH_VERIFY=1 in the environment makes every batched trial
+ * block re-run through the scalar reference path and asserts the
+ * per-trial results are bit-identical (slow; debugging aid).
  *
  * Exit codes: 0 success, 1 bad usage or failed campaign, 2 a guarded
  * run still observed corrupted-word events (the guard failed its
@@ -140,7 +147,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr << "usage: rana_faultsim <network> [--design NAME] "
                      "[--model NAME] [--trials N] [--seed S] "
-                     "[--jobs N] [--slowdown FACTOR] "
+                     "[--jobs N] [--lane-block N] "
+                     "[--slowdown FACTOR] "
                      "[--stall SECONDS] [--no-retrain] [--markdown] "
                      "[--sweep] [--compare-policies] [--rates LIST] "
                      "[--intervals LIST] "
@@ -199,6 +207,9 @@ main(int argc, char **argv)
             builder.seed(static_cast<std::uint64_t>(number(next())));
         } else if (arg == "--jobs") {
             builder.jobs(static_cast<unsigned>(number(next())));
+        } else if (arg == "--lane-block") {
+            builder.laneBlock(
+                static_cast<std::uint32_t>(number(next())));
         } else if (arg == "--slowdown") {
             TimingFaults faults = builder.build().timingFaults;
             faults.slowdownFactor = number(next());
