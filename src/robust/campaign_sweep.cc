@@ -98,6 +98,202 @@ CampaignSweepReport::percentileTable() const
     return markdownValueGrid("Failure rate", rows, cols, cells);
 }
 
+Result<PreparedSweep>
+PreparedSweep::prepareSweep(const DesignPoint &design,
+                            const NetworkModel &network,
+                            const CampaignSweepConfig &config)
+{
+    if (std::optional<Error> invalid = validateSweepGrid(config))
+        return *invalid;
+
+    PreparedSweep plan;
+    plan.comparison_ = false;
+    plan.design_ = design;
+    plan.networkName_ = network.name();
+    plan.failureRates_ = config.failureRates;
+    plan.refreshIntervals_ = config.refreshIntervals;
+    plan.campaigns_ = {config.campaign};
+
+    // The trace is simulated once per refresh interval; the rate
+    // axis reuses these exposures unchanged.
+    std::vector<CampaignExposures> per_interval;
+    per_interval.reserve(config.refreshIntervals.size());
+    for (double interval : config.refreshIntervals) {
+        DesignPoint point = design;
+        point.options.refreshIntervalSeconds = interval;
+        Result<CampaignExposures> simulated =
+            simulateExposures(point, network, config.campaign);
+        if (!simulated.ok())
+            return simulated.error();
+        per_interval.push_back(std::move(simulated).value());
+    }
+    plan.exposures_.push_back(std::move(per_interval));
+    plan.prepareModels(config);
+    return plan;
+}
+
+Result<PreparedSweep>
+PreparedSweep::prepareComparison(const DesignPoint &design,
+                                 const NetworkModel &network,
+                                 const CampaignSweepConfig &config)
+{
+    if (std::optional<Error> invalid = validateSweepGrid(config))
+        return *invalid;
+
+    std::vector<GuardPolicySpec> policies = config.guardPolicies;
+    if (policies.empty()) {
+        policies.resize(3);
+        policies[0].kind = GuardPolicyKind::Permanent;
+        policies[1].kind = GuardPolicyKind::Hysteresis;
+        policies[2].kind = GuardPolicyKind::Binned;
+    }
+
+    PreparedSweep plan;
+    plan.comparison_ = true;
+    plan.design_ = design;
+    plan.networkName_ = network.name();
+    plan.failureRates_ = config.failureRates;
+    plan.refreshIntervals_ = config.refreshIntervals;
+
+    // The simulated exposures depend on the policy and the interval
+    // (the policy steers the controller's fallback pulses), so the
+    // trace runs once per (policy, interval) pair and is reused
+    // across the rate axis.
+    for (const GuardPolicySpec &spec : policies) {
+        FaultCampaignConfig campaign = config.campaign;
+        campaign.guard = true;
+        campaign.guardPolicy = spec;
+        std::vector<CampaignExposures> per_interval;
+        per_interval.reserve(config.refreshIntervals.size());
+        for (double interval : config.refreshIntervals) {
+            DesignPoint point = design;
+            point.options.refreshIntervalSeconds = interval;
+            Result<CampaignExposures> simulated =
+                simulateExposures(point, network, campaign);
+            if (!simulated.ok())
+                return simulated.error();
+            per_interval.push_back(std::move(simulated).value());
+        }
+        plan.policyNames_.push_back(
+            per_interval.front().guardPolicyName);
+        plan.exposures_.push_back(std::move(per_interval));
+        plan.campaigns_.push_back(std::move(campaign));
+    }
+    plan.prepareModels(config);
+    return plan;
+}
+
+void
+PreparedSweep::prepareModels(const CampaignSweepConfig &config)
+{
+    // The stand-in model is pretrained once; each rate retrains from
+    // the pretrained snapshot and exports one shared store used by
+    // every cell (and every policy) at that rate.
+    RetentionAwareTrainer trainer(config.campaign.model,
+                                  config.campaign.dataset,
+                                  config.campaign.trainer);
+    baselineAccuracy_ = trainer.pretrain();
+    modelName_ = miniModelName(config.campaign.model);
+    models_.reserve(config.failureRates.size());
+    for (double rate : config.failureRates) {
+        models_.push_back(
+            prepareCampaignModel(trainer, config.campaign, rate));
+    }
+}
+
+std::size_t
+PreparedSweep::cellCount() const
+{
+    const std::size_t grid =
+        failureRates_.size() * refreshIntervals_.size();
+    return comparison_ ? policyNames_.size() * grid : grid;
+}
+
+Result<FaultCampaignReport>
+PreparedSweep::runCell(std::size_t cell, unsigned jobs_override) const
+{
+    RANA_ASSERT(cell < cellCount(),
+                "sweep cell index out of range: ", cell);
+    const std::size_t intervals = refreshIntervals_.size();
+    const std::size_t rates = failureRates_.size();
+    const std::size_t i = cell % intervals;
+    const std::size_t r = (cell / intervals) % rates;
+    const std::size_t p = comparison_ ? cell / (intervals * rates) : 0;
+
+    FaultCampaignConfig campaign = campaigns_[p];
+    if (jobs_override > 0)
+        campaign.jobs = jobs_override;
+    DesignPoint point = design_;
+    point.options.refreshIntervalSeconds = refreshIntervals_[i];
+    point.failureRate = failureRates_[r];
+    return runPreparedCampaign(point, exposures_[p][i], models_[r],
+                               campaign);
+}
+
+CampaignSweepReport
+PreparedSweep::assembleSweep(
+    std::vector<FaultCampaignReport> cells) const
+{
+    RANA_ASSERT(!comparison_,
+                "assembleSweep on a comparison plan");
+    RANA_ASSERT(cells.size() == cellCount(),
+                "sweep assembly needs one result per cell, got ",
+                cells.size());
+    CampaignSweepReport report;
+    report.designName = design_.name;
+    report.networkName = networkName_;
+    report.modelName = modelName_;
+    report.baselineAccuracy = baselineAccuracy_;
+    report.failureRates = failureRates_;
+    report.refreshIntervals = refreshIntervals_;
+    report.cells.reserve(cells.size());
+    for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+        SweepCell entry;
+        entry.failureRate =
+            failureRates_[cell / refreshIntervals_.size()];
+        entry.refreshIntervalSeconds =
+            refreshIntervals_[cell % refreshIntervals_.size()];
+        entry.report = std::move(cells[cell]);
+        report.cells.push_back(std::move(entry));
+    }
+    return report;
+}
+
+GuardPolicyComparisonReport
+PreparedSweep::assembleComparison(
+    std::vector<FaultCampaignReport> cells) const
+{
+    RANA_ASSERT(comparison_,
+                "assembleComparison on a sweep plan");
+    RANA_ASSERT(cells.size() == cellCount(),
+                "comparison assembly needs one result per cell, "
+                "got ",
+                cells.size());
+    GuardPolicyComparisonReport report;
+    report.designName = design_.name;
+    report.networkName = networkName_;
+    report.modelName = modelName_;
+    report.baselineAccuracy = baselineAccuracy_;
+    report.policyNames = policyNames_;
+    report.failureRates = failureRates_;
+    report.refreshIntervals = refreshIntervals_;
+    report.cells.reserve(cells.size());
+    const std::size_t intervals = refreshIntervals_.size();
+    const std::size_t rates = failureRates_.size();
+    for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+        GuardPolicyComparisonCell entry;
+        entry.policyName =
+            policyNames_[cell / (intervals * rates)];
+        entry.failureRate =
+            failureRates_[(cell / intervals) % rates];
+        entry.refreshIntervalSeconds =
+            refreshIntervals_[cell % intervals];
+        entry.report = std::move(cells[cell]);
+        report.cells.push_back(std::move(entry));
+    }
+    return report;
+}
+
 Result<CampaignSweepReport>
 runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
                  const CampaignSweepConfig &config)
@@ -106,71 +302,37 @@ runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
         return *invalid;
 
     ScopedSpan sweep_span("sweep", "campaign_sweep");
-    CampaignSweepReport report;
-    report.designName = design.name;
-    report.networkName = network.name();
-    report.failureRates = config.failureRates;
-    report.refreshIntervals = config.refreshIntervals;
+    Result<PreparedSweep> prepared =
+        PreparedSweep::prepareSweep(design, network, config);
+    if (!prepared.ok())
+        return prepared.error();
+    const PreparedSweep &plan = prepared.value();
 
-    // The trace is simulated once per refresh interval; the rate
-    // axis reuses these exposures unchanged.
-    std::vector<DesignPoint> points;
-    std::vector<CampaignExposures> exposures;
-    points.reserve(config.refreshIntervals.size());
-    exposures.reserve(config.refreshIntervals.size());
-    for (double interval : config.refreshIntervals) {
-        DesignPoint point = design;
-        point.options.refreshIntervalSeconds = interval;
-        Result<CampaignExposures> simulated =
-            simulateExposures(point, network, config.campaign);
-        if (!simulated.ok())
-            return simulated.error();
-        points.push_back(std::move(point));
-        exposures.push_back(std::move(simulated).value());
+    std::vector<FaultCampaignReport> cells;
+    cells.reserve(plan.cellCount());
+    for (std::size_t cell = 0; cell < plan.cellCount(); ++cell) {
+        const double rate =
+            config.failureRates[cell /
+                                config.refreshIntervals.size()];
+        const double interval =
+            config.refreshIntervals[cell %
+                                    config.refreshIntervals.size()];
+        // A labelled timeline slice per grid cell; the span-
+        // duration histograms stay per phase (simulate / retrain /
+        // trials), not per cell.
+        std::ostringstream cell_label;
+        cell_label << "cell rate=" << std::scientific
+                   << std::setprecision(1) << rate
+                   << " interval=" << interval << "s";
+        TraceRecorder &recorder = TraceRecorder::global();
+        recorder.beginSpan("sweep", cell_label.str());
+        Result<FaultCampaignReport> cell_report = plan.runCell(cell);
+        recorder.endSpan("sweep", cell_label.str());
+        if (!cell_report.ok())
+            return cell_report.error();
+        cells.push_back(std::move(cell_report).value());
     }
-
-    // The stand-in model is pretrained once; each rate retrains from
-    // the pretrained snapshot and exports one shared store for all
-    // of its intervals' trials.
-    RetentionAwareTrainer trainer(config.campaign.model,
-                                  config.campaign.dataset,
-                                  config.campaign.trainer);
-    report.baselineAccuracy = trainer.pretrain();
-    report.modelName = miniModelName(config.campaign.model);
-
-    report.cells.reserve(config.failureRates.size() *
-                         config.refreshIntervals.size());
-    for (double rate : config.failureRates) {
-        const CampaignModel model =
-            prepareCampaignModel(trainer, config.campaign, rate);
-        for (std::size_t i = 0; i < config.refreshIntervals.size();
-             ++i) {
-            DesignPoint point = points[i];
-            point.failureRate = rate;
-            // A labelled timeline slice per grid cell; the span-
-            // duration histograms stay per phase (simulate /
-            // retrain / trials), not per cell.
-            std::ostringstream cell_label;
-            cell_label << "cell rate=" << std::scientific
-                       << std::setprecision(1) << rate
-                       << " interval=" << config.refreshIntervals[i]
-                       << "s";
-            TraceRecorder &recorder = TraceRecorder::global();
-            recorder.beginSpan("sweep", cell_label.str());
-            Result<FaultCampaignReport> cell_report =
-                runPreparedCampaign(point, exposures[i], model,
-                                    config.campaign);
-            recorder.endSpan("sweep", cell_label.str());
-            if (!cell_report.ok())
-                return cell_report.error();
-            SweepCell cell;
-            cell.failureRate = rate;
-            cell.refreshIntervalSeconds = config.refreshIntervals[i];
-            cell.report = std::move(cell_report).value();
-            report.cells.push_back(std::move(cell));
-        }
-    }
-    return report;
+    return plan.assembleSweep(std::move(cells));
 }
 
 const GuardPolicyComparisonCell &
@@ -238,90 +400,22 @@ runGuardPolicyComparison(const DesignPoint &design,
     if (std::optional<Error> invalid = validateSweepGrid(config))
         return *invalid;
 
-    std::vector<GuardPolicySpec> policies = config.guardPolicies;
-    if (policies.empty()) {
-        policies.resize(3);
-        policies[0].kind = GuardPolicyKind::Permanent;
-        policies[1].kind = GuardPolicyKind::Hysteresis;
-        policies[2].kind = GuardPolicyKind::Binned;
-    }
-
     ScopedSpan sweep_span("sweep", "guard_policy_comparison");
-    GuardPolicyComparisonReport report;
-    report.designName = design.name;
-    report.networkName = network.name();
-    report.failureRates = config.failureRates;
-    report.refreshIntervals = config.refreshIntervals;
+    Result<PreparedSweep> prepared =
+        PreparedSweep::prepareComparison(design, network, config);
+    if (!prepared.ok())
+        return prepared.error();
+    const PreparedSweep &plan = prepared.value();
 
-    // The simulated exposures depend on the policy and the interval
-    // (the policy steers the controller's fallback pulses), so the
-    // trace runs once per (policy, interval) pair and is reused
-    // across the rate axis.
-    std::vector<std::vector<CampaignExposures>> exposures;
-    std::vector<FaultCampaignConfig> campaigns;
-    exposures.reserve(policies.size());
-    campaigns.reserve(policies.size());
-    for (const GuardPolicySpec &spec : policies) {
-        FaultCampaignConfig campaign = config.campaign;
-        campaign.guard = true;
-        campaign.guardPolicy = spec;
-        std::vector<CampaignExposures> per_interval;
-        per_interval.reserve(config.refreshIntervals.size());
-        for (double interval : config.refreshIntervals) {
-            DesignPoint point = design;
-            point.options.refreshIntervalSeconds = interval;
-            Result<CampaignExposures> simulated =
-                simulateExposures(point, network, campaign);
-            if (!simulated.ok())
-                return simulated.error();
-            per_interval.push_back(std::move(simulated).value());
-        }
-        report.policyNames.push_back(
-            per_interval.front().guardPolicyName);
-        exposures.push_back(std::move(per_interval));
-        campaigns.push_back(std::move(campaign));
+    std::vector<FaultCampaignReport> cells;
+    cells.reserve(plan.cellCount());
+    for (std::size_t cell = 0; cell < plan.cellCount(); ++cell) {
+        Result<FaultCampaignReport> cell_report = plan.runCell(cell);
+        if (!cell_report.ok())
+            return cell_report.error();
+        cells.push_back(std::move(cell_report).value());
     }
-
-    // One pretrained stand-in model serves every policy; each rate
-    // retrains from the pretrained snapshot once, shared across the
-    // policy axis.
-    RetentionAwareTrainer trainer(config.campaign.model,
-                                  config.campaign.dataset,
-                                  config.campaign.trainer);
-    report.baselineAccuracy = trainer.pretrain();
-    report.modelName = miniModelName(config.campaign.model);
-
-    report.cells.resize(policies.size() * config.failureRates.size() *
-                        config.refreshIntervals.size());
-    for (std::size_t r = 0; r < config.failureRates.size(); ++r) {
-        const double rate = config.failureRates[r];
-        const CampaignModel model =
-            prepareCampaignModel(trainer, config.campaign, rate);
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            for (std::size_t i = 0;
-                 i < config.refreshIntervals.size(); ++i) {
-                DesignPoint point = design;
-                point.options.refreshIntervalSeconds =
-                    config.refreshIntervals[i];
-                point.failureRate = rate;
-                Result<FaultCampaignReport> cell_report =
-                    runPreparedCampaign(point, exposures[p][i], model,
-                                        campaigns[p]);
-                if (!cell_report.ok())
-                    return cell_report.error();
-                GuardPolicyComparisonCell cell;
-                cell.policyName = report.policyNames[p];
-                cell.failureRate = rate;
-                cell.refreshIntervalSeconds =
-                    config.refreshIntervals[i];
-                cell.report = std::move(cell_report).value();
-                report.cells[(p * config.failureRates.size() + r) *
-                                 config.refreshIntervals.size() +
-                             i] = std::move(cell);
-            }
-        }
-    }
-    return report;
+    return plan.assembleComparison(std::move(cells));
 }
 
 } // namespace rana

@@ -99,6 +99,100 @@ Result<CampaignSweepReport>
 runCampaignSweep(const DesignPoint &design, const NetworkModel &network,
                  const CampaignSweepConfig &config);
 
+struct GuardPolicyComparisonReport;
+
+/**
+ * Every expensive phase product of a sweep (or a guard-policy
+ * comparison) materialized up front: the per-interval simulated
+ * exposures, the pretrained stand-in model and one retrained
+ * weight store per failure rate. Grid cells then run independently
+ * — in any order, on any thread, or in a forked worker process
+ * (robust/sweep_shard), which inherits the whole plan copy-on-
+ * write — and each cell is deterministic in isolation, so a
+ * sharded run merges to the byte-identical single-process report.
+ */
+class PreparedSweep
+{
+  public:
+    /** Prepare the plain failure-rate x interval sweep. Validation
+     *  mirrors runCampaignSweep. */
+    static Result<PreparedSweep>
+    prepareSweep(const DesignPoint &design,
+                 const NetworkModel &network,
+                 const CampaignSweepConfig &config);
+
+    /** Prepare the guard-policy comparison grid (policy x rate x
+     *  interval; the three stock policies when none are given). */
+    static Result<PreparedSweep>
+    prepareComparison(const DesignPoint &design,
+                      const NetworkModel &network,
+                      const CampaignSweepConfig &config);
+
+    /** Grid cells in linear order (rate-major for the sweep;
+     *  policy-major, then rate, then interval for the comparison). */
+    std::size_t cellCount() const;
+
+    /** Whether this plan is a guard-policy comparison. */
+    bool comparison() const { return comparison_; }
+
+    /**
+     * Run one grid cell. Deterministic per cell for any lane count;
+     * `jobs_override` > 0 forces that many trial lanes (forked
+     * workers pass 1 — they must not touch the inherited thread
+     * pool, whose worker threads do not exist after fork).
+     */
+    Result<FaultCampaignReport>
+    runCell(std::size_t cell, unsigned jobs_override = 0) const;
+
+    /** Grid row values (failure rates), in configuration order. */
+    const std::vector<double> &failureRates() const
+    {
+        return failureRates_;
+    }
+
+    /** Grid column values (refresh intervals), in config order. */
+    const std::vector<double> &refreshIntervals() const
+    {
+        return refreshIntervals_;
+    }
+
+    /**
+     * Assemble the sweep report from per-cell results in linear
+     * cell order. @pre !comparison() and one result per cell.
+     */
+    CampaignSweepReport
+    assembleSweep(std::vector<FaultCampaignReport> cells) const;
+
+    /**
+     * Assemble the comparison report from per-cell results in
+     * linear cell order. @pre comparison() and one result per cell.
+     */
+    GuardPolicyComparisonReport
+    assembleComparison(std::vector<FaultCampaignReport> cells) const;
+
+  private:
+    PreparedSweep() = default;
+
+    /** Shared tail of both factories (training + rate models). */
+    void prepareModels(const CampaignSweepConfig &config);
+
+    bool comparison_ = false;
+    DesignPoint design_;
+    std::string networkName_;
+    std::string modelName_;
+    double baselineAccuracy_ = 0.0;
+    std::vector<double> failureRates_;
+    std::vector<double> refreshIntervals_;
+    /** Policy names of the comparison axis (empty for the sweep). */
+    std::vector<std::string> policyNames_;
+    /** Per-policy campaign configs (exactly one for the sweep). */
+    std::vector<FaultCampaignConfig> campaigns_;
+    /** Simulated exposures, [policy][interval] ([0][i] for sweep). */
+    std::vector<std::vector<CampaignExposures>> exposures_;
+    /** One retrained shared weight store per failure rate. */
+    std::vector<CampaignModel> models_;
+};
+
 /** One cell of the guard-policy comparison grid. */
 struct GuardPolicyComparisonCell
 {

@@ -68,8 +68,15 @@ JsonWriter::escape(const std::string &text)
 std::string
 JsonWriter::number(double value)
 {
-    RANA_ASSERT(std::isfinite(value),
-                "JSON numbers must be finite: ", value);
+    // JSON has no NaN/Infinity tokens; a raw "%g" would emit "nan"
+    // or "inf" and corrupt the document for every stock parser. A
+    // poisoned value (e.g. a NaN accuracy streamed back by a sweep
+    // worker) must degrade that one field, never the whole report,
+    // so non-finite doubles render as quoted sentinel strings.
+    if (std::isnan(value))
+        return "\"NaN\"";
+    if (std::isinf(value))
+        return value > 0.0 ? "\"Infinity\"" : "\"-Infinity\"";
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
     // Trim to the shortest representation that round-trips.
@@ -174,6 +181,13 @@ JsonWriter::element(double value)
 {
     comma();
     oss_ << number(value);
+}
+
+void
+JsonWriter::element(std::uint64_t value)
+{
+    comma();
+    oss_ << value;
 }
 
 std::string

@@ -40,7 +40,12 @@ class JsonWriter
     void field(const std::string &key, const std::string &value);
     /** Emit a string member (keeps literals off the bool overload). */
     void field(const std::string &key, const char *value);
-    /** Emit a numeric member (shortest round-trippable form). */
+    /**
+     * Emit a numeric member (shortest round-trippable form).
+     * Non-finite values render as the quoted sentinel strings
+     * "NaN", "Infinity" and "-Infinity" so the document stays
+     * valid JSON for stock parsers.
+     */
     void field(const std::string &key, double value);
     /** Emit an integral member. */
     void field(const std::string &key, std::uint64_t value);
@@ -49,6 +54,8 @@ class JsonWriter
 
     /** Emit an unnamed numeric array element. */
     void element(double value);
+    /** Emit an unnamed integral array element (exact, no rounding). */
+    void element(std::uint64_t value);
 
     /**
      * The rendered document. @pre every begin* has been closed.

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Implementation of fork-based workers and pipe framing.
+ */
+
+#include "util/subprocess.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+/** Wire magic ("RANF" little-endian) heading every frame. */
+constexpr std::uint32_t kFrameMagic = 0x464E4152u;
+
+/** Header layout: magic, type, cell, attempt, size, checksum. */
+constexpr std::size_t kHeaderSize = 4 + 1 + 4 + 4 + 4 + 4;
+
+/** Ceiling on one payload; bigger means a desynchronized stream. */
+constexpr std::uint32_t kMaxPayload = 256u * 1024u * 1024u;
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    char bytes[4];
+    std::memcpy(bytes, &value, 4);
+    out.append(bytes, 4);
+}
+
+std::uint32_t
+getU32(const char *data)
+{
+    std::uint32_t value = 0;
+    std::memcpy(&value, data, 4);
+    return value;
+}
+
+/**
+ * Parent-side pipe fds of every live worker, closed in each newly
+ * forked child so a sibling's death is observable as EOF. Guarded
+ * by a mutex, but only the coordinator thread spawns/destroys
+ * workers, so the lock is never contended across fork.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::vector<int> &
+fdRegistry()
+{
+    static std::vector<int> fds;
+    return fds;
+}
+
+void
+registerParentFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    fdRegistry().push_back(fd);
+}
+
+void
+unregisterParentFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<int> &fds = fdRegistry();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i] == fd) {
+            fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+} // namespace
+
+std::uint32_t
+frameChecksum(const std::string &payload)
+{
+    std::uint32_t hash = 2166136261u;
+    for (char c : payload) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+std::size_t
+frameHeaderSize()
+{
+    return kHeaderSize;
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(kHeaderSize + frame.payload.size());
+    putU32(out, kFrameMagic);
+    out.push_back(static_cast<char>(frame.type));
+    putU32(out, frame.cell);
+    putU32(out, frame.attempt);
+    putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    putU32(out, frameChecksum(frame.payload));
+    out += frame.payload;
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t size)
+{
+    buffer_.append(data, size);
+}
+
+std::optional<FrameDecoder::Decoded>
+FrameDecoder::next()
+{
+    if (desynchronized_ || buffer_.size() < kHeaderSize)
+        return std::nullopt;
+    const char *head = buffer_.data();
+    if (getU32(head) != kFrameMagic) {
+        desynchronized_ = true;
+        return std::nullopt;
+    }
+    const std::uint32_t size = getU32(head + 13);
+    if (size > kMaxPayload) {
+        desynchronized_ = true;
+        return std::nullopt;
+    }
+    if (buffer_.size() < kHeaderSize + size)
+        return std::nullopt;
+    Decoded decoded;
+    decoded.frame.type = static_cast<FrameType>(head[4]);
+    decoded.frame.cell = getU32(head + 5);
+    decoded.frame.attempt = getU32(head + 9);
+    const std::uint32_t checksum = getU32(head + 17);
+    decoded.frame.payload = buffer_.substr(kHeaderSize, size);
+    decoded.checksumOk =
+        frameChecksum(decoded.frame.payload) == checksum;
+    buffer_.erase(0, kHeaderSize + size);
+    return decoded;
+}
+
+Result<WorkerProcess>
+WorkerProcess::spawn(const Body &body)
+{
+    ignoreSigpipeOnce();
+    int request[2];  // parent writes, child reads
+    int response[2]; // child writes, parent reads
+    if (::pipe(request) != 0) {
+        return makeError(ErrorCode::IoError,
+                         "pipe failed: ", std::strerror(errno));
+    }
+    if (::pipe(response) != 0) {
+        const int saved = errno;
+        ::close(request[0]);
+        ::close(request[1]);
+        return makeError(ErrorCode::IoError,
+                         "pipe failed: ", std::strerror(saved));
+    }
+
+    // Register the parent-side ends *before* forking so this very
+    // child closes them too (it keeps only its own child-side
+    // ends), and every later sibling closes them as well.
+    registerParentFd(request[1]);
+    registerParentFd(response[0]);
+
+    const int pid = ::fork();
+    if (pid < 0) {
+        const int saved = errno;
+        unregisterParentFd(request[1]);
+        unregisterParentFd(response[0]);
+        ::close(request[0]);
+        ::close(request[1]);
+        ::close(response[0]);
+        ::close(response[1]);
+        return makeError(ErrorCode::IoError,
+                         "fork failed: ", std::strerror(saved));
+    }
+
+    if (pid == 0) {
+        // Child: drop every registered parent-side fd (including
+        // this worker's own parent ends) and run the body. _exit
+        // keeps inherited static destructors (thread-pool joins on
+        // threads that do not exist here) from running.
+        {
+            std::lock_guard<std::mutex> lock(registryMutex());
+            for (int fd : fdRegistry())
+                ::close(fd);
+        }
+        const int code = body(request[0], response[1]);
+        ::close(request[0]);
+        ::close(response[1]);
+        ::_exit(code);
+    }
+
+    // Parent: keep request write end + response read end, close the
+    // child-side ends, make the read end non-blocking.
+    ::close(request[0]);
+    ::close(response[1]);
+    const int flags = ::fcntl(response[0], F_GETFL, 0);
+    ::fcntl(response[0], F_SETFL, flags | O_NONBLOCK);
+
+    WorkerProcess worker;
+    worker.pid_ = pid;
+    worker.writeFd_ = request[1];
+    worker.readFd_ = response[0];
+    return worker;
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+WorkerProcess &
+WorkerProcess::operator=(WorkerProcess &&other) noexcept
+{
+    if (this != &other) {
+        closePipes();
+        if (running()) {
+            kill();
+            reap(nullptr, /*block=*/true);
+        }
+        pid_ = other.pid_;
+        writeFd_ = other.writeFd_;
+        readFd_ = other.readFd_;
+        reaped_ = other.reaped_;
+        other.pid_ = -1;
+        other.writeFd_ = -1;
+        other.readFd_ = -1;
+        other.reaped_ = false;
+    }
+    return *this;
+}
+
+WorkerProcess::~WorkerProcess()
+{
+    closePipes();
+    if (running()) {
+        kill();
+        reap(nullptr, /*block=*/true);
+    }
+}
+
+bool
+WorkerProcess::writeFrame(const Frame &frame)
+{
+    if (writeFd_ < 0)
+        return false;
+    return writeAllBlocking(writeFd_, encodeFrame(frame));
+}
+
+void
+WorkerProcess::kill()
+{
+    if (running())
+        ::kill(pid_, SIGKILL);
+}
+
+bool
+WorkerProcess::reap(int *status, bool block)
+{
+    if (pid_ <= 0 || reaped_)
+        return reaped_;
+    int raw = 0;
+    const int waited =
+        ::waitpid(pid_, &raw, block ? 0 : WNOHANG);
+    if (waited == pid_ ||
+        (waited < 0 && errno == ECHILD)) {
+        reaped_ = true;
+        if (status != nullptr)
+            *status = raw;
+        return true;
+    }
+    return false;
+}
+
+void
+WorkerProcess::closePipes()
+{
+    if (writeFd_ >= 0) {
+        unregisterParentFd(writeFd_);
+        ::close(writeFd_);
+        writeFd_ = -1;
+    }
+    if (readFd_ >= 0) {
+        unregisterParentFd(readFd_);
+        ::close(readFd_);
+        readFd_ = -1;
+    }
+}
+
+int
+pollReadable(const std::vector<int> &fds, int timeoutMs,
+             std::vector<bool> &readable)
+{
+    readable.assign(fds.size(), false);
+    std::vector<struct pollfd> entries;
+    std::vector<std::size_t> indices;
+    entries.reserve(fds.size());
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i] < 0)
+            continue;
+        struct pollfd entry;
+        entry.fd = fds[i];
+        entry.events = POLLIN;
+        entry.revents = 0;
+        entries.push_back(entry);
+        indices.push_back(i);
+    }
+    if (entries.empty()) {
+        if (timeoutMs > 0)
+            ::poll(nullptr, 0, timeoutMs);
+        return 0;
+    }
+    const int ready = ::poll(entries.data(),
+                             static_cast<nfds_t>(entries.size()),
+                             timeoutMs);
+    if (ready <= 0)
+        return ready;
+    int count = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].revents &
+            (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+            readable[indices[i]] = true;
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+drainInto(int fd, FrameDecoder &decoder)
+{
+    char chunk[65536];
+    for (;;) {
+        const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+        if (got > 0) {
+            decoder.feed(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            return false; // EOF: worker closed its write end.
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+namespace {
+
+/** Blocking read of exactly `size` bytes. False on EOF/error. */
+bool
+readExact(int fd, char *out, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t got = ::read(fd, out + done, size - done);
+        if (got > 0) {
+            done += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+readFrameBlocking(int fd, Frame &frame, bool *checksumOk)
+{
+    char header[kHeaderSize];
+    if (!readExact(fd, header, kHeaderSize))
+        return false;
+    if (getU32(header) != kFrameMagic)
+        return false;
+    const std::uint32_t size = getU32(header + 13);
+    if (size > kMaxPayload)
+        return false;
+    frame.type = static_cast<FrameType>(header[4]);
+    frame.cell = getU32(header + 5);
+    frame.attempt = getU32(header + 9);
+    const std::uint32_t checksum = getU32(header + 17);
+    frame.payload.resize(size);
+    if (size > 0 && !readExact(fd, frame.payload.data(), size))
+        return false;
+    if (checksumOk != nullptr)
+        *checksumOk = frameChecksum(frame.payload) == checksum;
+    return true;
+}
+
+bool
+writeAllBlocking(int fd, const std::string &bytes)
+{
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t wrote =
+            ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (wrote > 0) {
+            done += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFrameBlocking(int fd, const Frame &frame)
+{
+    return writeAllBlocking(fd, encodeFrame(frame));
+}
+
+} // namespace rana

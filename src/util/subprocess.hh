@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Fork-based worker processes and pipe framing for the sharded
+ * sweep engine.
+ *
+ * A WorkerProcess is a plain fork (no exec): the child inherits the
+ * parent's prepared data structures copy-on-write, runs a caller-
+ * supplied body against two pipe ends, and leaves via _exit so no
+ * static destructor (thread-pool joins in particular) runs in the
+ * child. The parent side keeps the opposite pipe ends: a blocking
+ * write end for requests and a non-blocking read end for streamed
+ * responses, and reaps with waitpid(WNOHANG) from its own event
+ * loop — no SIGCHLD handler, so reaping cannot race arbitrary
+ * library code at signal time.
+ *
+ * Messages travel as length-prefixed frames with an FNV-1a payload
+ * checksum:
+ *
+ *   magic u32 | type u8 | cell u32 | attempt u32 | size u32 | crc u32
+ *   payload bytes[size]
+ *
+ * The checksum lets the coordinator detect a corrupted result frame
+ * (chaos-injected or real) and retry the cell instead of merging
+ * garbage; a bad magic means the stream itself is desynchronized
+ * and the worker must be discarded. FrameDecoder is incremental:
+ * feed() arbitrary chunks from a non-blocking read, then drain
+ * next() until it returns nothing.
+ *
+ * Every parent-side pipe fd is tracked in a process-wide registry
+ * that spawn() closes in each new child: without this, a worker
+ * forked later would hold the write ends of its siblings' pipes
+ * open and the parent would never observe EOF on a crashed
+ * sibling's stream.
+ */
+
+#ifndef RANA_UTIL_SUBPROCESS_HH_
+#define RANA_UTIL_SUBPROCESS_HH_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hh"
+
+namespace rana {
+
+/** Message kinds on a worker pipe. */
+enum class FrameType : std::uint8_t {
+    /** Worker is alive and listening (sent once at startup). */
+    Hello = 1,
+    /** Coordinator assigns one grid cell (cell, attempt). */
+    Assign = 2,
+    /** Worker acknowledges it started the assigned cell. */
+    Heartbeat = 3,
+    /** Worker finished a cell; payload is the serialized report. */
+    CellResult = 4,
+    /** Worker failed a cell; payload is the error message. */
+    CellError = 5,
+    /** Coordinator asks the worker to exit cleanly. */
+    Shutdown = 6,
+};
+
+/** One framed message. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::uint32_t cell = 0;
+    std::uint32_t attempt = 0;
+    std::string payload;
+};
+
+/** FNV-1a 32-bit checksum of `payload`. */
+std::uint32_t frameChecksum(const std::string &payload);
+
+/** Serialize `frame` to wire bytes (header + payload). */
+std::string encodeFrame(const Frame &frame);
+
+/** Wire-format header size in bytes. */
+std::size_t frameHeaderSize();
+
+/**
+ * Incremental frame decoder over a byte stream. feed() bytes as
+ * they arrive, then drain next() until std::nullopt. A frame whose
+ * payload fails its checksum is still returned (checksumOk false)
+ * so the caller can count it and retry; a header with a bad magic
+ * poisons the decoder (desynchronized()) — the stream cannot be
+ * trusted past that point.
+ */
+class FrameDecoder
+{
+  public:
+    struct Decoded
+    {
+        Frame frame;
+        bool checksumOk = true;
+    };
+
+    /** Append `size` bytes from `data` to the stream buffer. */
+    void feed(const char *data, std::size_t size);
+
+    /** The next complete frame, or nothing (need more bytes). */
+    std::optional<Decoded> next();
+
+    /** The stream lost framing (bad magic); discard the worker. */
+    bool desynchronized() const { return desynchronized_; }
+
+  private:
+    std::string buffer_;
+    bool desynchronized_ = false;
+};
+
+/**
+ * One forked worker. Parent-side handle: write frames to the
+ * worker, poll/read its response stream, kill and reap it. Move-
+ * only; the destructor kills and reaps a still-running child.
+ */
+class WorkerProcess
+{
+  public:
+    /**
+     * The child body: runs in the forked child with the request
+     * (read) and response (write) pipe fds; its return value
+     * becomes the child's exit status via _exit.
+     */
+    using Body = std::function<int(int requestFd, int responseFd)>;
+
+    /**
+     * Fork a worker running `body`. Fails with IoError when pipes
+     * or the fork itself fail (the caller degrades to in-process
+     * execution). The first spawn ignores SIGPIPE process-wide so a
+     * write to a crashed worker reports EPIPE instead of killing
+     * the coordinator.
+     */
+    static Result<WorkerProcess> spawn(const Body &body);
+
+    WorkerProcess() = default;
+    WorkerProcess(WorkerProcess &&other) noexcept;
+    WorkerProcess &operator=(WorkerProcess &&other) noexcept;
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+    ~WorkerProcess();
+
+    /** Child pid (-1 when empty/moved-from). */
+    int pid() const { return pid_; }
+
+    /** Non-blocking response-stream fd (-1 when closed). */
+    int readFd() const { return readFd_; }
+
+    /** Whether the child has not been reaped yet. */
+    bool running() const { return pid_ > 0 && !reaped_; }
+
+    /**
+     * Write one frame to the worker's request pipe. Returns false
+     * when the pipe is closed or the worker is gone (EPIPE).
+     */
+    bool writeFrame(const Frame &frame);
+
+    /** SIGKILL the child (idempotent; reap() still required). */
+    void kill();
+
+    /**
+     * Try to reap the child: waitpid with WNOHANG (or blocking when
+     * `block`). Returns true once the child has exited; `status` (if
+     * non-null) receives the raw waitpid status.
+     */
+    bool reap(int *status, bool block = false);
+
+    /** Close both parent-side pipe ends (unregisters them). */
+    void closePipes();
+
+  private:
+    int pid_ = -1;
+    int writeFd_ = -1;
+    int readFd_ = -1;
+    bool reaped_ = false;
+};
+
+/**
+ * Poll `fds` for readability. Waits up to `timeoutMs` (0 = only an
+ * instantaneous check). readable[i] is set when fds[i] has bytes or
+ * EOF pending; entries with fd < 0 are skipped. Returns the number
+ * of readable fds (0 on timeout, -1 on poll failure).
+ */
+int pollReadable(const std::vector<int> &fds, int timeoutMs,
+                 std::vector<bool> &readable);
+
+/**
+ * Drain every currently available byte from non-blocking `fd` into
+ * `decoder`. Returns false when the stream hit EOF or a read error
+ * (the worker is gone), true when more bytes may arrive later.
+ */
+bool drainInto(int fd, FrameDecoder &decoder);
+
+/** Blocking read of one frame from `fd` (child side). False on EOF. */
+bool readFrameBlocking(int fd, Frame &frame, bool *checksumOk);
+
+/** Blocking write of pre-encoded bytes to `fd`. False on error. */
+bool writeAllBlocking(int fd, const std::string &bytes);
+
+/** Blocking write of one frame to `fd`. False on error. */
+bool writeFrameBlocking(int fd, const Frame &frame);
+
+} // namespace rana
+
+#endif // RANA_UTIL_SUBPROCESS_HH_

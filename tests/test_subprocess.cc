@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the fork-based worker and pipe-framing layer the
+ * sharded sweep engine is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/subprocess.hh"
+
+namespace rana {
+namespace {
+
+TEST(Subprocess, FrameRoundTripsThroughDecoder)
+{
+    Frame frame;
+    frame.type = FrameType::CellResult;
+    frame.cell = 42;
+    frame.attempt = 3;
+    frame.payload = std::string("binary \x00\x01\x02 payload", 18);
+    const std::string bytes = encodeFrame(frame);
+    EXPECT_EQ(bytes.size(), frameHeaderSize() + frame.payload.size());
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    std::optional<FrameDecoder::Decoded> decoded = decoder.next();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->checksumOk);
+    EXPECT_EQ(decoded->frame.type, FrameType::CellResult);
+    EXPECT_EQ(decoded->frame.cell, 42u);
+    EXPECT_EQ(decoded->frame.attempt, 3u);
+    EXPECT_EQ(decoded->frame.payload, frame.payload);
+    EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Subprocess, DecoderReassemblesByteAtATime)
+{
+    Frame frame;
+    frame.type = FrameType::Heartbeat;
+    frame.cell = 7;
+    frame.payload = "chunked";
+    const std::string bytes = encodeFrame(frame);
+
+    FrameDecoder decoder;
+    int frames = 0;
+    for (char byte : bytes) {
+        decoder.feed(&byte, 1);
+        while (decoder.next().has_value())
+            ++frames;
+    }
+    EXPECT_EQ(frames, 1);
+}
+
+TEST(Subprocess, DecoderFlagsCorruptPayload)
+{
+    Frame frame;
+    frame.type = FrameType::CellResult;
+    frame.cell = 5;
+    frame.payload = "pristine bytes";
+    std::string bytes = encodeFrame(frame);
+    bytes[frameHeaderSize()] ^= 0x5A; // flip one payload byte
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    std::optional<FrameDecoder::Decoded> decoded = decoder.next();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->checksumOk);
+    EXPECT_FALSE(decoder.desynchronized());
+}
+
+TEST(Subprocess, DecoderDesynchronizesOnBadMagic)
+{
+    std::string garbage(64, '\x5A');
+    FrameDecoder decoder;
+    decoder.feed(garbage.data(), garbage.size());
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.desynchronized());
+}
+
+TEST(Subprocess, WorkerEchoesFrames)
+{
+    Result<WorkerProcess> spawned =
+        WorkerProcess::spawn([](int requestFd, int responseFd) {
+            Frame frame;
+            while (readFrameBlocking(requestFd, frame, nullptr)) {
+                if (frame.type == FrameType::Shutdown)
+                    return 0;
+                frame.payload += " echoed";
+                if (!writeFrameBlocking(responseFd, frame))
+                    return 1;
+            }
+            return 0;
+        });
+    ASSERT_TRUE(spawned.ok()) << spawned.error().describe();
+    WorkerProcess worker = std::move(spawned).value();
+    ASSERT_TRUE(worker.running());
+
+    Frame ping;
+    ping.type = FrameType::Assign;
+    ping.cell = 9;
+    ping.payload = "ping";
+    ASSERT_TRUE(worker.writeFrame(ping));
+
+    FrameDecoder decoder;
+    std::optional<FrameDecoder::Decoded> decoded;
+    std::vector<int> fds = {worker.readFd()};
+    std::vector<bool> readable;
+    for (int spins = 0; spins < 100 && !decoded.has_value();
+         ++spins) {
+        pollReadable(fds, 100, readable);
+        if (readable[0])
+            drainInto(worker.readFd(), decoder);
+        decoded = decoder.next();
+    }
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->checksumOk);
+    EXPECT_EQ(decoded->frame.cell, 9u);
+    EXPECT_EQ(decoded->frame.payload, "ping echoed");
+
+    Frame shutdown;
+    shutdown.type = FrameType::Shutdown;
+    ASSERT_TRUE(worker.writeFrame(shutdown));
+    int status = 0;
+    ASSERT_TRUE(worker.reap(&status, /*block=*/true));
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(Subprocess, KilledWorkerShowsUpAsEofAndReaps)
+{
+    Result<WorkerProcess> spawned =
+        WorkerProcess::spawn([](int requestFd, int) {
+            Frame frame;
+            while (readFrameBlocking(requestFd, frame, nullptr)) {
+            }
+            return 0;
+        });
+    ASSERT_TRUE(spawned.ok()) << spawned.error().describe();
+    WorkerProcess worker = std::move(spawned).value();
+    worker.kill();
+
+    FrameDecoder decoder;
+    std::vector<int> fds = {worker.readFd()};
+    std::vector<bool> readable;
+    bool eof = false;
+    for (int spins = 0; spins < 100 && !eof; ++spins) {
+        pollReadable(fds, 100, readable);
+        if (readable[0])
+            eof = !drainInto(worker.readFd(), decoder);
+    }
+    EXPECT_TRUE(eof);
+    int status = 0;
+    ASSERT_TRUE(worker.reap(&status, /*block=*/true));
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    EXPECT_FALSE(worker.running());
+}
+
+TEST(Subprocess, SiblingDeathIsObservableDespiteLaterForks)
+{
+    // The fd registry must close sibling pipe ends in later-forked
+    // children: otherwise the second worker would keep the first
+    // one's write end open and this EOF would never arrive.
+    Result<WorkerProcess> first =
+        WorkerProcess::spawn([](int requestFd, int) {
+            Frame frame;
+            while (readFrameBlocking(requestFd, frame, nullptr)) {
+            }
+            return 0;
+        });
+    ASSERT_TRUE(first.ok());
+    WorkerProcess victim = std::move(first).value();
+
+    Result<WorkerProcess> second =
+        WorkerProcess::spawn([](int requestFd, int) {
+            Frame frame;
+            while (readFrameBlocking(requestFd, frame, nullptr)) {
+            }
+            return 0;
+        });
+    ASSERT_TRUE(second.ok());
+    WorkerProcess bystander = std::move(second).value();
+
+    victim.kill();
+    FrameDecoder decoder;
+    std::vector<int> fds = {victim.readFd()};
+    std::vector<bool> readable;
+    bool eof = false;
+    for (int spins = 0; spins < 100 && !eof; ++spins) {
+        pollReadable(fds, 100, readable);
+        if (readable[0])
+            eof = !drainInto(victim.readFd(), decoder);
+    }
+    EXPECT_TRUE(eof);
+    EXPECT_TRUE(victim.reap(nullptr, /*block=*/true));
+    EXPECT_TRUE(bystander.running());
+}
+
+TEST(Subprocess, WriteToDeadWorkerFailsInsteadOfKillingParent)
+{
+    Result<WorkerProcess> spawned =
+        WorkerProcess::spawn([](int, int) { return 0; });
+    ASSERT_TRUE(spawned.ok());
+    WorkerProcess worker = std::move(spawned).value();
+    ASSERT_TRUE(worker.reap(nullptr, /*block=*/true));
+
+    // SIGPIPE is ignored process-wide by the first spawn, so this
+    // write reports failure instead of terminating the test binary.
+    Frame frame;
+    frame.type = FrameType::Assign;
+    bool delivered = true;
+    for (int spins = 0; spins < 20 && delivered; ++spins)
+        delivered = worker.writeFrame(frame); // pipe buffer drains
+    EXPECT_FALSE(delivered);
+}
+
+} // namespace
+} // namespace rana

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests of the crash-tolerant sharded sweep engine: byte-identical
+ * merges across worker counts, recovery from injected chaos (worker
+ * kill, stalled cell, corrupted result frame), retry-exhaustion
+ * degradation, and lossless cell-report serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hh"
+#include "robust/campaign_sweep.hh"
+#include "robust/sweep_shard.hh"
+#include "util/logging.hh"
+
+namespace rana {
+namespace {
+
+DatasetConfig
+tinyDataset()
+{
+    DatasetConfig config;
+    config.trainSamples = 256;
+    config.testSamples = 128;
+    config.imageSize = 12;
+    config.numClasses = 4;
+    return config;
+}
+
+TrainerConfig
+tinyTrainer()
+{
+    TrainerConfig config;
+    config.pretrainEpochs = 6;
+    config.retrainEpochs = 2;
+    config.evalRepeats = 2;
+    return config;
+}
+
+CampaignSweepConfig
+tinySweep()
+{
+    CampaignSweepConfig config;
+    config.failureRates = {0.0, 1e-4};
+    config.refreshIntervals = {45e-6, 734e-6};
+    config.campaign = FaultCampaignConfigBuilder()
+                          .trials(4)
+                          .seed(3)
+                          .dataset(tinyDataset())
+                          .trainer(tinyTrainer())
+                          .build();
+    return config;
+}
+
+DesignPoint
+ranaDesign()
+{
+    return makeDesignPoint(DesignKind::RanaE5,
+                           RetentionDistribution::typical65nm());
+}
+
+SweepShardConfig
+fastShard(unsigned workers)
+{
+    SweepShardConfig config;
+    config.workers = workers;
+    config.cellTimeoutMs = 60000;
+    config.maxRetries = 2;
+    config.backoffBaseMs = 1;
+    return config;
+}
+
+/** The single-process reference, canonicalized once per suite. */
+const std::string &
+referenceSweepJson()
+{
+    static const std::string json = [] {
+        Result<CampaignSweepReport> report = runCampaignSweep(
+            ranaDesign(), makeAlexNet(), tinySweep());
+        RANA_ASSERT(report.ok(), "reference sweep failed");
+        return canonicalSweepJson(report.value());
+    }();
+    return json;
+}
+
+TEST(SweepShard, SingleWorkerMatchesInProcessByteForByte)
+{
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), fastShard(1));
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    EXPECT_EQ(sharded.value().stats.workers, 1u);
+    EXPECT_EQ(sharded.value().stats.cells, 4u);
+    EXPECT_EQ(sharded.value().stats.degradedCells, 0u);
+}
+
+TEST(SweepShard, MergeIsByteIdenticalAcrossWorkerCounts)
+{
+    for (unsigned workers : {2u, 4u, 8u}) {
+        Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+            ranaDesign(), makeAlexNet(), tinySweep(),
+            fastShard(workers));
+        ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+        EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+                  referenceSweepJson())
+            << "diverged at workers=" << workers;
+        // More workers than cells forks one per cell, never more.
+        EXPECT_LE(sharded.value().stats.workers, 4u);
+        EXPECT_EQ(sharded.value().stats.degradedCells, 0u);
+    }
+}
+
+TEST(SweepShard, RecoversFromChaosKillByteForByte)
+{
+    SweepShardConfig shard = fastShard(2);
+    shard.chaos.killWorker = 0;
+    shard.chaos.killAfterCells = 1;
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), shard);
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    const SweepShardStats &stats = sharded.value().stats;
+    EXPECT_GE(stats.workerCrashes, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_EQ(stats.degradedCells, 0u);
+}
+
+TEST(SweepShard, RecoversFromStalledCellViaTimeout)
+{
+    SweepShardConfig shard = fastShard(2);
+    shard.cellTimeoutMs = 1500; // stalled attempt dies fast
+    shard.chaos.stallCell = 2;
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), shard);
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    const SweepShardStats &stats = sharded.value().stats;
+    EXPECT_GE(stats.timeouts, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_EQ(stats.degradedCells, 0u);
+}
+
+TEST(SweepShard, RecoversFromCorruptedResultFrame)
+{
+    SweepShardConfig shard = fastShard(2);
+    shard.chaos.corruptCell = 1;
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), shard);
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    const SweepShardStats &stats = sharded.value().stats;
+    EXPECT_GE(stats.corruptFrames, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_EQ(stats.degradedCells, 0u);
+}
+
+TEST(SweepShard, RetryExhaustionDegradesButStaysByteIdentical)
+{
+    // A permanently stalled first attempt with zero retries forces
+    // the degradation path: the cell must run in-process and the
+    // merged report must still match.
+    SweepShardConfig shard = fastShard(2);
+    shard.cellTimeoutMs = 1500;
+    shard.maxRetries = 0;
+    shard.chaos.stallCell = 0;
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), shard);
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    const SweepShardStats &stats = sharded.value().stats;
+    EXPECT_GE(stats.degradedCells, 1u);
+    EXPECT_TRUE(stats.degraded());
+}
+
+TEST(SweepShard, GuardPolicyComparisonShardsByteForByte)
+{
+    CampaignSweepConfig config = tinySweep();
+    config.failureRates = {1e-4};
+    config.refreshIntervals = {734e-6};
+    Result<GuardPolicyComparisonReport> reference =
+        runGuardPolicyComparison(ranaDesign(), makeAlexNet(),
+                                 config);
+    ASSERT_TRUE(reference.ok()) << reference.error().describe();
+
+    Result<ShardedComparisonResult> sharded =
+        runShardedGuardPolicyComparison(ranaDesign(), makeAlexNet(),
+                                        config, fastShard(3));
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalComparisonJson(sharded.value().report),
+              canonicalComparisonJson(reference.value()));
+    EXPECT_EQ(sharded.value().stats.cells, 3u);
+}
+
+TEST(SweepShard, InvalidGridFailsLikeTheInProcessPath)
+{
+    CampaignSweepConfig config = tinySweep();
+    config.failureRates.clear();
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), config, fastShard(2));
+    ASSERT_FALSE(sharded.ok());
+    EXPECT_EQ(sharded.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(SweepShard, CellReportSerializationRoundTripsBitIdentically)
+{
+    CampaignSweepConfig config = tinySweep();
+    Result<PreparedSweep> plan = PreparedSweep::prepareSweep(
+        ranaDesign(), makeAlexNet(), config);
+    ASSERT_TRUE(plan.ok()) << plan.error().describe();
+    Result<FaultCampaignReport> cell = plan.value().runCell(3);
+    ASSERT_TRUE(cell.ok());
+
+    const std::string payload = serializeCellReport(cell.value());
+    Result<FaultCampaignReport> reread = parseCellReport(payload);
+    ASSERT_TRUE(reread.ok()) << reread.error().describe();
+    // Re-serializing the parsed report must reproduce the payload
+    // byte for byte — the merge contract in miniature.
+    EXPECT_EQ(serializeCellReport(reread.value()), payload);
+}
+
+TEST(SweepShard, CellReportParserSurvivesHostileBytes)
+{
+    const std::string good = [] {
+        FaultCampaignReport report;
+        report.designName = "d";
+        report.trials.resize(1);
+        report.exposures.resize(1);
+        return serializeCellReport(report);
+    }();
+
+    EXPECT_FALSE(parseCellReport("").ok());
+    EXPECT_FALSE(parseCellReport("{}").ok());
+    EXPECT_FALSE(parseCellReport("[1,2,3]").ok());
+    EXPECT_FALSE(parseCellReport("not json at all").ok());
+    EXPECT_FALSE(
+        parseCellReport(good.substr(0, good.size() / 2)).ok());
+    std::string flipped = good;
+    flipped[good.size() / 3] ^= 0x40;
+    // A flipped byte either still parses (hit a value) or fails
+    // cleanly; it must never crash.
+    (void)parseCellReport(flipped);
+}
+
+TEST(SweepShard, NonFiniteCellValuesSurviveTheWire)
+{
+    FaultCampaignReport report;
+    report.designName = "poisoned";
+    report.meanAccuracy = std::numeric_limits<double>::quiet_NaN();
+    report.worstAccuracy =
+        -std::numeric_limits<double>::infinity();
+    report.p95Accuracy = std::numeric_limits<double>::infinity();
+    Result<FaultCampaignReport> reread =
+        parseCellReport(serializeCellReport(report));
+    ASSERT_TRUE(reread.ok()) << reread.error().describe();
+    EXPECT_TRUE(std::isnan(reread.value().meanAccuracy));
+    EXPECT_EQ(reread.value().worstAccuracy,
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(reread.value().p95Accuracy,
+              std::numeric_limits<double>::infinity());
+}
+
+} // namespace
+} // namespace rana

@@ -8,9 +8,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 
+#include "util/json_reader.hh"
 #include "util/json_writer.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -290,6 +292,169 @@ TEST(JsonWriter, EscapesStrings)
     json.endObject();
     EXPECT_NE(json.str().find("\"a\\\"b\\\\c\\nd\\te\""),
               std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteValuesStayValidJson)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("nan", std::nan(""));
+    json.field("posInf", std::numeric_limits<double>::infinity());
+    json.field("negInf", -std::numeric_limits<double>::infinity());
+    json.field("finite", 1.5);
+    json.endObject();
+    const std::string text = json.str();
+    EXPECT_NE(text.find("\"nan\": \"NaN\""), std::string::npos);
+    EXPECT_NE(text.find("\"posInf\": \"Infinity\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"negInf\": \"-Infinity\""),
+              std::string::npos);
+    // The whole document must parse with a stock JSON parser.
+    Result<JsonValue> parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+}
+
+TEST(JsonWriter, NonFiniteSentinelsFoldBack)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("nan", std::nan(""));
+    json.field("posInf", std::numeric_limits<double>::infinity());
+    json.field("negInf", -std::numeric_limits<double>::infinity());
+    json.endObject();
+    Result<JsonValue> parsed = JsonValue::parse(json.str());
+    ASSERT_TRUE(parsed.ok());
+    double value = 0.0;
+    ASSERT_TRUE(parsed.value().find("nan")->numberOrSentinel(&value));
+    EXPECT_TRUE(std::isnan(value));
+    ASSERT_TRUE(
+        parsed.value().find("posInf")->numberOrSentinel(&value));
+    EXPECT_EQ(value, std::numeric_limits<double>::infinity());
+    ASSERT_TRUE(
+        parsed.value().find("negInf")->numberOrSentinel(&value));
+    EXPECT_EQ(value, -std::numeric_limits<double>::infinity());
+}
+
+TEST(JsonReader, ParsesScalarsAndContainers)
+{
+    Result<JsonValue> parsed = JsonValue::parse(
+        R"({"a": 1.5, "b": "text", "c": [1, 2, 3], )"
+        R"("d": {"nested": true}, "e": null, "f": false})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    const JsonValue &root = parsed.value();
+    ASSERT_TRUE(root.isObject());
+    EXPECT_DOUBLE_EQ(root.find("a")->asNumber(), 1.5);
+    EXPECT_EQ(root.find("b")->asString(), "text");
+    ASSERT_TRUE(root.find("c")->isArray());
+    EXPECT_EQ(root.find("c")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(root.find("c")->items()[1].asNumber(), 2.0);
+    EXPECT_TRUE(root.find("d")->find("nested")->asBool());
+    EXPECT_TRUE(root.find("e")->isNull());
+    EXPECT_FALSE(root.find("f")->asBool());
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonReader, RoundTripsWriterDoublesBitIdentically)
+{
+    const double values[] = {0.1,
+                             1.0 / 3.0,
+                             6.02214076e23,
+                             -4.9e-324,
+                             0.972973,
+                             734e-6};
+    JsonWriter json;
+    json.beginObject();
+    json.beginArray("v");
+    for (double value : values)
+        json.element(value);
+    json.endArray();
+    json.endObject();
+    Result<JsonValue> parsed = JsonValue::parse(json.str());
+    ASSERT_TRUE(parsed.ok());
+    const std::vector<JsonValue> &items =
+        parsed.value().find("v")->items();
+    ASSERT_EQ(items.size(), std::size(values));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        // Bit-identical, not just approximately equal: the sharded
+        // merge contract rests on this.
+        EXPECT_EQ(items[i].asNumber(), values[i]) << "index " << i;
+    }
+}
+
+TEST(JsonReader, RoundTripsFullRangeU64Exactly)
+{
+    const std::uint64_t values[] = {
+        0u, 1u, (1ull << 53) + 1, 0xFFFFFFFFFFFFFFFFull,
+        0xDEADBEEFCAFEF00Dull};
+    JsonWriter json;
+    json.beginObject();
+    json.beginArray("v");
+    for (std::uint64_t value : values)
+        json.element(value);
+    json.endArray();
+    json.endObject();
+    Result<JsonValue> parsed = JsonValue::parse(json.str());
+    ASSERT_TRUE(parsed.ok());
+    const std::vector<JsonValue> &items =
+        parsed.value().find("v")->items();
+    ASSERT_EQ(items.size(), std::size(values));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        std::uint64_t reread = 0;
+        ASSERT_TRUE(items[i].asUint(&reread)) << "index " << i;
+        EXPECT_EQ(reread, values[i]);
+    }
+}
+
+TEST(JsonReader, AsUintRejectsNonIntegers)
+{
+    Result<JsonValue> parsed = JsonValue::parse(
+        R"({"frac": 1.5, "neg": -3, "exp": 1e3, )"
+        R"("huge": 99999999999999999999})");
+    ASSERT_TRUE(parsed.ok());
+    std::uint64_t value = 0;
+    EXPECT_FALSE(parsed.value().find("frac")->asUint(&value));
+    EXPECT_FALSE(parsed.value().find("neg")->asUint(&value));
+    EXPECT_FALSE(parsed.value().find("exp")->asUint(&value));
+    EXPECT_FALSE(parsed.value().find("huge")->asUint(&value));
+}
+
+TEST(JsonReader, MalformedInputsFailWithoutCrashing)
+{
+    const char *broken[] = {
+        "",
+        "{",
+        "[1, 2",
+        "{\"a\": }",
+        "{\"a\": 1,}",
+        "{\"a\" 1}",
+        "tru",
+        "nul",
+        "{\"a\": inf}",
+        "{\"a\": nan}",
+        "{\"a\": 0x10}",
+        "{\"a\": 1.}",
+        "{\"a\": 1e}",
+        "{\"a\": \"unterminated}",
+        "{\"a\": \"bad\\q\"}",
+        "{\"a\": 1} trailing",
+        "\x52\x41\x4e\x46\x01\x02",
+    };
+    for (const char *text : broken) {
+        Result<JsonValue> parsed = JsonValue::parse(text);
+        EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+        if (!parsed.ok())
+            EXPECT_EQ(parsed.error().code, ErrorCode::ParseError);
+    }
+}
+
+TEST(JsonReader, DepthLimitStopsHostileNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    Result<JsonValue> parsed = JsonValue::parse(deep);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, ErrorCode::ParseError);
 }
 
 } // namespace

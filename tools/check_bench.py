@@ -1,39 +1,43 @@
 #!/usr/bin/env python3
-"""Benchmark-regression gate for the CI release job.
+"""Benchmark-regression gate for the CI release and chaos jobs.
 
-Compares the machine-readable benchmark outputs against a checked-in
+Compares machine-readable benchmark outputs against a checked-in
 baseline with explicit tolerances:
 
-    check_bench.py <baseline.json> <fault_campaign.json> \
-                   [sched_scaling.json]
+    check_bench.py <baseline.json> <BENCH_*.json> [BENCH_*.json ...]
 
 Every artifact must carry the unified rana_bench envelope: a known
-"harness" name matching its argument slot, a "mode" of correctness
-or perf and a non-empty "samples" array; anything else fails with
-the list of known harnesses.
+"harness" name, a "mode" of correctness or perf and a non-empty
+"samples" array. Artifacts are dispatched to their gate by that
+"harness" field, so argument order does not matter; passing the same
+harness twice or a harness without a gate fails loudly.
 
-The fault-campaign gate reads the "gate" object that
-bench_fault_campaign emits for its retrained operating point
-(failure rate 1e-5) and fails if the p50 relative accuracy drops by
-more than the baseline's tolerance. Tolerance-based rather than
-exact comparison: accuracies differ in the last few ULPs across
-compilers (FMA contraction), so only a real regression trips the
-gate.
+Every gate failure names the failing metric and prints the actual
+value, the expected value and the tolerance that was applied, so a
+red CI run says what regressed without re-running anything.
 
-The campaign-throughput gate (baseline key "campaign_throughput")
-holds the trial-batched sweep to min_speedup x the recorded scalar
-(laneBlock=1) cells-per-second baseline, so a regression in the
-batched forward path trips CI even while accuracies stay identical.
+Gates:
 
-The guard-policy gate reads the "guard_policies" array (the
-permanent/hysteresis/binned comparison under an injected scan
-stall): every baseline policy must be present, must have absorbed
-its watchdog trips without corrupted-word events, and must hold the
-same p50 relative-accuracy floor as the main gate.
+* fault_campaign - the "gate" object bench_fault_campaign emits for
+  the paper's retrained operating point (failure rate 1e-5) must
+  hold the baseline's relative-accuracy floors; tolerance-based
+  rather than exact because accuracies differ in the last few ULPs
+  across compilers (FMA contraction). The campaign-throughput gate
+  (baseline key "campaign_throughput") holds the trial-batched sweep
+  to min_speedup x the recorded scalar cells-per-second baseline,
+  and the guard-policy gate checks the permanent/hysteresis/binned
+  comparison (trips absorbed, no corrupted words, same p50 floor).
 
-The optional sched-scaling check is a sanity gate, not a performance
-gate (CI runners have noisy, heterogeneous CPUs): every lane must
-have produced an identical schedule and a positive runtime.
+* sweep_shard - the crash-tolerant sharded sweep must merge
+  byte-identically with the single-process reference, both clean and
+  under seeded chaos, the injected kill/stall/corruption must all
+  have fired, and no cell may degrade past the baseline's
+  max_degraded_cells (exact counts, no tolerance: determinism is the
+  contract).
+
+* sched_scaling - sanity gate, not a performance gate (CI runners
+  have noisy, heterogeneous CPUs): every lane count must produce an
+  identical schedule and a positive runtime.
 
 Exit codes: 0 pass, 1 regression or malformed input.
 """
@@ -64,6 +68,7 @@ KNOWN_HARNESSES = (
     "sched_scaling",
     "fault_campaign",
     "campaign_batch",
+    "sweep_shard",
     "micro",
 )
 
@@ -73,51 +78,77 @@ def fail(message):
     return 1
 
 
+def fail_metric(metric, actual, expected, tolerance, detail=""):
+    """The uniform gate-failure line: which metric regressed, the
+    value it produced, the value the baseline expects and the
+    tolerance that was applied before comparing."""
+    suffix = f" ({detail})" if detail else ""
+    return fail(
+        f"metric '{metric}': actual={actual} expected={expected} "
+        f"tolerance={tolerance}{suffix}"
+    )
+
+
+def passed(metric, actual, expected, tolerance):
+    print(
+        f"check_bench: metric '{metric}': actual={actual} "
+        f"expected={expected} tolerance={tolerance}: ok"
+    )
+    return 0
+
+
 def load(path):
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
 
 
-def check_unified_schema(report, path, expected_harness):
+def check_unified_schema(report, path):
     """Validate the unified BENCH_*.json envelope the rana_bench
-    driver writes: a known "harness" name (expected_harness for this
-    slot), a valid "mode" and a well-formed "samples" array."""
+    driver writes: a known "harness" name, a valid "mode" and a
+    well-formed "samples" array. Returns (status, harness)."""
     harness = report.get("harness")
     if harness is None:
-        return fail(
-            f"{path} is missing the 'harness' field (not written "
-            f"by rana_bench?); known harnesses: "
-            f"{', '.join(KNOWN_HARNESSES)}"
+        return (
+            fail(
+                f"{path} is missing the 'harness' field (not "
+                f"written by rana_bench?); known harnesses: "
+                f"{', '.join(KNOWN_HARNESSES)}"
+            ),
+            None,
         )
     if harness not in KNOWN_HARNESSES:
-        return fail(
-            f"{path} names unknown harness '{harness}'; known "
-            f"harnesses: {', '.join(KNOWN_HARNESSES)}"
-        )
-    if harness != expected_harness:
-        return fail(
-            f"{path} holds harness '{harness}' but this argument "
-            f"slot expects '{expected_harness}'"
+        return (
+            fail(
+                f"{path} names unknown harness '{harness}'; known "
+                f"harnesses: {', '.join(KNOWN_HARNESSES)}"
+            ),
+            None,
         )
     mode = report.get("mode")
     if mode not in ("correctness", "perf"):
-        return fail(
-            f"{path} has invalid mode '{mode}' (expect "
-            "'correctness' or 'perf')"
+        return (
+            fail(
+                f"{path} has invalid mode '{mode}' (expect "
+                "'correctness' or 'perf')"
+            ),
+            None,
         )
     samples = report.get("samples")
     if not isinstance(samples, list) or not samples:
-        return fail(f"{path} has no 'samples' array")
+        return (fail(f"{path} has no 'samples' array"), None)
     for sample in samples:
         if not all(key in sample for key in ("metric", "value", "unit")):
-            return fail(
-                f"{path} has a malformed perf sample: {sample}"
+            return (
+                fail(
+                    f"{path} has a malformed perf sample: {sample}"
+                ),
+                None,
             )
     print(
         f"check_bench: {path}: harness '{harness}', mode '{mode}', "
         f"{len(samples)} perf sample(s)"
     )
-    return 0
+    return (0, harness)
 
 
 def check_campaign_throughput(baseline, report):
@@ -133,23 +164,23 @@ def check_campaign_throughput(baseline, report):
             "fault campaign JSON has no 'campaign_throughput' "
             "field"
         )
-    floor = (
-        expected["baseline_cells_per_second"]
-        * expected["min_speedup"]
-    )
+    scalar = expected["baseline_cells_per_second"]
+    speedup = expected["min_speedup"]
+    floor = scalar * speedup
+    metric = "campaign_throughput"
     if throughput < floor:
-        return fail(
-            f"campaign_throughput {throughput:.3f} cells/s below "
-            f"{expected['min_speedup']:.1f}x scalar baseline "
-            f"{expected['baseline_cells_per_second']:.3f} "
-            f"(floor {floor:.3f})"
+        return fail_metric(
+            metric,
+            f"{throughput:.3f} cells/s",
+            f">= {floor:.3f} cells/s",
+            f"{speedup:.1f}x scalar baseline {scalar:.3f}",
         )
-    print(
-        f"check_bench: campaign_throughput {throughput:.3f} "
-        f"cells/s >= floor {floor:.3f} "
-        f"({expected['min_speedup']:.1f}x scalar baseline)"
+    return passed(
+        metric,
+        f"{throughput:.3f} cells/s",
+        f">= {floor:.3f} cells/s",
+        f"{speedup:.1f}x scalar baseline {scalar:.3f}",
     )
-    return 0
 
 
 def check_fault_campaign(baseline, report):
@@ -159,24 +190,27 @@ def check_fault_campaign(baseline, report):
     expected = baseline["fault_campaign"]
     tolerance = expected["tolerance"]
     for key in ("p50_relative_accuracy", "worst_relative_accuracy"):
+        metric = f"gate.{key}"
         if key not in gate:
             return fail(f"gate object missing '{key}'")
         floor = expected[key] - tolerance
         if gate[key] < floor:
-            return fail(
-                f"{key} {gate[key]:.6f} below baseline "
-                f"{expected[key]:.6f} - tolerance {tolerance:.3f} "
-                f"(floor {floor:.6f})"
+            return fail_metric(
+                metric,
+                f"{gate[key]:.6f}",
+                f"{expected[key]:.6f}",
+                f"{tolerance:.3f}",
+                f"floor {floor:.6f}",
             )
-        print(
-            f"check_bench: {key} {gate[key]:.6f} >= floor "
-            f"{floor:.6f} (baseline {expected[key]:.6f})"
-        )
+        passed(metric, f"{gate[key]:.6f}", f"{expected[key]:.6f}",
+               f"{tolerance:.3f}")
     rate = gate.get("failure_rate")
     if rate != expected["failure_rate"]:
-        return fail(
-            f"gate failure rate {rate} != baseline "
-            f"{expected['failure_rate']}"
+        return fail_metric(
+            "gate.failure_rate",
+            f"{rate}",
+            f"{expected['failure_rate']}",
+            "exact",
         )
     return 0
 
@@ -198,29 +232,95 @@ def check_guard_policies(baseline, report):
                 f"guard_policies array is missing policy "
                 f"'{policy}'"
             )
-        if row.get("trips", 0) <= 0:
-            return fail(
-                f"policy '{policy}' recorded no watchdog trips "
-                "(the stall no longer provokes the guard)"
+        trips = row.get("trips", 0)
+        if trips <= 0:
+            return fail_metric(
+                f"guard_policies[{policy}].trips",
+                f"{trips}",
+                "> 0",
+                "exact",
+                "the stall no longer provokes the guard",
             )
-        if row.get("retention_violations", 0) != 0:
-            return fail(
-                f"policy '{policy}' leaked "
-                f"{row['retention_violations']} corrupted-word "
-                "events"
+        violations = row.get("retention_violations", 0)
+        if violations != 0:
+            return fail_metric(
+                f"guard_policies[{policy}].retention_violations",
+                f"{violations}",
+                "0",
+                "exact",
+                "corrupted-word events leaked past the guard",
             )
         p50 = row.get("p50_relative_accuracy", 0.0)
+        metric = f"guard_policies[{policy}].p50_relative_accuracy"
         if p50 < floor:
-            return fail(
-                f"policy '{policy}' p50 relative accuracy "
-                f"{p50:.6f} below floor {floor:.6f}"
+            return fail_metric(
+                metric,
+                f"{p50:.6f}",
+                f"{expected['p50_relative_accuracy']:.6f}",
+                f"{tolerance:.3f}",
+                f"floor {floor:.6f}",
             )
-        print(
-            f"check_bench: guard policy '{policy}' "
-            f"{row['trips']} trips, 0 violations, p50 "
-            f"{p50:.6f} >= floor {floor:.6f}"
-        )
+        passed(metric, f"{p50:.6f}",
+               f"{expected['p50_relative_accuracy']:.6f}",
+               f"{tolerance:.3f}")
     return 0
+
+
+def check_sweep_shard(baseline, report):
+    """Gate the crash-tolerant sharded sweep: byte-identical merges
+    (clean and under chaos), chaos faults that actually fired, and a
+    bounded number of degraded (in-process fallback) cells. Exact
+    comparisons throughout - determinism is the contract."""
+    expected = baseline.get("sweep_shard", {})
+    max_degraded = expected.get("max_degraded_cells", 0)
+
+    identical = report.get("merge_identical")
+    if identical is not True:
+        return fail_metric(
+            "merge_identical",
+            f"{identical}",
+            "true",
+            "exact",
+            "sharded merge diverged from the single-process sweep",
+        )
+    passed("merge_identical", "true", "true", "exact")
+
+    exercised = report.get("chaos_exercised")
+    if exercised is not True:
+        return fail_metric(
+            "chaos_exercised",
+            f"{exercised}",
+            "true",
+            "exact",
+            "seeded kill/stall/corruption no longer fires",
+        )
+    passed("chaos_exercised", "true", "true", "exact")
+
+    chaos = report.get("chaos")
+    if not isinstance(chaos, dict):
+        return fail("sweep shard JSON has no 'chaos' object")
+    for counter in ("worker_crashes", "timeouts", "corrupt_frames"):
+        value = chaos.get(counter, 0)
+        if value < 1:
+            return fail_metric(
+                f"chaos.{counter}",
+                f"{value}",
+                ">= 1",
+                "exact",
+                "the injected fault did not fire",
+            )
+    degraded = chaos.get("degraded_cells", 0)
+    metric = "chaos.degraded_cells"
+    if degraded > max_degraded:
+        return fail_metric(
+            metric,
+            f"{degraded}",
+            f"<= {max_degraded}",
+            "exact",
+            "cells fell back to in-process execution",
+        )
+    return passed(metric, f"{degraded}", f"<= {max_degraded}",
+                  "exact")
 
 
 def check_sched_scaling(report):
@@ -228,15 +328,23 @@ def check_sched_scaling(report):
     if not points:
         return fail("sched scaling JSON has no 'points'")
     for point in points:
+        jobs = point.get("jobs")
         if not point.get("identical", False):
-            return fail(
-                f"lane count {point.get('jobs')} produced a "
-                "non-identical schedule"
+            return fail_metric(
+                f"points[jobs={jobs}].identical",
+                f"{point.get('identical')}",
+                "true",
+                "exact",
+                "non-identical schedule across lane counts",
             )
-        if point.get("seconds", 0.0) <= 0.0:
-            return fail(
-                f"lane count {point.get('jobs')} reported a "
-                "non-positive runtime"
+        seconds = point.get("seconds", 0.0)
+        if seconds <= 0.0:
+            return fail_metric(
+                f"points[jobs={jobs}].seconds",
+                f"{seconds}",
+                "> 0",
+                "exact",
+                "non-positive runtime",
             )
     print(
         f"check_bench: sched scaling sane across "
@@ -245,40 +353,53 @@ def check_sched_scaling(report):
     return 0
 
 
+# The harnesses this gate knows how to check, keyed by the artifact's
+# own "harness" field (so argument order never matters).
+GATES = {
+    "fault_campaign": lambda baseline, report: (
+        check_fault_campaign(baseline, report)
+        or check_campaign_throughput(baseline, report)
+        or check_guard_policies(baseline, report)
+    ),
+    "sweep_shard": check_sweep_shard,
+    "sched_scaling": lambda baseline, report: check_sched_scaling(
+        report
+    ),
+}
+
+
 def main(argv):
     if len(argv) < 3:
         print(
-            "usage: check_bench.py <baseline.json> "
-            "<fault_campaign.json> [sched_scaling.json]",
+            "usage: check_bench.py <baseline.json> <BENCH_*.json> "
+            "[BENCH_*.json ...]",
             file=sys.stderr,
         )
         return 1
     try:
         baseline = load(argv[1])
-        campaign = load(argv[2])
     except (OSError, json.JSONDecodeError) as error:
         return fail(str(error))
-    status = check_unified_schema(campaign, argv[2], "fault_campaign")
-    if status != 0:
-        return status
-    status = check_fault_campaign(baseline, campaign)
-    if status != 0:
-        return status
-    status = check_campaign_throughput(baseline, campaign)
-    if status != 0:
-        return status
-    status = check_guard_policies(baseline, campaign)
-    if status != 0:
-        return status
-    if len(argv) > 3:
+    seen = set()
+    for path in argv[2:]:
         try:
-            sched = load(argv[3])
+            report = load(path)
         except (OSError, json.JSONDecodeError) as error:
             return fail(str(error))
-        status = check_unified_schema(sched, argv[3], "sched_scaling")
+        status, harness = check_unified_schema(report, path)
         if status != 0:
             return status
-        status = check_sched_scaling(sched)
+        if harness in seen:
+            return fail(f"{path} repeats harness '{harness}'")
+        seen.add(harness)
+        gate = GATES.get(harness)
+        if gate is None:
+            return fail(
+                f"{path} holds harness '{harness}', which has no "
+                f"regression gate; gated harnesses: "
+                f"{', '.join(sorted(GATES))}"
+            )
+        status = gate(baseline, report)
         if status != 0:
             return status
     print("check_bench: PASS")

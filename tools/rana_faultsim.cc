@@ -44,6 +44,21 @@
  *                        (default 0,1e-5,1e-4)
  *   --intervals LIST     comma-separated sweep refresh intervals in
  *                        seconds (default 45e-6,734e-6)
+ *   --workers N          shard --sweep / --compare-policies over N
+ *                        forked worker processes (0 = in-process;
+ *                        the merged report is byte-identical to the
+ *                        in-process run for any N)
+ *   --cell-timeout-ms N  per-cell deadline before the worker is
+ *                        declared hung and killed (default 120000)
+ *   --max-retries N      retries per cell before degrading it to
+ *                        in-process execution (default 2)
+ *   --backoff-ms N       first retry delay, doubled per further
+ *                        attempt (default 25)
+ *   --chaos SPEC         deterministic shard-fault injection, a
+ *                        comma-separated list of kill=W:K (kill
+ *                        worker W after K cells), stall=C (hang
+ *                        cell C's first attempt) and corrupt=C
+ *                        (corrupt cell C's first result frame)
  *   --metrics-json PATH  write a metrics-registry snapshot to PATH
  *   --chrome-trace PATH  record a Chrome trace_event timeline
  *                        (chrome://tracing / Perfetto) to PATH
@@ -54,7 +69,11 @@
  *
  * Exit codes: 0 success, 1 bad usage or failed campaign, 2 a guarded
  * run still observed corrupted-word events (the guard failed its
- * zero-corruption promise).
+ * zero-corruption promise), 3 a sharded sweep completed but one or
+ * more cells exhausted their retries and fell back to in-process
+ * execution (degraded: the report is still complete and
+ * byte-identical, but worker-level fault isolation was lost; exit 2
+ * takes precedence when both apply).
  */
 
 #include <cstdlib>
@@ -66,6 +85,7 @@
 #include "obs/chrome_trace.hh"
 #include "obs/pool_telemetry.hh"
 #include "rana.hh"
+#include "robust/sweep_shard.hh"
 #include "sim/trace_timeline.hh"
 
 namespace {
@@ -120,6 +140,70 @@ fail(const Error &error)
     return cli::fail("rana_faultsim", error);
 }
 
+/**
+ * Parse a --chaos spec: comma-separated kill=W:K, stall=C and
+ * corrupt=C items.
+ */
+Result<ShardChaosConfig>
+parseChaosSpec(const std::string &spec)
+{
+    ShardChaosConfig chaos;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(start, comma - start);
+        start = comma + 1;
+        const std::size_t equals = item.find('=');
+        if (equals == std::string::npos) {
+            return makeError(ErrorCode::InvalidArgument,
+                             "bad chaos item '", item,
+                             "' (expected kill=W:K, stall=C or "
+                             "corrupt=C)");
+        }
+        const std::string key = item.substr(0, equals);
+        const std::string value = item.substr(equals + 1);
+        char *end = nullptr;
+        if (key == "kill") {
+            const std::size_t colon = value.find(':');
+            if (colon == std::string::npos) {
+                return makeError(ErrorCode::InvalidArgument,
+                                 "bad kill spec '", value,
+                                 "' (expected W:K)");
+            }
+            chaos.killWorker = static_cast<int>(
+                std::strtol(value.c_str(), &end, 10));
+            if (end != value.c_str() + colon) {
+                return makeError(ErrorCode::InvalidArgument,
+                                 "bad kill worker in '", value, "'");
+            }
+            const std::string after = value.substr(colon + 1);
+            chaos.killAfterCells = static_cast<std::uint32_t>(
+                std::strtoul(after.c_str(), &end, 10));
+            if (after.empty() ||
+                end != after.c_str() + after.size()) {
+                return makeError(ErrorCode::InvalidArgument,
+                                 "bad kill cell count in '", value,
+                                 "'");
+            }
+        } else if (key == "stall" || key == "corrupt") {
+            const long cell = std::strtol(value.c_str(), &end, 10);
+            if (value.empty() ||
+                end != value.c_str() + value.size()) {
+                return makeError(ErrorCode::InvalidArgument, "bad ",
+                                 key, " cell '", value, "'");
+            }
+            (key == "stall" ? chaos.stallCell : chaos.corruptCell) =
+                static_cast<int>(cell);
+        } else {
+            return makeError(ErrorCode::InvalidArgument,
+                             "unknown chaos key '", key, "'");
+        }
+    }
+    return chaos;
+}
+
 /** The comparison-format row of one guarded campaign report. */
 GuardPolicyRow
 policyRowOf(const FaultCampaignReport &report)
@@ -151,7 +235,9 @@ main(int argc, char **argv)
                      "[--slowdown FACTOR] "
                      "[--stall SECONDS] [--no-retrain] [--markdown] "
                      "[--sweep] [--compare-policies] [--rates LIST] "
-                     "[--intervals LIST] "
+                     "[--intervals LIST] [--workers N] "
+                     "[--cell-timeout-ms N] [--max-retries N] "
+                     "[--backoff-ms N] [--chaos SPEC] "
                   << cli::commonOptionsUsage() << "\n";
         return 1;
     }
@@ -165,6 +251,8 @@ main(int argc, char **argv)
     bool sweep = false;
     bool compare = false;
     bool policy_row = false;
+    bool sharded = false;
+    SweepShardConfig shard;
     std::vector<double> sweep_rates = {0.0, 1e-5, 1e-4};
     std::vector<double> sweep_intervals = {45e-6, 734e-6};
     for (int i = 2; i < argc; ++i) {
@@ -238,6 +326,24 @@ main(int argc, char **argv)
             if (!intervals.ok())
                 return fail(intervals.error());
             sweep_intervals = intervals.value();
+        } else if (arg == "--workers") {
+            shard.workers = static_cast<unsigned>(number(next()));
+            sharded = shard.workers > 0;
+        } else if (arg == "--cell-timeout-ms") {
+            shard.cellTimeoutMs =
+                static_cast<std::uint32_t>(number(next()));
+        } else if (arg == "--max-retries") {
+            shard.maxRetries =
+                static_cast<std::uint32_t>(number(next()));
+        } else if (arg == "--backoff-ms") {
+            shard.backoffBaseMs =
+                static_cast<std::uint32_t>(number(next()));
+        } else if (arg == "--chaos") {
+            const Result<ShardChaosConfig> chaos =
+                parseChaosSpec(next());
+            if (!chaos.ok())
+                return fail(chaos.error());
+            shard.chaos = chaos.value();
         } else {
             return fail(makeError(ErrorCode::InvalidArgument,
                                   "unknown option ", arg));
@@ -287,8 +393,23 @@ main(int argc, char **argv)
         sweep_config.guardPolicies[1].kind =
             GuardPolicyKind::Hysteresis;
         sweep_config.guardPolicies[2].kind = GuardPolicyKind::Binned;
-        const Result<GuardPolicyComparisonReport> compared =
-            runGuardPolicyComparison(design, network, sweep_config);
+        Result<GuardPolicyComparisonReport> compared =
+            makeError(ErrorCode::InvalidArgument, "unreachable");
+        SweepShardStats shard_stats;
+        if (sharded) {
+            Result<ShardedComparisonResult> result =
+                runShardedGuardPolicyComparison(design, network,
+                                                sweep_config, shard);
+            if (!result.ok())
+                return fail(result.error());
+            shard_stats = result.value().stats;
+            std::cerr << "shard: " << shard_stats.describe() << "\n";
+            compared = std::move(result).value().report;
+        } else {
+            compared =
+                runGuardPolicyComparison(design, network,
+                                         sweep_config);
+        }
         if (!compared.ok())
             return fail(compared.error());
         const GuardPolicyComparisonReport &report = compared.value();
@@ -307,7 +428,7 @@ main(int argc, char **argv)
             if (cell.report.retentionViolations > 0)
                 return 2;
         }
-        return 0;
+        return shard_stats.degraded() ? 3 : 0;
     }
 
     if (sweep) {
@@ -315,8 +436,21 @@ main(int argc, char **argv)
         sweep_config.failureRates = sweep_rates;
         sweep_config.refreshIntervals = sweep_intervals;
         sweep_config.campaign = config;
-        const Result<CampaignSweepReport> swept =
-            runCampaignSweep(design, network, sweep_config);
+        Result<CampaignSweepReport> swept =
+            makeError(ErrorCode::InvalidArgument, "unreachable");
+        SweepShardStats shard_stats;
+        if (sharded) {
+            Result<ShardedSweepResult> result =
+                runShardedCampaignSweep(design, network,
+                                        sweep_config, shard);
+            if (!result.ok())
+                return fail(result.error());
+            shard_stats = result.value().stats;
+            std::cerr << "shard: " << shard_stats.describe() << "\n";
+            swept = std::move(result).value().report;
+        } else {
+            swept = runCampaignSweep(design, network, sweep_config);
+        }
         if (!swept.ok())
             return fail(swept.error());
         const CampaignSweepReport &report = swept.value();
@@ -337,7 +471,7 @@ main(int argc, char **argv)
         const Result<int> wrote = cli::writeObservability(common);
         if (!wrote.ok())
             return fail(wrote.error());
-        return 0;
+        return shard_stats.degraded() ? 3 : 0;
     }
 
     const Result<FaultCampaignReport> campaign =
