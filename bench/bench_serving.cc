@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Multi-tenant serving harness: the QoS numbers of a mixed
+ * AlexNet/VGG workload on one shared RANA accelerator, plus the
+ * engine's bit-reproducibility contract.
+ *
+ * Four tenants (open-loop Poisson arrivals at the auto-resolved fair
+ * share, hysteresis guard policy, a small per-batch overage rate)
+ * are served for a fixed virtual horizon. The prepared simulation is
+ * replayed four times — data-plane pools of 1, 2 and 8 lanes plus a
+ * repeat — and every replay must produce byte-identical canonical
+ * report JSON; the emitted BENCH_serving.json carries that
+ * "deterministic_replay" verdict together with the latency/
+ * throughput gate numbers (worst per-tenant p99, total throughput),
+ * which tools/check_bench.py holds against the baseline SLOs.
+ */
+
+#include "harness.hh"
+
+#include <chrono>
+
+#include "serving/serving.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace rana;
+
+ServingConfig
+servingBenchConfig(bool fast)
+{
+    GuardPolicySpec policy;
+    policy.kind = GuardPolicyKind::Hysteresis;
+    policy.hysteresisK = 4;
+
+    ServingConfig config;
+    config.tenants = mixedTenantSpecs(4, policy, 0.02);
+    config.durationSeconds = fast ? 0.5 : 2.0;
+    config.seed = 11;
+    return config;
+}
+
+void
+runServingBench(rana::bench::BenchContext &ctx)
+{
+    using namespace rana::bench;
+
+    const ServingConfig config = servingBenchConfig(ctx.fast);
+    const double duration = config.durationSeconds;
+
+    auto start = std::chrono::steady_clock::now();
+    Result<ServingSimulation> sim =
+        ServingSimulation::prepare(config);
+    const double prepare_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!sim.ok())
+        fatal("serving prepare failed: ", sim.error().message);
+
+    // Replay the prepared workload across data-plane pool sizes; a
+    // deterministic engine yields byte-identical canonical reports.
+    const unsigned pools[] = {1, 2, 8, 2};
+    std::string reference;
+    ServingReport report;
+    double run_seconds = 0.0;
+    bool identical = true;
+    for (const unsigned jobs : pools) {
+        start = std::chrono::steady_clock::now();
+        Result<ServingReport> replay = sim.value().run(jobs);
+        run_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        if (!replay.ok())
+            fatal("serving run failed: ", replay.error().message);
+        const std::string canonical =
+            canonicalServingJson(replay.value());
+        if (reference.empty())
+            reference = canonical;
+        else if (canonical != reference)
+            identical = false;
+        report = std::move(replay).value();
+    }
+
+    std::cout << report.describe() << "\n\n"
+              << report.markdownTable() << "\n";
+
+    ctx.perf("prepare_seconds", prepare_seconds, "s");
+    ctx.perf("replay_seconds", run_seconds, "s");
+    ctx.perf("virtual_throughput", report.totalThroughputRps, "rps");
+    ctx.perf("worst_p99_latency", report.worstP99Ms, "ms");
+
+    if (!identical)
+        fatal("serving replays diverged across pool sizes");
+    if (report.totalCompleted == 0)
+        fatal("serving run completed no requests");
+
+    JsonWriter &json = *ctx.json;
+    json.field("bench", "serving");
+    json.field("design", report.designName);
+    json.field("tenants",
+               static_cast<std::uint64_t>(report.tenants.size()));
+    json.field("duration_seconds", duration);
+    json.field("seed", config.seed);
+    json.field("deterministic_replay", identical);
+    json.field("total_completed", report.totalCompleted);
+    json.field("total_shed", report.totalShed);
+    json.field("throughput_rps", report.totalThroughputRps);
+    json.field("worst_p99_ms", report.worstP99Ms);
+    json.field("peak_queue_depth", report.peakQueueDepth);
+    json.beginArray("tenant_p99_ms");
+    for (const TenantServingStats &stats : report.tenants)
+        json.element(stats.p99Ms);
+    json.endArray();
+}
+
+} // namespace
+
+RANA_BENCH("serving",
+           "Multi-tenant serving QoS - per-tenant latency "
+           "percentiles and deterministic replay across pool sizes",
+           runServingBench);

@@ -1,0 +1,42 @@
+#include "edram/bank_sharding.hh"
+
+#include <sstream>
+
+namespace rana {
+
+std::string
+BankShard::describe() const
+{
+    std::ostringstream oss;
+    oss << "banks " << firstBank << "-" << (endBank() - 1);
+    return oss.str();
+}
+
+Result<std::vector<BankShard>>
+partitionBanks(std::uint32_t total_banks, std::uint32_t shards)
+{
+    if (shards == 0) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "bank partition needs at least one shard");
+    }
+    if (shards > total_banks) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "cannot split ", total_banks, " banks into ",
+                         shards, " shards of at least one bank");
+    }
+    const std::uint32_t base = total_banks / shards;
+    const std::uint32_t remainder = total_banks % shards;
+    std::vector<BankShard> result;
+    result.reserve(shards);
+    std::uint32_t next = 0;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        BankShard shard;
+        shard.firstBank = next;
+        shard.banks = base + (i < remainder ? 1 : 0);
+        next += shard.banks;
+        result.push_back(shard);
+    }
+    return result;
+}
+
+} // namespace rana

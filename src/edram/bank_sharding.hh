@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static partitioning of the eDRAM bank pool across tenants.
+ *
+ * The serving engine runs N concurrent tenants against one shared
+ * accelerator; each tenant's working set is pinned to its own
+ * contiguous slice of the buffer's banks so a retention overage in
+ * one tenant's slice — and the guard reaction it provokes — never
+ * spills into a neighbour's refresh behaviour. The partition is the
+ * serving-time analogue of the per-layer bank allocation the
+ * scheduler performs for a single network: contiguous ranges,
+ * remainder banks spread over the first shards, every bank owned by
+ * exactly one shard.
+ */
+
+#ifndef RANA_EDRAM_BANK_SHARDING_HH_
+#define RANA_EDRAM_BANK_SHARDING_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hh"
+
+namespace rana {
+
+/** One tenant's contiguous slice of the bank pool. */
+struct BankShard
+{
+    /** First physical bank index of the slice. */
+    std::uint32_t firstBank = 0;
+    /** Number of banks in the slice (>= 1). */
+    std::uint32_t banks = 0;
+
+    /** One past the last bank of the slice. */
+    std::uint32_t endBank() const { return firstBank + banks; }
+
+    /** Human-readable range, e.g. "banks 12-23". */
+    std::string describe() const;
+};
+
+/**
+ * Split `total_banks` banks into `shards` contiguous slices.
+ * Slice sizes differ by at most one bank (the remainder goes to the
+ * lowest-indexed slices) and the slices cover the pool exactly.
+ * Fails with ErrorCode::InvalidArgument when `shards` is zero or
+ * exceeds `total_banks` (a shard must own at least one bank).
+ */
+Result<std::vector<BankShard>> partitionBanks(std::uint32_t total_banks,
+                                              std::uint32_t shards);
+
+} // namespace rana
+
+#endif // RANA_EDRAM_BANK_SHARDING_HH_

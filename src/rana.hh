@@ -55,6 +55,12 @@
 #include "robust/campaign_sweep.hh"
 #include "robust/fault_campaign.hh"
 
+// Multi-tenant serving: admission control, per-tenant bank
+// sharding and the virtual-time serving simulation.
+#include "edram/bank_sharding.hh"
+#include "serving/admission.hh"
+#include "serving/serving.hh"
+
 // Reporting, observability and infrastructure.
 #include "core/report.hh"
 #include "obs/metrics_registry.hh"

@@ -1,0 +1,127 @@
+#include "serving/admission.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rana {
+
+AdmissionQueue::AdmissionQueue(std::uint32_t capacity)
+    : capacity_(std::max<std::uint32_t>(capacity, 1))
+{
+}
+
+std::size_t
+AdmissionQueue::depthFor(std::uint32_t tenant) const
+{
+    if (tenant >= perTenant_.size())
+        return 0;
+    return perTenant_[tenant];
+}
+
+bool
+AdmissionQueue::admit(const ServingRequest &request)
+{
+    if (full())
+        return false;
+    queue_.push_back(request);
+    if (request.tenant >= perTenant_.size())
+        perTenant_.resize(request.tenant + 1, 0);
+    ++perTenant_[request.tenant];
+    peak_ = std::max<std::uint64_t>(peak_, queue_.size());
+    return true;
+}
+
+std::vector<ServingRequest>
+AdmissionQueue::takeTenant(std::uint32_t tenant,
+                           std::uint32_t max_lanes)
+{
+    std::vector<ServingRequest> taken;
+    if (max_lanes == 0)
+        return taken;
+    for (auto it = queue_.begin();
+         it != queue_.end() && taken.size() < max_lanes;) {
+        if (it->tenant == tenant) {
+            taken.push_back(*it);
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (tenant < perTenant_.size())
+        perTenant_[tenant] -= taken.size();
+    return taken;
+}
+
+TenantGuard::TenantGuard(std::unique_ptr<GuardPolicy> policy,
+                         double certified_interval,
+                         double escalation_tax)
+    : policy_(std::move(policy)),
+      certifiedInterval_(certified_interval),
+      escalationTax_(escalation_tax)
+{
+    RANA_ASSERT(policy_ != nullptr, "tenant guard needs a policy");
+    RANA_ASSERT(certifiedInterval_ > 0.0,
+                "certified refresh interval must be positive");
+}
+
+void
+TenantGuard::onOverage()
+{
+    ++trips_;
+    // The serving engine treats a tenant's shard as one bank group;
+    // activations dominate the buffered working set, so the policy's
+    // per-type state is keyed on Output.
+    apply(policy_->onTrip(DataType::Output));
+    // A trip can never leave the tenant un-guarded: a KeepArmed
+    // answer arms the shedding state, an Escalate answer arms the
+    // divider-bin state (apply() already did either).
+}
+
+void
+TenantGuard::onCleanInterval()
+{
+    if (!armed())
+        return;
+    apply(policy_->onCleanInterval(DataType::Output));
+}
+
+double
+TenantGuard::serviceMultiplier() const
+{
+    if (!escalated_ || escalatedInterval_ <= 0.0)
+        return 1.0;
+    // Refresh operations scale with 1 / interval: running the shard
+    // at the bin interval instead of the certified one multiplies
+    // the refresh rate by certified / bin, and the extra pulses
+    // steal accelerator cycles in proportion.
+    const double extra =
+        certifiedInterval_ / escalatedInterval_ - 1.0;
+    return 1.0 + escalationTax_ * std::max(extra, 0.0);
+}
+
+void
+TenantGuard::apply(const GuardAction &action)
+{
+    switch (action.kind) {
+      case GuardActionKind::KeepArmed:
+        if (!escalated_)
+            shedding_ = true;
+        break;
+      case GuardActionKind::Redisarm:
+        if (shedding_ || escalated_)
+            ++redisarms_;
+        shedding_ = false;
+        escalated_ = false;
+        escalatedInterval_ = 0.0;
+        break;
+      case GuardActionKind::Escalate:
+        ++escalations_;
+        shedding_ = false;
+        escalated_ = true;
+        escalatedInterval_ = action.intervalSeconds;
+        break;
+    }
+}
+
+} // namespace rana

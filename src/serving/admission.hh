@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Admission control for the multi-tenant serving engine: the bounded
+ * request queue and the per-tenant guard state that turns the
+ * reliability guard's decisions into QoS actions.
+ *
+ * Two shedding mechanisms protect the shared accelerator:
+ *
+ *  - the AdmissionQueue bounds the number of queued requests across
+ *    all tenants; an arrival that finds the queue full is shed
+ *    (open-loop clients lose the request, closed-loop clients retry
+ *    after a backoff);
+ *  - the TenantGuard wraps one GuardPolicy per tenant. A retention
+ *    overage in the tenant's bank shard trips the policy: policies
+ *    that answer KeepArmed (permanent, hysteresis) put the tenant in
+ *    a shedding state — its arrivals are refused until the policy
+ *    re-disarms — while BinnedEscalation answers Escalate, keeping
+ *    the tenant admitted but taxing its service time with the
+ *    refresh overhead of the shorter divider-bin interval.
+ *
+ * Both are consulted only from the single-threaded virtual-time
+ * event loop and need no synchronization.
+ */
+
+#ifndef RANA_SERVING_ADMISSION_HH_
+#define RANA_SERVING_ADMISSION_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "edram/guard_policy.hh"
+
+namespace rana {
+
+/** One admitted inference request. */
+struct ServingRequest
+{
+    /** Owning tenant index. */
+    std::uint32_t tenant = 0;
+    /** Per-tenant issue number (0-based). */
+    std::uint64_t id = 0;
+    /** Test-set sample the request asks to classify. */
+    std::uint32_t sample = 0;
+    /** Issuing closed-loop client (0 for open-loop tenants). */
+    std::uint32_t client = 0;
+    /** Virtual arrival time in seconds. */
+    double arrivalSeconds = 0.0;
+};
+
+/** Bounded FIFO of admitted requests, shared by every tenant. */
+class AdmissionQueue
+{
+  public:
+    /** @param capacity maximum queued requests (>= 1). */
+    explicit AdmissionQueue(std::uint32_t capacity);
+
+    /** Whether the queue is at capacity. */
+    bool full() const { return queue_.size() >= capacity_; }
+
+    /** Requests currently queued across all tenants. */
+    std::size_t depth() const { return queue_.size(); }
+
+    /** Requests currently queued for one tenant. */
+    std::size_t depthFor(std::uint32_t tenant) const;
+
+    /** Largest depth() ever observed. */
+    std::uint64_t peakDepth() const { return peak_; }
+
+    /** Admit one request; false (and no change) when full. */
+    bool admit(const ServingRequest &request);
+
+    /**
+     * Remove and return up to `max_lanes` queued requests of
+     * `tenant`, oldest first (the batch-coalescing pull).
+     */
+    std::vector<ServingRequest> takeTenant(std::uint32_t tenant,
+                                           std::uint32_t max_lanes);
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<ServingRequest> queue_;
+    std::vector<std::uint64_t> perTenant_;
+    std::uint64_t peak_ = 0;
+};
+
+/**
+ * Per-tenant guard state: owns the tenant's GuardPolicy and maps its
+ * GuardActions onto the two serving-level QoS reactions (shed or
+ * escalate). The certified refresh interval is the design point's
+ * global interval; an escalated tenant runs its shard at the
+ * policy's divider-bin interval instead, which costs extra refresh
+ * operations modeled as a multiplicative service-time tax.
+ */
+class TenantGuard
+{
+  public:
+    /**
+     * @param policy            the tenant's decision policy (owned)
+     * @param certified_interval the design's refresh interval (s)
+     * @param escalation_tax    service-time tax per unit of extra
+     *                          refresh rate (interval ratio - 1)
+     */
+    TenantGuard(std::unique_ptr<GuardPolicy> policy,
+                double certified_interval, double escalation_tax);
+
+    /** A retention overage hit the tenant's shard. */
+    void onOverage();
+
+    /** One interval passed without an overage (armed tenants only). */
+    void onCleanInterval();
+
+    /** Whether new arrivals for this tenant are refused. */
+    bool shedding() const { return shedding_; }
+
+    /** Whether the tenant runs on a divider-bin interval. */
+    bool escalated() const { return escalated_; }
+
+    /** Whether any guard reaction is active. */
+    bool armed() const { return shedding_ || escalated_; }
+
+    /** Service-time multiplier (> 1 only while escalated). */
+    double serviceMultiplier() const;
+
+    /** Overage trips delivered to the policy. */
+    std::uint64_t trips() const { return trips_; }
+
+    /** Times the policy re-disarmed the tenant. */
+    std::uint64_t redisarms() const { return redisarms_; }
+
+    /** Times the policy escalated onto a divider bin. */
+    std::uint64_t escalations() const { return escalations_; }
+
+    /** The wrapped policy. */
+    const GuardPolicy &policy() const { return *policy_; }
+
+  private:
+    void apply(const GuardAction &action);
+
+    std::unique_ptr<GuardPolicy> policy_;
+    double certifiedInterval_;
+    double escalationTax_;
+    bool shedding_ = false;
+    bool escalated_ = false;
+    double escalatedInterval_ = 0.0;
+    std::uint64_t trips_ = 0;
+    std::uint64_t redisarms_ = 0;
+    std::uint64_t escalations_ = 0;
+};
+
+} // namespace rana
+
+#endif // RANA_SERVING_ADMISSION_HH_

@@ -1,0 +1,122 @@
+#include "serving/serving.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/json_writer.hh"
+
+namespace rana {
+
+namespace {
+
+/** Fixed three-decimal rendering for the markdown QoS table. */
+std::string
+fixed3(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+    return buffer;
+}
+
+void
+writeTenantStats(JsonWriter &json, const TenantServingStats &stats)
+{
+    json.field("name", stats.name);
+    json.field("network", stats.network);
+    json.field("policy", stats.policyName);
+    json.field("arrival", stats.arrival);
+    json.field("qps", stats.qps);
+    json.field("shard_first_bank",
+               static_cast<std::uint64_t>(stats.shard.firstBank));
+    json.field("shard_banks",
+               static_cast<std::uint64_t>(stats.shard.banks));
+    json.field("service_seconds", stats.serviceSeconds);
+    json.field("issued", stats.issued);
+    json.field("admitted", stats.admitted);
+    json.field("shed_guard", stats.shedGuard);
+    json.field("shed_queue", stats.shedQueue);
+    json.field("completed", stats.completed);
+    json.field("batches", stats.batches);
+    json.field("coalesced", stats.coalesced);
+    json.field("max_batch_lanes", stats.maxBatchLanes);
+    json.field("faults", stats.faults);
+    json.field("trips", stats.trips);
+    json.field("redisarms", stats.redisarms);
+    json.field("escalations", stats.escalations);
+    json.field("corrupted_requests", stats.corruptedRequests);
+    json.field("wrong_predictions", stats.wrongPredictions);
+    json.field("p50_ms", stats.p50Ms);
+    json.field("p95_ms", stats.p95Ms);
+    json.field("p99_ms", stats.p99Ms);
+    json.field("max_ms", stats.maxMs);
+    json.field("mean_ms", stats.meanMs);
+    json.field("throughput_rps", stats.throughputRps);
+    json.field("accuracy", stats.accuracy);
+}
+
+} // namespace
+
+std::string
+ServingReport::describe() const
+{
+    std::ostringstream oss;
+    oss << designName << " served " << tenants.size() << " tenants: "
+        << totalCompleted << " requests in " << durationSeconds
+        << "s (" << totalThroughputRps << " rps, worst p99 "
+        << worstP99Ms << " ms, " << totalShed << " shed, peak queue "
+        << peakQueueDepth << ")";
+    return oss.str();
+}
+
+std::string
+ServingReport::markdownTable() const
+{
+    std::ostringstream oss;
+    oss << "| tenant | network | policy | p50 ms | p95 ms | p99 ms "
+           "| rps | completed | shed | trips | accuracy |\n";
+    oss << "|---|---|---|---|---|---|---|---|---|---|---|\n";
+    for (const TenantServingStats &stats : tenants) {
+        oss << "| " << stats.name << " | " << stats.network << " | "
+            << stats.policyName << " | " << fixed3(stats.p50Ms)
+            << " | " << fixed3(stats.p95Ms) << " | "
+            << fixed3(stats.p99Ms) << " | "
+            << fixed3(stats.throughputRps) << " | " << stats.completed
+            << " | " << stats.shedGuard + stats.shedQueue << " | "
+            << stats.trips << " | " << fixed3(stats.accuracy)
+            << " |\n";
+    }
+    return oss.str();
+}
+
+void
+writeServingReport(JsonWriter &json, const ServingReport &report)
+{
+    json.field("design", report.designName);
+    json.field("duration_seconds", report.durationSeconds);
+    json.field("horizon_seconds", report.horizonSeconds);
+    json.field("total_completed", report.totalCompleted);
+    json.field("total_shed", report.totalShed);
+    json.field("total_throughput_rps", report.totalThroughputRps);
+    json.field("worst_p99_ms", report.worstP99Ms);
+    json.field("peak_queue_depth", report.peakQueueDepth);
+    json.field("forwards_ran", report.forwardsRan);
+    json.beginArray("tenants");
+    for (const TenantServingStats &stats : report.tenants) {
+        json.beginObject();
+        writeTenantStats(json, stats);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+std::string
+canonicalServingJson(const ServingReport &report)
+{
+    JsonWriter json;
+    json.beginObject();
+    writeServingReport(json, report);
+    json.endObject();
+    return json.str();
+}
+
+} // namespace rana

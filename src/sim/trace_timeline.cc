@@ -18,6 +18,48 @@ toMicros(double seconds)
 
 } // namespace
 
+ServingTimeline::ServingTimeline(TraceRecorder &recorder)
+    : recorder_(recorder)
+{
+}
+
+void
+ServingTimeline::addTenantTrack(std::uint32_t tenant,
+                                const std::string &name)
+{
+    recorder_.setThreadName(TraceRecorder::kSimPid,
+                            kTenantTidBase + static_cast<int>(tenant),
+                            "tenant/" + name);
+}
+
+void
+ServingTimeline::batchSpan(std::uint32_t tenant, double startSeconds,
+                           double endSeconds, const std::string &name)
+{
+    recorder_.completeEvent(
+        TraceRecorder::kSimPid,
+        kTenantTidBase + static_cast<int>(tenant),
+        toMicros(startSeconds), toMicros(endSeconds - startSeconds),
+        "serving", name);
+}
+
+void
+ServingTimeline::instant(std::uint32_t tenant, double seconds,
+                         const std::string &name)
+{
+    recorder_.instantEvent(TraceRecorder::kSimPid,
+                           kTenantTidBase + static_cast<int>(tenant),
+                           toMicros(seconds), "serving", name);
+}
+
+void
+ServingTimeline::queueDepth(double seconds, double depth)
+{
+    recorder_.counterEvent(TraceRecorder::kSimPid,
+                           "serving_queue_depth", toMicros(seconds),
+                           "requests", depth);
+}
+
 TimelineTraceSink::TimelineTraceSink(TraceRecorder &recorder,
                                      std::uint64_t sampleStride)
     : recorder_(recorder),

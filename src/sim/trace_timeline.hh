@@ -31,6 +31,45 @@
 
 namespace rana {
 
+/**
+ * Serving-engine renderer: per-tenant tracks on the simulated-time
+ * axis. The serving event loop runs in virtual seconds like the
+ * loop-nest simulator, so its requests land in the recorder's pid-2
+ * ("simulated timeline") process next to the per-run simulator
+ * tracks: one named thread track per tenant carrying an X slice per
+ * served batch and instant markers for sheds, guard trips,
+ * re-disarms and escalations, plus one shared counter track
+ * sampling the admission-queue depth. Tenant tracks start at tid
+ * 1000 so they can never collide with the simulator's per-run
+ * tracks (one tid per detected run, starting at 0).
+ */
+class ServingTimeline
+{
+  public:
+    explicit ServingTimeline(
+        TraceRecorder &recorder = TraceRecorder::global());
+
+    /** Name tenant `tenant`'s track ("tenant/<name>"). */
+    void addTenantTrack(std::uint32_t tenant, const std::string &name);
+
+    /** One served batch as an X slice on the tenant's track. */
+    void batchSpan(std::uint32_t tenant, double startSeconds,
+                   double endSeconds, const std::string &name);
+
+    /** An instant marker (shed / trip / ...) on the tenant track. */
+    void instant(std::uint32_t tenant, double seconds,
+                 const std::string &name);
+
+    /** One admission-queue depth sample on the shared track. */
+    void queueDepth(double seconds, double depth);
+
+  private:
+    /** First tenant tid; above any plausible simulator run count. */
+    static constexpr int kTenantTidBase = 1000;
+
+    TraceRecorder &recorder_;
+};
+
 /** TraceSink rendering simulator events into a TraceRecorder. */
 class TimelineTraceSink : public TraceSink
 {

@@ -476,6 +476,31 @@ extractTrialLane(const Tensor &stacked, std::uint32_t lane)
     return out;
 }
 
+Tensor
+packSampleLanes(const Tensor &batch,
+                const std::vector<std::uint32_t> &indices)
+{
+    RANA_ASSERT(!indices.empty(), "sample pack needs at least one lane");
+    RANA_ASSERT(!batch.shape().empty(), "batch tensor has no shape");
+    const std::uint32_t batch_size = batch.shape().front();
+    const std::size_t sample_size = batch.size() / batch_size;
+    const auto lanes = static_cast<std::uint32_t>(indices.size());
+    std::vector<std::uint32_t> shape = batch.shape();
+    shape.front() = 1;
+    shape.push_back(lanes);
+    Tensor out(std::move(shape));
+    const float *src = batch.data();
+    float *dst = out.data();
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        RANA_ASSERT(indices[l] < batch_size,
+                    "sample index out of range");
+        const float *sample = src + indices[l] * sample_size;
+        for (std::size_t i = 0; i < sample_size; ++i)
+            dst[i * lanes + l] = sample[i];
+    }
+    return out;
+}
+
 RANA_TRIAL_CLONES void
 quantizeTrialSpan(float *data, std::size_t count,
                   const FixedPointFormat &format)

@@ -76,6 +76,19 @@ Tensor packTrialLanes(const Tensor &scalar, std::uint32_t lanes);
 Tensor extractTrialLane(const Tensor &stacked, std::uint32_t lane);
 
 /**
+ * Gather one sample per lane from a {B, ...} batch tensor into a
+ * lane-major tensor {1, ..., L}: lane l carries the whole sample
+ * `indices[l]` (out[i * L + l] = sample_l[i]). Where packTrialLanes
+ * replicates one tensor across lanes that differ only in injected
+ * errors, this packs *distinct* samples — the serving engine's
+ * request coalescing, where every lane is a different tenant
+ * request riding the same batched forward. @pre indices non-empty
+ * and every index < B.
+ */
+Tensor packSampleLanes(const Tensor &batch,
+                       const std::vector<std::uint32_t> &indices);
+
+/**
  * Quantize-dequantize every element in place; bit-identical to
  * quantizeTensor (verified exhaustively over all float bit
  * patterns), but with the format assertion hoisted out of the loop

@@ -14,7 +14,10 @@ harness twice or a harness without a gate fails loudly.
 
 Every gate failure names the failing metric and prints the actual
 value, the expected value and the tolerance that was applied, so a
-red CI run says what regressed without re-running anything.
+red CI run says what regressed without re-running anything. Checking
+never short-circuits: every file is examined and every failing gate
+prints its line before the nonzero exit, so one red run lists every
+regression at once.
 
 Gates:
 
@@ -39,7 +42,19 @@ Gates:
   have noisy, heterogeneous CPUs): every lane count must produce an
   identical schedule and a positive runtime.
 
-Exit codes: 0 pass, 1 regression or malformed input.
+* serving - the multi-tenant serving SLO gate: replays across
+  data-plane pool sizes must be byte-identical
+  (deterministic_replay), the worst per-tenant p99 latency must stay
+  under the baseline's max_p99_ms ceiling and total virtual
+  throughput must hold the min_throughput_rps floor. Latency and
+  throughput are virtual-time quantities, deterministic per seed, so
+  the SLO bounds are tight without being runner-sensitive.
+
+Exit codes: 0 pass, 1 one or more gate regressions, 2 malformed
+input (unreadable or unparseable JSON, a broken envelope, a repeated
+or ungated harness, or bad usage). Malformed input takes precedence
+over gate failures in the exit code; both are fully reported either
+way.
 """
 
 import json
@@ -68,6 +83,7 @@ KNOWN_HARNESSES = (
     "sched_scaling",
     "fault_campaign",
     "campaign_batch",
+    "serving",
     "sweep_shard",
     "micro",
 )
@@ -105,7 +121,7 @@ def load(path):
 def check_unified_schema(report, path):
     """Validate the unified BENCH_*.json envelope the rana_bench
     driver writes: a known "harness" name, a valid "mode" and a
-    well-formed "samples" array. Returns (status, harness)."""
+    well-formed "samples" array. Returns (malformed, harness)."""
     harness = report.get("harness")
     if harness is None:
         return (
@@ -189,30 +205,33 @@ def check_fault_campaign(baseline, report):
         return fail("fault campaign JSON has no 'gate' object")
     expected = baseline["fault_campaign"]
     tolerance = expected["tolerance"]
+    failures = 0
     for key in ("p50_relative_accuracy", "worst_relative_accuracy"):
         metric = f"gate.{key}"
         if key not in gate:
-            return fail(f"gate object missing '{key}'")
+            failures += fail(f"gate object missing '{key}'")
+            continue
         floor = expected[key] - tolerance
         if gate[key] < floor:
-            return fail_metric(
+            failures += fail_metric(
                 metric,
                 f"{gate[key]:.6f}",
                 f"{expected[key]:.6f}",
                 f"{tolerance:.3f}",
                 f"floor {floor:.6f}",
             )
+            continue
         passed(metric, f"{gate[key]:.6f}", f"{expected[key]:.6f}",
                f"{tolerance:.3f}")
     rate = gate.get("failure_rate")
     if rate != expected["failure_rate"]:
-        return fail_metric(
+        failures += fail_metric(
             "gate.failure_rate",
             f"{rate}",
             f"{expected['failure_rate']}",
             "exact",
         )
-    return 0
+    return failures
 
 
 def check_guard_policies(baseline, report):
@@ -225,16 +244,18 @@ def check_guard_policies(baseline, report):
     }
     tolerance = expected["tolerance"]
     floor = expected["p50_relative_accuracy"] - tolerance
+    failures = 0
     for policy in expected["policies"]:
         row = rows.get(policy)
         if row is None:
-            return fail(
+            failures += fail(
                 f"guard_policies array is missing policy "
                 f"'{policy}'"
             )
+            continue
         trips = row.get("trips", 0)
         if trips <= 0:
-            return fail_metric(
+            failures += fail_metric(
                 f"guard_policies[{policy}].trips",
                 f"{trips}",
                 "> 0",
@@ -243,7 +264,7 @@ def check_guard_policies(baseline, report):
             )
         violations = row.get("retention_violations", 0)
         if violations != 0:
-            return fail_metric(
+            failures += fail_metric(
                 f"guard_policies[{policy}].retention_violations",
                 f"{violations}",
                 "0",
@@ -253,17 +274,18 @@ def check_guard_policies(baseline, report):
         p50 = row.get("p50_relative_accuracy", 0.0)
         metric = f"guard_policies[{policy}].p50_relative_accuracy"
         if p50 < floor:
-            return fail_metric(
+            failures += fail_metric(
                 metric,
                 f"{p50:.6f}",
                 f"{expected['p50_relative_accuracy']:.6f}",
                 f"{tolerance:.3f}",
                 f"floor {floor:.6f}",
             )
-        passed(metric, f"{p50:.6f}",
-               f"{expected['p50_relative_accuracy']:.6f}",
-               f"{tolerance:.3f}")
-    return 0
+        else:
+            passed(metric, f"{p50:.6f}",
+                   f"{expected['p50_relative_accuracy']:.6f}",
+                   f"{tolerance:.3f}")
+    return failures
 
 
 def check_sweep_shard(baseline, report):
@@ -273,36 +295,41 @@ def check_sweep_shard(baseline, report):
     comparisons throughout - determinism is the contract."""
     expected = baseline.get("sweep_shard", {})
     max_degraded = expected.get("max_degraded_cells", 0)
+    failures = 0
 
     identical = report.get("merge_identical")
     if identical is not True:
-        return fail_metric(
+        failures += fail_metric(
             "merge_identical",
             f"{identical}",
             "true",
             "exact",
             "sharded merge diverged from the single-process sweep",
         )
-    passed("merge_identical", "true", "true", "exact")
+    else:
+        passed("merge_identical", "true", "true", "exact")
 
     exercised = report.get("chaos_exercised")
     if exercised is not True:
-        return fail_metric(
+        failures += fail_metric(
             "chaos_exercised",
             f"{exercised}",
             "true",
             "exact",
             "seeded kill/stall/corruption no longer fires",
         )
-    passed("chaos_exercised", "true", "true", "exact")
+    else:
+        passed("chaos_exercised", "true", "true", "exact")
 
     chaos = report.get("chaos")
     if not isinstance(chaos, dict):
-        return fail("sweep shard JSON has no 'chaos' object")
+        return failures + fail(
+            "sweep shard JSON has no 'chaos' object"
+        )
     for counter in ("worker_crashes", "timeouts", "corrupt_frames"):
         value = chaos.get(counter, 0)
         if value < 1:
-            return fail_metric(
+            failures += fail_metric(
                 f"chaos.{counter}",
                 f"{value}",
                 ">= 1",
@@ -312,25 +339,27 @@ def check_sweep_shard(baseline, report):
     degraded = chaos.get("degraded_cells", 0)
     metric = "chaos.degraded_cells"
     if degraded > max_degraded:
-        return fail_metric(
+        failures += fail_metric(
             metric,
             f"{degraded}",
             f"<= {max_degraded}",
             "exact",
             "cells fell back to in-process execution",
         )
-    return passed(metric, f"{degraded}", f"<= {max_degraded}",
-                  "exact")
+    else:
+        passed(metric, f"{degraded}", f"<= {max_degraded}", "exact")
+    return failures
 
 
 def check_sched_scaling(report):
     points = report.get("points", [])
     if not points:
         return fail("sched scaling JSON has no 'points'")
+    failures = 0
     for point in points:
         jobs = point.get("jobs")
         if not point.get("identical", False):
-            return fail_metric(
+            failures += fail_metric(
                 f"points[jobs={jobs}].identical",
                 f"{point.get('identical')}",
                 "true",
@@ -339,32 +368,100 @@ def check_sched_scaling(report):
             )
         seconds = point.get("seconds", 0.0)
         if seconds <= 0.0:
-            return fail_metric(
+            failures += fail_metric(
                 f"points[jobs={jobs}].seconds",
                 f"{seconds}",
                 "> 0",
                 "exact",
                 "non-positive runtime",
             )
-    print(
-        f"check_bench: sched scaling sane across "
-        f"{len(points)} lane counts"
-    )
-    return 0
+    if failures == 0:
+        print(
+            f"check_bench: sched scaling sane across "
+            f"{len(points)} lane counts"
+        )
+    return failures
+
+
+def check_serving(baseline, report):
+    """Gate the multi-tenant serving SLOs: deterministic replay,
+    a worst-tenant p99 latency ceiling and a total-throughput
+    floor. Latencies are virtual-time, so exact bounds hold on any
+    runner."""
+    expected = baseline["serving"]
+    failures = 0
+
+    deterministic = report.get("deterministic_replay")
+    if deterministic is not True:
+        failures += fail_metric(
+            "deterministic_replay",
+            f"{deterministic}",
+            "true",
+            "exact",
+            "replays diverged across data-plane pool sizes",
+        )
+    else:
+        passed("deterministic_replay", "true", "true", "exact")
+
+    p99 = report.get("worst_p99_ms")
+    ceiling = expected["max_p99_ms"]
+    if p99 is None or p99 > ceiling:
+        failures += fail_metric(
+            "worst_p99_ms",
+            f"{p99}",
+            f"<= {ceiling}",
+            "exact",
+            "worst per-tenant p99 latency broke the SLO ceiling",
+        )
+    else:
+        passed("worst_p99_ms", f"{p99:.3f}", f"<= {ceiling}",
+               "exact")
+
+    rps = report.get("throughput_rps")
+    floor = expected["min_throughput_rps"]
+    if rps is None or rps < floor:
+        failures += fail_metric(
+            "throughput_rps",
+            f"{rps}",
+            f">= {floor}",
+            "exact",
+            "total serving throughput fell below the SLO floor",
+        )
+    else:
+        passed("throughput_rps", f"{rps:.3f}", f">= {floor}",
+               "exact")
+
+    completed = report.get("total_completed", 0)
+    min_completed = expected.get("min_completed", 1)
+    if completed < min_completed:
+        failures += fail_metric(
+            "total_completed",
+            f"{completed}",
+            f">= {min_completed}",
+            "exact",
+            "the workload served almost nothing",
+        )
+    else:
+        passed("total_completed", f"{completed}",
+               f">= {min_completed}", "exact")
+    return failures
 
 
 # The harnesses this gate knows how to check, keyed by the artifact's
-# own "harness" field (so argument order never matters).
+# own "harness" field (so argument order never matters). Each gate
+# returns its failure count; composed gates all run so every failing
+# metric prints its line.
 GATES = {
     "fault_campaign": lambda baseline, report: (
         check_fault_campaign(baseline, report)
-        or check_campaign_throughput(baseline, report)
-        or check_guard_policies(baseline, report)
+        + check_campaign_throughput(baseline, report)
+        + check_guard_policies(baseline, report)
     ),
     "sweep_shard": check_sweep_shard,
     "sched_scaling": lambda baseline, report: check_sched_scaling(
         report
     ),
+    "serving": check_serving,
 }
 
 
@@ -375,33 +472,42 @@ def main(argv):
             "[BENCH_*.json ...]",
             file=sys.stderr,
         )
-        return 1
+        return 2
     try:
         baseline = load(argv[1])
     except (OSError, json.JSONDecodeError) as error:
-        return fail(str(error))
+        fail(str(error))
+        return 2
+    malformed = 0
+    gate_failures = 0
     seen = set()
     for path in argv[2:]:
         try:
             report = load(path)
         except (OSError, json.JSONDecodeError) as error:
-            return fail(str(error))
-        status, harness = check_unified_schema(report, path)
-        if status != 0:
-            return status
+            malformed += fail(str(error))
+            continue
+        bad, harness = check_unified_schema(report, path)
+        if bad:
+            malformed += bad
+            continue
         if harness in seen:
-            return fail(f"{path} repeats harness '{harness}'")
+            malformed += fail(f"{path} repeats harness '{harness}'")
+            continue
         seen.add(harness)
         gate = GATES.get(harness)
         if gate is None:
-            return fail(
+            malformed += fail(
                 f"{path} holds harness '{harness}', which has no "
                 f"regression gate; gated harnesses: "
                 f"{', '.join(sorted(GATES))}"
             )
-        status = gate(baseline, report)
-        if status != 0:
-            return status
+            continue
+        gate_failures += gate(baseline, report)
+    if malformed:
+        return 2
+    if gate_failures:
+        return 1
     print("check_bench: PASS")
     return 0
 
