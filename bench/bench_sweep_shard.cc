@@ -12,9 +12,12 @@
  * BENCH_sweep_shard.json carries "merge_identical" (both sharded
  * canonical reports byte-equal to the reference), "chaos_exercised"
  * (the injected kill/stall/corruption all actually fired) and the
- * full recovery counters; tools/check_bench.py gates on them, so a
- * lost cell, a divergent merge or chaos that silently stopped
- * firing fails CI.
+ * full recovery counters, including the telemetry-frame and
+ * postmortem-dump counts of the observability plane;
+ * tools/check_bench.py gates on them, so a lost cell, a divergent
+ * merge, chaos that silently stopped firing or a crash that left no
+ * postmortem fails CI. The chaos run writes its incident dumps
+ * under BENCH_postmortem/.
  *
  * The sweep is deterministic per seed for any worker count, which
  * is the whole point: crashes, retries and work stealing reorder
@@ -81,6 +84,10 @@ statsJson(JsonWriter &json, const std::string &key,
                static_cast<std::uint64_t>(stats.corruptFrames));
     json.field("degraded_cells",
                static_cast<std::uint64_t>(stats.degradedCells));
+    json.field("telemetry_frames",
+               static_cast<std::uint64_t>(stats.telemetryFrames));
+    json.field("postmortem_dumps",
+               static_cast<std::uint64_t>(stats.postmortemDumps));
     json.field("seconds", seconds);
     json.endObject();
 }
@@ -142,6 +149,7 @@ runSweepShardBench(rana::bench::BenchContext &ctx)
     chaos.chaos.killAfterCells = 1;
     chaos.chaos.stallCell = 2;
     chaos.chaos.corruptCell = 1;
+    chaos.postmortemDir = "BENCH_postmortem";
     start = std::chrono::steady_clock::now();
     const Result<ShardedSweepResult> survived =
         runShardedCampaignSweep(design, network, config, chaos);

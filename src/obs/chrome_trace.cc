@@ -24,20 +24,8 @@ TraceRecorder::enable()
 {
     if (enabled_.exchange(true, std::memory_order_relaxed))
         return;
-    Event host;
-    host.phase = 'M';
-    host.pid = kHostPid;
-    host.name = "process_name";
-    host.argKey = "name";
-    host.argText = "rana host";
-    push(host);
-    Event sim;
-    sim.phase = 'M';
-    sim.pid = kSimPid;
-    sim.name = "process_name";
-    sim.argKey = "name";
-    sim.argText = "rana simulated timeline";
-    push(sim);
+    setProcessName(kHostPid, "rana host");
+    setProcessName(kSimPid, "rana simulated timeline");
 }
 
 double
@@ -172,11 +160,45 @@ TraceRecorder::setThreadName(int pid, int tid,
     push(std::move(event));
 }
 
+void
+TraceRecorder::setProcessName(int pid, const std::string &name)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.phase = 'M';
+    event.pid = pid;
+    event.name = "process_name";
+    event.argKey = "name";
+    event.argText = name;
+    push(std::move(event));
+}
+
 std::size_t
 TraceRecorder::eventCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return events_.size();
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::eventsFrom(std::size_t from) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (from >= events_.size())
+        return {};
+    return std::vector<Event>(
+        events_.begin() + static_cast<std::ptrdiff_t>(from),
+        events_.end());
+}
+
+void
+TraceRecorder::importEvents(const std::vector<Event> &events)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.insert(events_.end(), events.begin(), events.end());
 }
 
 std::string

@@ -40,6 +40,27 @@ class TraceRecorder
     /** Track group for simulated-time events. */
     static constexpr int kSimPid = 2;
 
+    /**
+     * One recorded event. Public so worker processes can export
+     * their timeline over the telemetry frame protocol and the
+     * coordinator can import it (after remapping pids to per-worker
+     * process tracks) into the merged trace.
+     */
+    struct Event
+    {
+        char phase = 'i';
+        int pid = kHostPid;
+        int tid = 0;
+        double tsMicros = 0.0;
+        double durMicros = 0.0;
+        std::string name;
+        std::string category;
+        /** Counter series name, or "name" for metadata events. */
+        std::string argKey;
+        double argValue = 0.0;
+        std::string argText;
+    };
+
     TraceRecorder();
     TraceRecorder(const TraceRecorder &) = delete;
     TraceRecorder &operator=(const TraceRecorder &) = delete;
@@ -82,8 +103,25 @@ class TraceRecorder
     /** Name a thread track (thread_name metadata). */
     void setThreadName(int pid, int tid, const std::string &name);
 
+    /** Name a process track (process_name metadata). */
+    void setProcessName(int pid, const std::string &name);
+
     /** Number of events recorded so far. */
     std::size_t eventCount() const;
+
+    /**
+     * Copy of the events recorded at index `from` and later. A
+     * forked worker captures eventCount() as its baseline at body
+     * start and exports only its own post-fork events, advancing the
+     * baseline after each telemetry frame.
+     */
+    std::vector<Event> eventsFrom(std::size_t from) const;
+
+    /**
+     * Append events exported by another process (the caller remaps
+     * pids first). No-op while recording is disabled.
+     */
+    void importEvents(const std::vector<Event> &events);
 
     /** The whole timeline as a Chrome trace JSON document. */
     std::string json() const;
@@ -98,21 +136,6 @@ class TraceRecorder
     static TraceRecorder &global();
 
   private:
-    struct Event
-    {
-        char phase = 'i';
-        int pid = kHostPid;
-        int tid = 0;
-        double tsMicros = 0.0;
-        double durMicros = 0.0;
-        std::string name;
-        std::string category;
-        /** Counter series name, or "name" for metadata events. */
-        std::string argKey;
-        double argValue = 0.0;
-        std::string argText;
-    };
-
     /** The calling thread's track id, registering it on first use. */
     int currentThreadTrack();
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the lock-free flight recorder.
+ */
+
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace rana {
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now()),
+      slots_(std::make_unique<Slot[]>(kCapacity))
+{
+}
+
+void
+FlightRecorder::record(const char *phase, std::uint32_t cell,
+                       std::uint32_t attempt, std::uint64_t frameSeq)
+{
+    const double tsMicros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count();
+    const std::uint64_t seq =
+        head_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[seq % kCapacity];
+    // Seqlock write: invalidate, store the payload words, publish.
+    // A reader that catches the slot mid-rewrite sees stamp 0 or a
+    // stamp change around its copy and skips the slot.
+    slot.stamp.store(0, std::memory_order_release);
+    slot.words[0].store(std::bit_cast<std::uint64_t>(tsMicros),
+                        std::memory_order_relaxed);
+    char label[kPhaseChars] = {};
+    if (phase != nullptr)
+        std::strncpy(label, phase, kPhaseChars - 1);
+    std::uint64_t packed[2];
+    std::memcpy(packed, label, kPhaseChars);
+    slot.words[1].store(packed[0], std::memory_order_relaxed);
+    slot.words[2].store(packed[1], std::memory_order_relaxed);
+    slot.words[3].store(
+        (static_cast<std::uint64_t>(cell) << 32) | attempt,
+        std::memory_order_relaxed);
+    slot.words[4].store(frameSeq, std::memory_order_relaxed);
+    slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightEvent> events;
+    events.reserve(std::min<std::uint64_t>(recorded(), kCapacity));
+    for (std::size_t i = 0; i < kCapacity; ++i) {
+        const Slot &slot = slots_[i];
+        const std::uint64_t before =
+            slot.stamp.load(std::memory_order_acquire);
+        if (before == 0)
+            continue;
+        std::uint64_t words[kWords];
+        for (std::size_t w = 0; w < kWords; ++w)
+            words[w] = slot.words[w].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t after =
+            slot.stamp.load(std::memory_order_relaxed);
+        if (after != before)
+            continue; // torn by a concurrent writer; skip
+        FlightEvent event;
+        event.seq = before - 1;
+        event.tsMicros = std::bit_cast<double>(words[0]);
+        char label[kPhaseChars + 1] = {};
+        std::memcpy(label, &words[1], 8);
+        std::memcpy(label + 8, &words[2], 8);
+        event.phase = label;
+        event.cell = static_cast<std::uint32_t>(words[3] >> 32);
+        event.attempt =
+            static_cast<std::uint32_t>(words[3] & 0xFFFFFFFFu);
+        event.frameSeq = words[4];
+        events.push_back(std::move(event));
+    }
+    std::sort(events.begin(), events.end(),
+              [](const FlightEvent &a, const FlightEvent &b) {
+                  return a.seq < b.seq;
+              });
+    return events;
+}
+
+void
+FlightRecorder::reset()
+{
+    head_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kCapacity; ++i)
+        slots_[i].stamp.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    // Leaked for the same reason as MetricsRegistry::global().
+    static FlightRecorder *recorder = new FlightRecorder();
+    return *recorder;
+}
+
+} // namespace rana

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Always-on postmortem flight recorder: a fixed-size lock-free ring
+ * of the last ~4k structured events per process.
+ *
+ * Unlike the Chrome-trace recorder (opt-in, unbounded, string-heavy)
+ * the flight recorder is always recording: every record() is a
+ * handful of relaxed atomic word stores into a pre-sized ring, cheap
+ * enough to leave enabled on production hot paths. When a sweep
+ * worker crashes or times out, the coordinator dumps the ring it
+ * received in the worker's last telemetry frame into a postmortem
+ * JSON file — the black box that says what the process was doing
+ * right before it died.
+ *
+ * Concurrency: each record() claims a slot with one fetch_add and
+ * publishes it with a per-slot sequence stamp (a seqlock). snapshot()
+ * validates the stamp around its copy and skips slots a concurrent
+ * writer is rewriting, so readers never block writers and torn slots
+ * are dropped, not returned. All slot accesses are atomic word
+ * operations — TSan-clean by construction.
+ */
+
+#ifndef RANA_OBS_FLIGHT_RECORDER_HH_
+#define RANA_OBS_FLIGHT_RECORDER_HH_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rana {
+
+/** One recorded flight event, unpacked for callers. */
+struct FlightEvent
+{
+    /** Process-wide record ordinal (gaps mean overwritten events). */
+    std::uint64_t seq = 0;
+    /** Microseconds since the recorder was created. */
+    double tsMicros = 0.0;
+    /** Short phase label ("assign", "result", ...; <= 15 chars). */
+    std::string phase;
+    /** Grid-cell index (or any small id the phase cares about). */
+    std::uint32_t cell = 0;
+    /** Attempt number of the cell. */
+    std::uint32_t attempt = 0;
+    /** Pipe-frame sequence number at record time. */
+    std::uint64_t frameSeq = 0;
+};
+
+/** Fixed-capacity lock-free ring of FlightEvents. */
+class FlightRecorder
+{
+  public:
+    /** Ring capacity (events kept; older ones are overwritten). */
+    static constexpr std::size_t kCapacity = 4096;
+    /** Phase label bytes per slot (including the terminator). */
+    static constexpr std::size_t kPhaseChars = 16;
+
+    FlightRecorder();
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Record one event (longer phases are truncated to 15 chars). */
+    void record(const char *phase, std::uint32_t cell = 0,
+                std::uint32_t attempt = 0, std::uint64_t frameSeq = 0);
+
+    /**
+     * A consistent copy of the ring, sorted by seq ascending. Slots
+     * a concurrent writer is mid-rewrite are skipped, so under
+     * contention the result may briefly hold fewer than
+     * min(recorded(), kCapacity) events.
+     */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Total events ever recorded (not capped by capacity). */
+    std::uint64_t recorded() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Empty the ring and restart seq at 0. Not safe against
+     * concurrent record() calls — for tests and the post-fork reset
+     * in sweep workers, both single-threaded points.
+     */
+    void reset();
+
+    /**
+     * The process-wide recorder. Intentionally leaked, like
+     * MetricsRegistry::global().
+     */
+    static FlightRecorder &global();
+
+  private:
+    /** Payload words per slot (ts, phase x2, cell|attempt, frame). */
+    static constexpr std::size_t kWords = 5;
+
+    struct alignas(64) Slot
+    {
+        /** 0 = empty/in-progress; else the published seq + 1. */
+        std::atomic<std::uint64_t> stamp{0};
+        std::atomic<std::uint64_t> words[kWords];
+    };
+
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> head_{0};
+    std::unique_ptr<Slot[]> slots_;
+};
+
+} // namespace rana
+
+#endif // RANA_OBS_FLIGHT_RECORDER_HH_

@@ -91,6 +91,32 @@ MetricsRegistry::Histogram::observe(double value)
     }
 }
 
+void
+MetricsRegistry::Histogram::accumulate(
+    const std::vector<std::uint64_t> &counts, double sum)
+{
+    RANA_ASSERT(counts.size() == bounds_.size() + 1,
+                "histogram accumulate bucket mismatch: ", name_);
+    Shard &shard = shards_[threadShard()];
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        shard.buckets[i].fetch_add(counts[i],
+                                   std::memory_order_relaxed);
+        total += counts[i];
+    }
+    shard.count.fetch_add(total, std::memory_order_relaxed);
+    std::uint64_t seen =
+        shard.sumBits.load(std::memory_order_relaxed);
+    for (;;) {
+        const double updated = std::bit_cast<double>(seen) + sum;
+        if (shard.sumBits.compare_exchange_weak(
+                seen, std::bit_cast<std::uint64_t>(updated),
+                std::memory_order_relaxed)) {
+            break;
+        }
+    }
+}
+
 std::vector<std::uint64_t>
 MetricsRegistry::Histogram::counts() const
 {
@@ -258,7 +284,8 @@ appendLogCounters(MetricsSnapshot &snap)
               });
 }
 
-/** Write one snapshot's members into an open JSON object. */
+} // namespace
+
 void
 writeSnapshotMembers(JsonWriter &json, const MetricsSnapshot &snap)
 {
@@ -287,8 +314,6 @@ writeSnapshotMembers(JsonWriter &json, const MetricsSnapshot &snap)
     }
     json.endObject();
 }
-
-} // namespace
 
 void
 writeMetricsObject(JsonWriter &json, const std::string &key,

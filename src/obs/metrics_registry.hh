@@ -143,6 +143,16 @@ class MetricsRegistry
         /** Record one observation. */
         void observe(double value);
 
+        /**
+         * Merge pre-aggregated buckets (a worker process's exported
+         * histogram) into this one: `counts` must have
+         * bounds().size() + 1 entries; their total joins count() and
+         * `sum` joins sum(). Used by the cross-process telemetry
+         * merge.
+         */
+        void accumulate(const std::vector<std::uint64_t> &counts,
+                        double sum);
+
         /** Inclusive upper bounds (ascending, strict). */
         const std::vector<double> &bounds() const { return bounds_; }
 
@@ -225,6 +235,15 @@ class MetricsRegistry
 
 /** Default span-duration histogram bounds in seconds (log scale). */
 const std::vector<double> &spanSecondsBounds();
+
+/**
+ * Write one snapshot's members ("counters", "gauges", "histograms")
+ * into an open JSON object. The building block shared by the
+ * --metrics-json documents, the worker telemetry frames and
+ * rana_obs.
+ */
+void writeSnapshotMembers(JsonWriter &json,
+                          const MetricsSnapshot &snap);
 
 /**
  * Append member `key` to an open JSON object: the registry snapshot

@@ -7,14 +7,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <type_traits>
 
 #include <poll.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 
 #include "obs/chrome_trace.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics_registry.hh"
+#include "obs/telemetry.hh"
 #include "util/json_reader.hh"
 #include "util/json_writer.hh"
 #include "util/logging.hh"
@@ -33,6 +39,24 @@ int
 workerTrack(unsigned ordinal)
 {
     return kCoordinatorTrack + 1 + static_cast<int>(ordinal);
+}
+
+/**
+ * Worker ordinal -> the process ids its exported trace events merge
+ * under. Each worker owns a (host, simulated) pid pair well clear of
+ * the coordinator's kHostPid/kSimPid, so the merged trace shows one
+ * named process group per worker.
+ */
+int
+workerHostPid(unsigned ordinal)
+{
+    return 100 + 2 * static_cast<int>(ordinal);
+}
+
+int
+workerSimPid(unsigned ordinal)
+{
+    return workerHostPid(ordinal) + 1;
 }
 
 /** Milliseconds since an arbitrary steady epoch. */
@@ -343,20 +367,72 @@ workerBody(const PreparedSweep &plan, const ShardChaosConfig &chaos,
            unsigned ordinal, bool chaosArmed, int requestFd,
            int responseFd)
 {
+    // The forked child inherits the parent's registry contents,
+    // trace buffer and flight ring copy-on-write. Reset/baseline
+    // them so every telemetry export carries only this incarnation's
+    // own activity, never a copy of the coordinator's.
+    MetricsRegistry &registry = MetricsRegistry::global();
+    TraceRecorder &recorder = TraceRecorder::global();
+    FlightRecorder &flight = FlightRecorder::global();
+    registry.reset();
+    flight.reset();
+    std::size_t traceBase = recorder.eventCount();
+    std::uint64_t telemetrySeq = 0;
+
+    MetricsRegistry::Counter &cellsDone =
+        registry.counter("worker_cells_completed_total");
+    MetricsRegistry::Counter &cleanExits =
+        registry.counter("worker_clean_exits_total");
+
+    // One telemetry frame: cumulative metrics, the full flight ring
+    // (so the last frame before an abrupt death still carries it)
+    // and the trace events recorded since the previous export.
+    const auto sendTelemetry = [&](bool finalFrame) {
+        WorkerTelemetry telemetry;
+        telemetry.worker = ordinal;
+        telemetry.seq = telemetrySeq;
+        telemetry.finalFrame = finalFrame;
+        telemetry.metrics = registry.snapshot();
+        telemetry.flight = flight.snapshot();
+        telemetry.trace = recorder.eventsFrom(traceBase);
+        Frame frame;
+        frame.type = FrameType::Telemetry;
+        frame.cell = ordinal;
+        frame.attempt = static_cast<std::uint32_t>(telemetrySeq);
+        frame.payload = serializeWorkerTelemetry(telemetry);
+        if (!writeFrameBlocking(responseFd, frame))
+            return false;
+        traceBase += telemetry.trace.size();
+        ++telemetrySeq;
+        return true;
+    };
+
     Frame hello;
     hello.type = FrameType::Hello;
     hello.cell = ordinal;
     if (!writeFrameBlocking(responseFd, hello))
         return kWorkerExitPipe;
+    flight.record("hello", ordinal);
+    if (!sendTelemetry(false))
+        return kWorkerExitPipe;
 
     std::uint32_t assignments = 0;
     Frame request;
     while (readFrameBlocking(requestFd, request, nullptr)) {
-        if (request.type == FrameType::Shutdown)
+        if (request.type == FrameType::Shutdown) {
+            // The clean-exit counter crosses the pipe only inside
+            // the final frame: its presence in the merged snapshot
+            // is the direct proof the coordinator drained the frame
+            // before reaping.
+            flight.record("shutdown", ordinal);
+            cleanExits.add();
+            sendTelemetry(true);
             return kWorkerExitOk;
+        }
         if (request.type != FrameType::Assign)
             continue;
         ++assignments;
+        flight.record("assign", request.cell, request.attempt);
 
         Frame heartbeat;
         heartbeat.type = FrameType::Heartbeat;
@@ -371,6 +447,8 @@ workerBody(const PreparedSweep &plan, const ShardChaosConfig &chaos,
         if (chaosArmed && chaos.killWorker >= 0 &&
             ordinal == static_cast<unsigned>(chaos.killWorker) &&
             assignments > chaos.killAfterCells) {
+            flight.record("chaos-kill", request.cell,
+                          request.attempt);
             return kWorkerExitChaosKill;
         }
 
@@ -381,6 +459,8 @@ workerBody(const PreparedSweep &plan, const ShardChaosConfig &chaos,
             request.cell ==
                 static_cast<std::uint32_t>(chaos.stallCell) &&
             request.attempt == 0) {
+            flight.record("chaos-stall", request.cell,
+                          request.attempt);
             for (;;)
                 ::poll(nullptr, 0, 1000);
         }
@@ -388,6 +468,7 @@ workerBody(const PreparedSweep &plan, const ShardChaosConfig &chaos,
         // jobs_override=1: the forked child must never touch the
         // inherited thread pool (its worker threads do not exist
         // after fork); the serial path is bit-identical anyway.
+        flight.record("run", request.cell, request.attempt);
         Result<FaultCampaignReport> cell =
             plan.runCell(request.cell, /*jobs_override=*/1);
 
@@ -397,18 +478,25 @@ workerBody(const PreparedSweep &plan, const ShardChaosConfig &chaos,
         if (cell.ok()) {
             reply.type = FrameType::CellResult;
             reply.payload = serializeCellReport(cell.value());
+            cellsDone.add();
+            flight.record("result", request.cell, request.attempt);
         } else {
             reply.type = FrameType::CellError;
             reply.payload = cell.error().describe();
+            flight.record("error", request.cell, request.attempt);
         }
         std::string bytes = encodeFrame(reply);
         if (chaos.corruptCell >= 0 &&
             request.cell ==
                 static_cast<std::uint32_t>(chaos.corruptCell) &&
             request.attempt == 0) {
+            flight.record("chaos-corrupt", request.cell,
+                          request.attempt);
             corruptEncodedFrame(bytes);
         }
         if (!writeAllBlocking(responseFd, bytes))
+            return kWorkerExitPipe;
+        if (!sendTelemetry(false))
             return kWorkerExitPipe;
     }
     // EOF on the request pipe: the coordinator is gone.
@@ -439,6 +527,11 @@ struct WorkerSlot
     std::uint32_t attempt = 0;
     std::int64_t deadlineMs = 0;
     std::int64_t assignedAtMs = 0;
+    /** Last telemetry export from this incarnation (if any). */
+    WorkerTelemetry lastTelemetry;
+    bool haveTelemetry = false;
+    /** Telemetry frames received from this incarnation. */
+    std::uint64_t telemetryFrames = 0;
 };
 
 /** The whole sharded execution of one prepared plan. */
@@ -449,7 +542,8 @@ class ShardCoordinator
                      const SweepShardConfig &config)
         : plan_(plan), config_(config),
           registry_(MetricsRegistry::global()),
-          recorder_(TraceRecorder::global())
+          recorder_(TraceRecorder::global()),
+          flight_(FlightRecorder::global())
     {
     }
 
@@ -477,6 +571,7 @@ class ShardCoordinator
         recorder_.setThreadName(TraceRecorder::kHostPid,
                                 kCoordinatorTrack,
                                 "shard coordinator");
+        workerNamed_.assign(workers, false);
         slots_.resize(workers);
         for (unsigned w = 0; w < workers; ++w) {
             slots_[w].ordinal = w;
@@ -499,6 +594,7 @@ class ShardCoordinator
             expireDeadlines();
         }
         shutdownWorkers();
+        finalizeWorkerMerge();
 
         stats_.cells = cells;
         exportMetrics();
@@ -545,6 +641,9 @@ class ShardCoordinator
         slot.decoder = FrameDecoder();
         slot.alive = true;
         slot.idle = true;
+        slot.lastTelemetry = WorkerTelemetry{};
+        slot.haveTelemetry = false;
+        slot.telemetryFrames = 0;
     }
 
     void respawnDead()
@@ -596,9 +695,10 @@ class ShardCoordinator
                 // The worker died between polls; requeue and let the
                 // crash path below reap it.
                 pending_.push_back(entry);
-                declareCrashed(slot);
+                declareCrashed(slot, "write-failure");
                 continue;
             }
+            flight_.record("assign", entry.cell, entry.attempt);
             slot.idle = false;
             slot.cell = entry.cell;
             slot.attempt = entry.attempt;
@@ -644,7 +744,9 @@ class ShardCoordinator
             }
             if (slot.alive &&
                 (!open || slot.decoder.desynchronized())) {
-                declareCrashed(slot);
+                declareCrashed(slot, slot.decoder.desynchronized()
+                                         ? "desync"
+                                         : "crash");
             }
         }
     }
@@ -668,8 +770,15 @@ class ShardCoordinator
             return;
           case FrameType::CellResult: {
             if (slot.idle || frame.cell != slot.cell ||
-                frame.attempt != slot.attempt)
-                return; // stale frame from a superseded attempt
+                frame.attempt != slot.attempt) {
+                // Stale frame from a superseded attempt. Counted so
+                // the cross-process accounting invariant closes:
+                // worker-reported completions = stored + corrupt +
+                // stale - degraded.
+                ++stats_.staleResults;
+                registry_.counter("shard_stale_results_total").add();
+                return;
+            }
             if (!decoded.checksumOk) {
                 ++stats_.corruptFrames;
                 registry_.counter("shard_corrupt_frames_total").add();
@@ -717,10 +826,84 @@ class ShardCoordinator
             requeueFailure(slot.cell, slot.attempt);
             return;
           }
+          case FrameType::Telemetry:
+            acceptTelemetry(slot, decoded);
+            return;
           case FrameType::Assign:
           case FrameType::Shutdown:
             return; // coordinator-to-worker kinds; ignore echoes
         }
+    }
+
+    /** Merge one worker telemetry export into the coordinator. */
+    void acceptTelemetry(WorkerSlot &slot,
+                         const FrameDecoder::Decoded &decoded)
+    {
+        if (!decoded.checksumOk) {
+            warn("shard worker ", slot.ordinal,
+                 " sent a corrupt telemetry frame; dropped");
+            return;
+        }
+        Result<WorkerTelemetry> parsed =
+            parseWorkerTelemetry(decoded.frame.payload);
+        if (!parsed.ok()) {
+            warn("shard worker ", slot.ordinal,
+                 " sent unparsable telemetry: ",
+                 parsed.error().describe());
+            return;
+        }
+        WorkerTelemetry telemetry = std::move(parsed).value();
+        ++slot.telemetryFrames;
+        ++stats_.telemetryFrames;
+        registry_.counter("telemetry_frames_total").add();
+        flight_.record("telemetry", slot.ordinal,
+                       static_cast<std::uint32_t>(telemetry.seq));
+        if (recorder_.enabled()) {
+            ensureWorkerTracks(slot.ordinal);
+            importWorkerTrace(slot.ordinal, telemetry.trace);
+            recorder_.counterEvent(
+                workerHostPid(slot.ordinal),
+                "worker cells completed", recorder_.nowMicros(),
+                "cells",
+                static_cast<double>(counterValue(
+                    telemetry.metrics,
+                    "worker_cells_completed_total")));
+        }
+        slot.lastTelemetry = std::move(telemetry);
+        slot.haveTelemetry = true;
+    }
+
+    /** Name a worker's merged-trace process group once per run. */
+    void ensureWorkerTracks(unsigned ordinal)
+    {
+        if (workerNamed_[ordinal])
+            return;
+        workerNamed_[ordinal] = true;
+        recorder_.setProcessName(
+            workerHostPid(ordinal),
+            detail::concat("rana worker ", ordinal));
+        recorder_.setProcessName(
+            workerSimPid(ordinal),
+            detail::concat("rana worker ", ordinal, " sim"));
+        recorder_.setThreadName(workerHostPid(ordinal), 0, "main");
+    }
+
+    /**
+     * Import a worker's exported trace events under its own process
+     * ids: host-side events merge under workerHostPid, simulated-
+     * timeline events under workerSimPid.
+     */
+    void
+    importWorkerTrace(unsigned ordinal,
+                      const std::vector<TraceRecorder::Event> &events)
+    {
+        std::vector<TraceRecorder::Event> remapped = events;
+        for (TraceRecorder::Event &event : remapped) {
+            event.pid = event.pid == TraceRecorder::kSimPid
+                            ? workerSimPid(ordinal)
+                            : workerHostPid(ordinal);
+        }
+        recorder_.importEvents(remapped);
     }
 
     void expireDeadlines()
@@ -735,23 +918,113 @@ class ShardCoordinator
                         detail::concat("timeout cell ", slot.cell));
             warn("shard worker ", slot.ordinal, " timed out on cell ",
                  slot.cell, " after ", config_.cellTimeoutMs, " ms");
-            declareCrashed(slot);
+            declareCrashed(slot, "timeout");
         }
     }
 
     /** A worker died (EOF, desync, write failure or timeout kill). */
-    void declareCrashed(WorkerSlot &slot)
+    void declareCrashed(WorkerSlot &slot, const char *reason)
     {
         ++stats_.workerCrashes;
         registry_.counter("shard_worker_crashes_total").add();
         markInstant(workerTrack(slot.ordinal), "crash");
+        flight_.record(reason, slot.cell, slot.attempt);
         slot.process.kill();
-        slot.process.reap(nullptr, /*block=*/true);
+        int status = 0;
+        slot.process.reap(&status, /*block=*/true);
         slot.process.closePipes();
         slot.alive = false;
+        writePostmortem(slot, reason, status);
+        foldWorkerTelemetry(slot);
         if (!slot.idle) {
             slot.idle = true;
             requeueFailure(slot.cell, slot.attempt);
+        }
+    }
+
+    /** One postmortem incident dump under config_.postmortemDir. */
+    void writePostmortem(const WorkerSlot &slot, const char *reason,
+                         int status)
+    {
+        ++incidents_;
+        if (config_.postmortemDir.empty())
+            return;
+        ::mkdir(config_.postmortemDir.c_str(), 0777);
+        PostmortemReport report;
+        report.worker = slot.ordinal;
+        report.incident = incidents_;
+        report.reason = reason;
+        report.exited = WIFEXITED(status);
+        report.exitCode =
+            report.exited ? WEXITSTATUS(status) : 0;
+        report.signaled = WIFSIGNALED(status);
+        report.termSignal =
+            report.signaled ? WTERMSIG(status) : 0;
+        report.busy = !slot.idle;
+        report.lastCell = slot.cell;
+        report.lastAttempt = slot.attempt;
+        report.telemetryFrames = slot.telemetryFrames;
+        if (slot.haveTelemetry) {
+            report.lastMetrics = slot.lastTelemetry.metrics;
+            report.flight = slot.lastTelemetry.flight;
+        }
+        const std::string path = detail::concat(
+            config_.postmortemDir, "/postmortem-worker",
+            slot.ordinal, "-", incidents_, ".json");
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write postmortem dump ", path);
+            return;
+        }
+        out << serializePostmortem(report) << "\n";
+        if (!out) {
+            warn("failed writing postmortem dump ", path);
+            return;
+        }
+        ++stats_.postmortemDumps;
+        registry_.counter("postmortem_dumps_total").add();
+        markInstant(workerTrack(slot.ordinal), "postmortem");
+    }
+
+    /**
+     * Retire a dead (or cleanly shut down) incarnation's last
+     * telemetry snapshot into the cross-worker accumulation.
+     */
+    void foldWorkerTelemetry(WorkerSlot &slot)
+    {
+        if (!slot.haveTelemetry)
+            return;
+        workerSnapshots_.push_back(
+            std::move(slot.lastTelemetry.metrics));
+        slot.lastTelemetry = WorkerTelemetry{};
+        slot.haveTelemetry = false;
+    }
+
+    /**
+     * Publish the merged per-worker instruments into the registry
+     * under a "_worker_sum" suffix: counters add across workers,
+     * gauges keep the maximum, histograms add bucket-wise.
+     */
+    void finalizeWorkerMerge()
+    {
+        const MetricsSnapshot merged =
+            mergeSnapshots(workerSnapshots_);
+        for (const auto &counter : merged.counters) {
+            registry_.counter(counter.name + "_worker_sum")
+                .add(counter.value);
+        }
+        for (const auto &gauge : merged.gauges) {
+            registry_.gauge(gauge.name + "_worker_sum")
+                .setMax(gauge.value);
+        }
+        for (const auto &histogram : merged.histograms) {
+            if (histogram.bounds.empty())
+                continue;
+            MetricsRegistry::Histogram &target =
+                registry_.histogram(histogram.name + "_worker_sum",
+                                    histogram.bounds);
+            if (target.bounds() == histogram.bounds)
+                target.accumulate(histogram.counts, histogram.sum);
         }
     }
 
@@ -775,6 +1048,7 @@ class ShardCoordinator
         }
         ++stats_.retries;
         registry_.counter("shard_retries_total").add();
+        flight_.record("requeue", cell, attempt + 1);
         PendingCell entry;
         entry.cell = cell;
         entry.attempt = attempt + 1;
@@ -806,6 +1080,7 @@ class ShardCoordinator
         stored_[cell] = true;
         --remaining_;
         registry_.counter("shard_cells_completed_total").add();
+        flight_.record("store", cell);
     }
 
     /** No workers left and none spawnable: finish alone. */
@@ -833,18 +1108,47 @@ class ShardCoordinator
 
     void shutdownWorkers()
     {
+        // Broadcast Shutdown first so every worker serializes its
+        // final telemetry concurrently rather than one at a time.
         Frame shutdown;
         shutdown.type = FrameType::Shutdown;
         for (WorkerSlot &slot : slots_) {
             if (!slot.alive)
                 continue;
-            slot.process.writeFrame(shutdown);
-            // Closing the request pipe backs the frame up with EOF;
-            // either way the worker exits and the blocking reap is
-            // brief. The destructor path (kill) stays the backstop.
+            if (!slot.process.writeFrame(shutdown))
+                declareCrashed(slot, "write-failure");
+        }
+        // Then drain each response stream to EOF before reaping:
+        // the final telemetry frame (carrying the worker's clean-
+        // exit counter and flight ring) is still in the pipe, and
+        // closing first would discard it. A worker that neither
+        // exits nor keeps the pipe open past the deadline is killed.
+        const std::int64_t deadlineMs = nowMs() + 10000;
+        for (WorkerSlot &slot : slots_) {
+            if (!slot.alive)
+                continue;
+            bool open = true;
+            while (open && nowMs() < deadlineMs) {
+                std::vector<int> fds{slot.process.readFd()};
+                std::vector<bool> readable;
+                pollReadable(fds, 50, readable);
+                if (!readable[0])
+                    continue;
+                open = drainInto(slot.process.readFd(),
+                                 slot.decoder);
+                while (std::optional<FrameDecoder::Decoded>
+                           decoded = slot.decoder.next()) {
+                    handleFrame(slot, *decoded);
+                }
+                if (slot.decoder.desynchronized())
+                    break;
+            }
+            if (open)
+                slot.process.kill();
             slot.process.closePipes();
             slot.process.reap(nullptr, /*block=*/true);
             slot.alive = false;
+            foldWorkerTelemetry(slot);
         }
     }
 
@@ -863,6 +1167,7 @@ class ShardCoordinator
     const SweepShardConfig &config_;
     MetricsRegistry &registry_;
     TraceRecorder &recorder_;
+    FlightRecorder &flight_;
 
     std::vector<WorkerSlot> slots_;
     std::vector<PendingCell> pending_;
@@ -871,6 +1176,12 @@ class ShardCoordinator
     std::size_t remaining_ = 0;
     std::size_t fairShare_ = 0;
     SweepShardStats stats_;
+    /** Retired incarnation snapshots awaiting the final merge. */
+    std::vector<MetricsSnapshot> workerSnapshots_;
+    /** Whether worker ordinal's trace process group is named yet. */
+    std::vector<bool> workerNamed_;
+    /** Incident counter (postmortem file numbering). */
+    std::uint64_t incidents_ = 0;
 };
 
 Result<std::vector<FaultCampaignReport>>
@@ -890,9 +1201,11 @@ SweepShardStats::describe() const
     oss << cells << " cells over " << workers << " workers ("
         << stolenCells << " stolen, " << retries << " retries, "
         << timeouts << " timeouts, " << corruptFrames
-        << " corrupt frames, " << workerCrashes << " crashes, "
-        << respawns << " respawns, " << degradedCells
-        << " degraded)";
+        << " corrupt frames, " << staleResults << " stale, "
+        << workerCrashes << " crashes, " << respawns
+        << " respawns, " << degradedCells << " degraded, "
+        << telemetryFrames << " telemetry frames, "
+        << postmortemDumps << " postmortems)";
     return oss.str();
 }
 

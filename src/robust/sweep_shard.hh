@@ -74,6 +74,12 @@ struct SweepShardConfig
     std::uint32_t maxRetries = 2;
     /** First retry delay; doubles per further attempt. */
     std::uint32_t backoffBaseMs = 25;
+    /**
+     * Directory for postmortem incident dumps (one JSON file per
+     * worker crash/timeout/desync), created on first use. Empty
+     * disables postmortem writing.
+     */
+    std::string postmortemDir;
     /** Deterministic fault injection into the shard machinery. */
     ShardChaosConfig chaos;
 };
@@ -99,6 +105,12 @@ struct SweepShardStats
     std::uint64_t corruptFrames = 0;
     /** Cells that exhausted retries and ran in-process. */
     std::uint64_t degradedCells = 0;
+    /** Telemetry frames received from workers. */
+    std::uint64_t telemetryFrames = 0;
+    /** Postmortem incident dumps written under postmortemDir. */
+    std::uint64_t postmortemDumps = 0;
+    /** Result/error frames dropped as stale (post-requeue arrivals). */
+    std::uint64_t staleResults = 0;
     /** Cells completed per worker ordinal (degraded cells excluded). */
     std::vector<std::uint64_t> cellsPerWorker;
 

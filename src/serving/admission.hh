@@ -47,6 +47,12 @@ struct ServingRequest
     std::uint32_t client = 0;
     /** Virtual arrival time in seconds. */
     double arrivalSeconds = 0.0;
+    /**
+     * Engine-wide unique span id (1-based), threaded from admission
+     * through batching to completion so one request's lifetime can
+     * be followed across the timeline and the report.
+     */
+    std::uint64_t span = 0;
 };
 
 /** Bounded FIFO of admitted requests, shared by every tenant. */

@@ -350,6 +350,8 @@ ServingSimulation::run(unsigned jobs_override,
     };
 
     AdmissionQueue queue(cfg.queueCapacity);
+    /** Next request span id; unique across tenants by issue order. */
+    std::uint64_t nextSpanId = 1;
     std::vector<BatchRecord> batches;
     /** Formed batches waiting for the accelerator, FIFO. */
     std::deque<std::size_t> ready;
@@ -460,6 +462,7 @@ ServingSimulation::run(unsigned jobs_override,
             state.sampleRng.uniformInt(cfg.dataset.testSamples));
         request.client = client;
         request.arrivalSeconds = now;
+        request.span = nextSpanId++;
         if (!queue.admit(request)) {
             ++state.shedQueue;
             if (timeline != nullptr)
@@ -525,6 +528,11 @@ ServingSimulation::run(unsigned jobs_override,
                 ++state.completed;
                 state.latenciesMs.push_back(
                     (now - request.arrivalSeconds) * 1e3);
+                if (timeline != nullptr) {
+                    timeline->requestSpan(event.tenant, request.span,
+                                          request.arrivalSeconds,
+                                          now);
+                }
                 if (lanes > 1)
                     ++state.coalesced;
                 if (batch.corrupted)

@@ -30,6 +30,10 @@ ServingTimeline::addTenantTrack(std::uint32_t tenant,
     recorder_.setThreadName(TraceRecorder::kSimPid,
                             kTenantTidBase + static_cast<int>(tenant),
                             "tenant/" + name);
+    recorder_.setThreadName(
+        TraceRecorder::kSimPid,
+        kRequestTidBase + static_cast<int>(tenant),
+        "tenant/" + name + "/requests");
 }
 
 void
@@ -41,6 +45,18 @@ ServingTimeline::batchSpan(std::uint32_t tenant, double startSeconds,
         kTenantTidBase + static_cast<int>(tenant),
         toMicros(startSeconds), toMicros(endSeconds - startSeconds),
         "serving", name);
+}
+
+void
+ServingTimeline::requestSpan(std::uint32_t tenant,
+                             std::uint64_t span,
+                             double startSeconds, double endSeconds)
+{
+    recorder_.completeEvent(
+        TraceRecorder::kSimPid,
+        kRequestTidBase + static_cast<int>(tenant),
+        toMicros(startSeconds), toMicros(endSeconds - startSeconds),
+        "serving", "request span=" + std::to_string(span));
 }
 
 void

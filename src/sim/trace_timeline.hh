@@ -56,6 +56,15 @@ class ServingTimeline
     void batchSpan(std::uint32_t tenant, double startSeconds,
                    double endSeconds, const std::string &name);
 
+    /**
+     * One request's admission-to-completion lifetime as an X slice
+     * on the tenant's request track, labelled by its span id (the
+     * engine-wide unique id threaded through admission, batching
+     * and completion).
+     */
+    void requestSpan(std::uint32_t tenant, std::uint64_t span,
+                     double startSeconds, double endSeconds);
+
     /** An instant marker (shed / trip / ...) on the tenant track. */
     void instant(std::uint32_t tenant, double seconds,
                  const std::string &name);
@@ -66,6 +75,8 @@ class ServingTimeline
   private:
     /** First tenant tid; above any plausible simulator run count. */
     static constexpr int kTenantTidBase = 1000;
+    /** First per-tenant request track (one per tenant, offset). */
+    static constexpr int kRequestTidBase = 5000;
 
     TraceRecorder &recorder_;
 };

@@ -60,6 +60,8 @@ enum class FrameType : std::uint8_t {
     CellError = 5,
     /** Coordinator asks the worker to exit cleanly. */
     Shutdown = 6,
+    /** Worker telemetry export; payload is a rana-telemetry-1 doc. */
+    Telemetry = 7,
 };
 
 /** One framed message. */

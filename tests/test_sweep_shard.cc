@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "nn/model_zoo.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/telemetry.hh"
 #include "robust/campaign_sweep.hh"
 #include "robust/sweep_shard.hh"
 #include "util/logging.hh"
@@ -249,6 +253,92 @@ TEST(SweepShard, CellReportParserSurvivesHostileBytes)
     // A flipped byte either still parses (hit a value) or fails
     // cleanly; it must never crash.
     (void)parseCellReport(flipped);
+}
+
+TEST(SweepShard, WorkerTelemetryMergesDeterministically)
+{
+    // The cells-completed accounting must close identically at every
+    // worker count: on a clean run each of the 4 cells is completed
+    // by exactly one worker, so the merged per-worker sum equals the
+    // stored-cell count no matter how the grid was partitioned.
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        MetricsRegistry::global().reset();
+        Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+            ranaDesign(), makeAlexNet(), tinySweep(),
+            fastShard(workers));
+        ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+        const MetricsSnapshot snap =
+            MetricsRegistry::global().snapshot();
+        EXPECT_EQ(counterValue(snap,
+                               "worker_cells_completed_total_"
+                               "worker_sum"),
+                  4u)
+            << "diverged at workers=" << workers;
+        EXPECT_EQ(counterValue(snap,
+                               "worker_cells_completed_total_"
+                               "worker_sum"),
+                  counterValue(snap, "shard_cells_completed_total"))
+            << "diverged at workers=" << workers;
+    }
+}
+
+TEST(SweepShard, CleanExitDrainsTheFinalTelemetryFrame)
+{
+    // worker_clean_exits_total is incremented after the Shutdown
+    // frame arrives, in the worker's final telemetry export: the
+    // counter can only reach the merged snapshot if the coordinator
+    // drains that last frame before reaping (the telemetry-loss fix).
+    MetricsRegistry::global().reset();
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), fastShard(4));
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    const SweepShardStats &stats = sharded.value().stats;
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap,
+                           "worker_clean_exits_total_worker_sum"),
+              stats.workers);
+    // At least one startup frame and one final frame per worker.
+    EXPECT_GE(stats.telemetryFrames, 2u * stats.workers);
+    EXPECT_EQ(stats.postmortemDumps, 0u);
+}
+
+TEST(SweepShard, CrashedWorkerLeavesAReadablePostmortem)
+{
+    const std::string dir =
+        ::testing::TempDir() + "rana_postmortem_test";
+    SweepShardConfig shard = fastShard(2);
+    shard.chaos.killWorker = 0;
+    shard.chaos.killAfterCells = 1;
+    shard.postmortemDir = dir;
+    Result<ShardedSweepResult> sharded = runShardedCampaignSweep(
+        ranaDesign(), makeAlexNet(), tinySweep(), shard);
+    ASSERT_TRUE(sharded.ok()) << sharded.error().describe();
+    EXPECT_EQ(canonicalSweepJson(sharded.value().report),
+              referenceSweepJson());
+    const SweepShardStats &stats = sharded.value().stats;
+    ASSERT_EQ(stats.postmortemDumps, 1u);
+
+    std::ifstream in(dir + "/postmortem-worker0-1.json");
+    ASSERT_TRUE(in.good()) << "postmortem file missing";
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<PostmortemReport> report = parsePostmortem(text.str());
+    ASSERT_TRUE(report.ok()) << report.error().describe();
+    EXPECT_EQ(report.value().worker, 0u);
+    EXPECT_EQ(report.value().incident, 1u);
+    // The victim usually exits with the chaos-kill code (11), but
+    // the coordinator SIGKILLs stragglers it declares dead, so a
+    // close race may surface as a signal instead.
+    EXPECT_TRUE(report.value().exited || report.value().signaled);
+    if (report.value().exited) {
+        EXPECT_EQ(report.value().exitCode, 11);
+    }
+    // The chaos kill fires after one completed cell, so the victim's
+    // last-known snapshot and flight ring are non-empty.
+    EXPECT_EQ(counterValue(report.value().lastMetrics,
+                           "worker_cells_completed_total"),
+              1u);
+    EXPECT_FALSE(report.value().flight.empty());
 }
 
 TEST(SweepShard, NonFiniteCellValuesSurviveTheWire)

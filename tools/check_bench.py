@@ -36,7 +36,10 @@ Gates:
   under seeded chaos, the injected kill/stall/corruption must all
   have fired, and no cell may degrade past the baseline's
   max_degraded_cells (exact counts, no tolerance: determinism is the
-  contract).
+  contract). The observability plane is gated too: the clean run
+  must stream at least min_telemetry_frames worker telemetry frames
+  and the chaos run must dump at least min_postmortem_dumps
+  postmortems (one per incident - the kill and the stall timeout).
 
 * sched_scaling - sanity gate, not a performance gate (CI runners
   have noisy, heterogeneous CPUs): every lane count must produce an
@@ -348,6 +351,43 @@ def check_sweep_shard(baseline, report):
         )
     else:
         passed(metric, f"{degraded}", f"<= {max_degraded}", "exact")
+
+    # Observability-plane gates: the clean run must have streamed
+    # telemetry frames (one per worker at startup, per cell and at
+    # clean exit), and every chaos incident (the kill plus the stall
+    # timeout) must have produced a postmortem dump.
+    min_frames = expected.get("min_telemetry_frames", 8)
+    clean = report.get("clean")
+    if not isinstance(clean, dict):
+        return failures + fail(
+            "sweep shard JSON has no 'clean' object"
+        )
+    frames = clean.get("telemetry_frames", 0)
+    metric = "clean.telemetry_frames"
+    if frames < min_frames:
+        failures += fail_metric(
+            metric,
+            f"{frames}",
+            f">= {min_frames}",
+            "exact",
+            "worker telemetry export stopped flowing",
+        )
+    else:
+        passed(metric, f"{frames}", f">= {min_frames}", "exact")
+
+    min_dumps = expected.get("min_postmortem_dumps", 2)
+    dumps = chaos.get("postmortem_dumps", 0)
+    metric = "chaos.postmortem_dumps"
+    if dumps < min_dumps:
+        failures += fail_metric(
+            metric,
+            f"{dumps}",
+            f">= {min_dumps}",
+            "exact",
+            "a chaos incident left no postmortem dump",
+        )
+    else:
+        passed(metric, f"{dumps}", f">= {min_dumps}", "exact")
     return failures
 
 

@@ -14,6 +14,13 @@ must be finite and non-negative, B/E events must balance per
 (pid, tid) track, and metadata (M) events must name their thread or
 process.
 
+Merged multi-process traces (a sharded sweep run with --workers N
+and --chrome-trace) are validated further: every process named
+"rana worker <N>" must own at least one counter track and one
+duration event under its own pid, no two processes may share a
+name, and no two threads within one process may share a name —
+per-worker provenance must survive the merge.
+
 The metrics check asserts the "rana-metrics-1" schema: counters,
 gauges and histograms keyed by name, with the refresh-pulse and
 eval-cache counters present, at least one span_seconds_* histogram,
@@ -25,7 +32,10 @@ Exit codes: 0 pass, 1 malformed artifact.
 
 import json
 import math
+import re
 import sys
+
+WORKER_PROCESS_RE = re.compile(r"^rana worker \d+$")
 
 REQUIRED_COUNTERS = (
     "edram_refresh_pulses_issued_total",
@@ -102,10 +112,97 @@ def check_trace(trace):
             f"trace has {len(counter_tracks)} counter tracks, "
             "expected at least 3"
         )
+    status = check_processes(events)
+    if status != 0:
+        return status
     print(
         f"check_trace: {len(events)} events, "
         f"{duration_events} duration events, "
         f"{len(counter_tracks)} counter tracks"
+    )
+    return 0
+
+
+def check_processes(events):
+    """Per-worker provenance of a merged multi-process trace."""
+    process_names = {}
+    thread_names = {}
+    for index, event in enumerate(events):
+        if event.get("ph") != "M":
+            continue
+        name = event.get("args", {}).get("name")
+        track = (event["pid"], event["tid"])
+        if event["name"] == "process_name":
+            previous = process_names.get(event["pid"])
+            if previous is not None and previous != name:
+                return fail(
+                    f"M event {index} renames pid {event['pid']} "
+                    f"from {previous!r} to {name!r}"
+                )
+            process_names[event["pid"]] = name
+        elif event["name"] == "thread_name":
+            previous = thread_names.get(track)
+            if previous is not None and previous != name:
+                return fail(
+                    f"M event {index} renames track {track} "
+                    f"from {previous!r} to {name!r}"
+                )
+            thread_names[track] = name
+    by_name = {}
+    for pid, name in process_names.items():
+        if name in by_name:
+            return fail(
+                f"duplicate process name {name!r} on pids "
+                f"{by_name[name]} and {pid}"
+            )
+        by_name[name] = pid
+    per_pid = {}
+    for (pid, tid), name in thread_names.items():
+        seen = per_pid.setdefault(pid, {})
+        if name in seen:
+            return fail(
+                f"duplicate thread name {name!r} on pid {pid} "
+                f"tids {seen[name]} and {tid}"
+            )
+        seen[name] = tid
+    worker_pids = {
+        pid
+        for pid, name in process_names.items()
+        if WORKER_PROCESS_RE.match(name or "")
+    }
+    if not worker_pids:
+        return 0  # single-process trace: nothing more to check
+    for pid in sorted(worker_pids):
+        samples = [
+            e
+            for e in events
+            if e.get("ph") == "C" and e["pid"] == pid
+        ]
+        durations = sum(
+            1
+            for e in events
+            if e.get("ph") in ("B", "E", "X") and e["pid"] == pid
+        )
+        if not samples:
+            return fail(
+                f"worker process {process_names[pid]!r} (pid {pid}) "
+                "has no counter track"
+            )
+        completed = max(
+            max(v for v in e["args"].values()) for e in samples
+        )
+        if completed > 0 and durations == 0:
+            # A worker that completed cells must have exported the
+            # spans it recorded while running them; one that died
+            # before its first completion legitimately has none.
+            return fail(
+                f"worker process {process_names[pid]!r} (pid {pid}) "
+                f"completed {completed} cells but exported no "
+                "duration events"
+            )
+    print(
+        f"check_trace: {len(worker_pids)} worker processes with "
+        "counter tracks and duration events"
     )
     return 0
 

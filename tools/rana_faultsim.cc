@@ -54,6 +54,9 @@
  *                        in-process execution (default 2)
  *   --backoff-ms N       first retry delay, doubled per further
  *                        attempt (default 25)
+ *   --postmortem-dir P   write one postmortem JSON dump per worker
+ *                        crash/timeout incident under directory P
+ *                        (created on first use; see rana_obs)
  *   --chaos SPEC         deterministic shard-fault injection, a
  *                        comma-separated list of kill=W:K (kill
  *                        worker W after K cells), stall=C (hang
@@ -237,7 +240,8 @@ main(int argc, char **argv)
                      "[--sweep] [--compare-policies] [--rates LIST] "
                      "[--intervals LIST] [--workers N] "
                      "[--cell-timeout-ms N] [--max-retries N] "
-                     "[--backoff-ms N] [--chaos SPEC] "
+                     "[--backoff-ms N] [--postmortem-dir PATH] "
+                     "[--chaos SPEC] "
                   << cli::commonOptionsUsage() << "\n";
         return 1;
     }
@@ -338,6 +342,8 @@ main(int argc, char **argv)
         } else if (arg == "--backoff-ms") {
             shard.backoffBaseMs =
                 static_cast<std::uint32_t>(number(next()));
+        } else if (arg == "--postmortem-dir") {
+            shard.postmortemDir = next();
         } else if (arg == "--chaos") {
             const Result<ShardChaosConfig> chaos =
                 parseChaosSpec(next());
