@@ -44,6 +44,7 @@
 #include "core/design_point.hh"
 #include "core/experiments.hh"
 #include "core/rana_pipeline.hh"
+#include "sim/dataflow.hh"
 #include "sim/loopnest_simulator.hh"
 #include "sim/performance_model.hh"
 
@@ -79,7 +80,18 @@ namespace rana {
 class SchedulerOptionsBuilder
 {
   public:
-    /** Computation patterns explored per layer. */
+    /** Dataflows explored per layer (see sim/dataflow.hh). */
+    SchedulerOptionsBuilder &dataflows(std::vector<DataflowKind> value)
+    {
+        options_.dataflows = std::move(value);
+        return *this;
+    }
+
+    /**
+     * Computation patterns explored per layer. Compatibility shim
+     * for pre-dataflow call sites: each pattern names its canonical
+     * legacy dataflow; superseded by dataflows() when both are set.
+     */
     SchedulerOptionsBuilder &
     patterns(std::vector<ComputationPattern> value)
     {

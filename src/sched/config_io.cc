@@ -68,7 +68,7 @@ toConfigRecord(const NetworkSchedule &schedule)
     for (const LayerSchedule &layer : schedule.layers) {
         LayerConfigRecord entry;
         entry.layerName = layer.layerName;
-        entry.pattern = layer.pattern();
+        entry.dataflow = layer.dataflow();
         entry.tiling = layer.tiling();
         entry.promoteInputs = layer.analysis.inputsPromoted;
         entry.refreshFlags = layer.refreshFlags;
@@ -81,14 +81,14 @@ toConfigRecord(const NetworkSchedule &schedule)
 void
 writeConfig(std::ostream &os, const NetworkConfigRecord &record)
 {
-    os << "rana-config v1\n";
+    os << "rana-config v2\n";
     os << "network " << record.networkName << "\n";
     os << "interval_us "
        << record.refreshIntervalSeconds / microSecond << "\n";
     os << "policy " << refreshPolicyName(record.policy) << "\n";
     for (const LayerConfigRecord &layer : record.layers) {
         os << "layer " << layer.layerName << " "
-           << patternName(layer.pattern) << " " << layer.tiling.tm
+           << dataflowName(layer.dataflow) << " " << layer.tiling.tm
            << " " << layer.tiling.tn << " " << layer.tiling.tr << " "
            << layer.tiling.tc << " " << (layer.promoteInputs ? 1 : 0)
            << " ";
@@ -114,6 +114,7 @@ readConfigChecked(std::istream &is)
     std::string line;
     bool saw_header = false;
     bool saw_end = false;
+    int format_version = 0;
     while (std::getline(is, line)) {
         if (line.empty())
             continue;
@@ -123,10 +124,12 @@ readConfigChecked(std::istream &is)
         if (!saw_header) {
             std::string version;
             tokens >> version;
-            if (keyword != "rana-config" || version != "v1") {
+            if (keyword != "rana-config" ||
+                (version != "v1" && version != "v2")) {
                 return makeError(ErrorCode::ParseError,
                                  "bad config header: ", line);
             }
+            format_version = version == "v1" ? 1 : 2;
             saw_header = true;
             continue;
         }
@@ -150,22 +153,36 @@ readConfigChecked(std::istream &is)
             record.policy = parsed.value();
         } else if (keyword == "layer") {
             LayerConfigRecord layer;
-            std::string pattern;
+            std::string dataflow;
             std::string promote;
             std::string flags;
             std::string gate;
-            tokens >> layer.layerName >> pattern >> layer.tiling.tm >>
+            tokens >> layer.layerName >> dataflow >> layer.tiling.tm >>
                 layer.tiling.tn >> layer.tiling.tr >>
                 layer.tiling.tc >> promote >> flags >> gate;
             if (!tokens) {
                 return makeError(ErrorCode::ParseError,
                                  "truncated config line: ", line);
             }
-            Result<ComputationPattern> parsed_pattern =
-                parsePattern(pattern, line);
-            if (!parsed_pattern.ok())
-                return parsed_pattern.error();
-            layer.pattern = parsed_pattern.value();
+            if (format_version == 1) {
+                // v1 predates the dataflow axis: the token is a bare
+                // computation pattern mapped onto its canonical
+                // dataflow.
+                Result<ComputationPattern> parsed_pattern =
+                    parsePattern(dataflow, line);
+                if (!parsed_pattern.ok())
+                    return parsed_pattern.error();
+                layer.dataflow = dataflowOf(parsed_pattern.value());
+            } else {
+                Result<DataflowKind> parsed_dataflow =
+                    parseDataflowName(dataflow);
+                if (!parsed_dataflow.ok()) {
+                    return makeError(ErrorCode::ParseError,
+                                     "bad dataflow '", dataflow,
+                                     "' in config line: ", line);
+                }
+                layer.dataflow = parsed_dataflow.value();
+            }
             Result<bool> parsed_promote = parseBit(promote, line);
             if (!parsed_promote.ok())
                 return parsed_promote.error();
@@ -249,7 +266,7 @@ rebuildScheduleChecked(const AcceleratorConfig &config,
                              layer.name, "'");
         }
         Result<LayerSchedule> rebuilt = evaluateLayerChoice(
-            config, layer, entry.pattern, entry.tiling, options,
+            config, layer, entry.dataflow, entry.tiling, options,
             entry.promoteInputs);
         if (!rebuilt.ok())
             return rebuilt.error();

@@ -2,20 +2,27 @@
  * @file
  * Serialization of the compiled layerwise configurations.
  *
- * The RANA compilation phase produces, per layer, the computation
- * pattern, tiling, input-promotion flag and eDRAM refresh flags,
- * plus the network-wide refresh interval (Figure 6's "layerwise
+ * The RANA compilation phase produces, per layer, the dataflow,
+ * tiling, input-promotion flag and eDRAM refresh flags, plus the
+ * network-wide refresh interval (Figure 6's "layerwise
  * configurations"). This module writes and parses that artifact as
  * a line-oriented text format so a schedule can be compiled once and
  * shipped to the accelerator's runtime:
  *
- *   rana-config v1
+ *   rana-config v2
  *   network <name>
  *   interval_us <float>
  *   policy <none|conventional|gated-global|per-bank>
- *   layer <name> <ID|OD|WD> <tm> <tn> <tr> <tc> <promote:0|1> \
- *         <flags:3x0|1> <gate:0|1>
+ *   layer <name> <ID|OD|WD|sys-ws|sys-is|sys-os> <tm> <tn> <tr> \
+ *         <tc> <promote:0|1> <flags:3x0|1> <gate:0|1>
  *   end
+ *
+ * Version history: v1 predates the dataflow axis and carries a bare
+ * computation pattern (ID|OD|WD) per layer. The reader still accepts
+ * v1 and maps each pattern onto its canonical dataflow — the legacy
+ * dataflow names are the pattern names, so a v1 artifact differs
+ * from its v2 rewrite only in the header line. The writer always
+ * emits v2.
  */
 
 #ifndef RANA_SCHED_CONFIG_IO_HH_
@@ -35,7 +42,7 @@ namespace rana {
 struct LayerConfigRecord
 {
     std::string layerName;
-    ComputationPattern pattern = ComputationPattern::OD;
+    DataflowKind dataflow = DataflowKind::OD;
     Tiling tiling;
     bool promoteInputs = false;
     std::array<bool, numDataTypes> refreshFlags = {false, false,

@@ -124,19 +124,29 @@ EvalCache::global()
 
 std::string
 evalCacheKey(const AcceleratorConfig &config,
-             const ConvLayerSpec &layer, ComputationPattern pattern,
+             const ConvLayerSpec &layer, DataflowKind dataflow,
              const Tiling &tiling, bool promote_inputs,
              const SchedulerOptions &options)
 {
     std::ostringstream oss;
     oss << "eval|";
     appendLayer(oss, layer);
-    oss << '|' << patternName(pattern) << '|' << tiling.tm << ','
+    oss << '|' << dataflowName(dataflow) << '|' << tiling.tm << ','
         << tiling.tn << ',' << tiling.tr << ',' << tiling.tc << '|'
         << (promote_inputs ? 'P' : '-') << '|'
         << config.fingerprint();
     appendOptionFields(oss, options);
     return oss.str();
+}
+
+std::string
+evalCacheKey(const AcceleratorConfig &config,
+             const ConvLayerSpec &layer, ComputationPattern pattern,
+             const Tiling &tiling, bool promote_inputs,
+             const SchedulerOptions &options)
+{
+    return evalCacheKey(config, layer, dataflowOf(pattern), tiling,
+                        promote_inputs, options);
 }
 
 std::string
@@ -148,8 +158,8 @@ searchCacheKey(const AcceleratorConfig &config,
     oss << "search|";
     appendLayer(oss, layer);
     oss << '|';
-    for (ComputationPattern pattern : options.patterns)
-        oss << patternName(pattern) << '+';
+    for (DataflowKind dataflow : effectiveDataflows(options))
+        oss << dataflowName(dataflow) << '+';
     oss << '|';
     if (options.fixedTiling) {
         const Tiling &t = *options.fixedTiling;

@@ -80,10 +80,19 @@ class EvalCache
 };
 
 /**
- * Cache key of one explicit (pattern, tiling, promote) evaluation:
+ * Cache key of one explicit (dataflow, tiling, promote) evaluation:
  * layer spec + hardware fingerprint + the SchedulerOptions fields
- * that influence the result (policy, refresh interval).
+ * that influence the result (policy, refresh interval). Legacy
+ * dataflows key under their historical pattern names, so caches
+ * persisted before the dataflow axis existed stay valid.
  */
+std::string evalCacheKey(const AcceleratorConfig &config,
+                         const ConvLayerSpec &layer,
+                         DataflowKind dataflow, const Tiling &tiling,
+                         bool promote_inputs,
+                         const SchedulerOptions &options);
+
+/** Compatibility shim keying by the pattern's canonical dataflow. */
 std::string evalCacheKey(const AcceleratorConfig &config,
                          const ConvLayerSpec &layer,
                          ComputationPattern pattern,
@@ -93,7 +102,7 @@ std::string evalCacheKey(const AcceleratorConfig &config,
 /**
  * Cache key of a whole scheduleLayer search (the chosen minimum over
  * the candidate space): the candidate-space-defining option fields
- * (pattern list, fixed tiling) join the key in place of a concrete
+ * (dataflow list, fixed tiling) join the key in place of a concrete
  * candidate.
  */
 std::string searchCacheKey(const AcceleratorConfig &config,

@@ -118,11 +118,12 @@ applyInterLayerReuse(const AcceleratorConfig &config,
             prod_out.dramWriteWords + cons_in.dramReadWords;
 
         // Carried lifetime of the kept outputs: from their final
-        // accumulation (spread over the producer's last Loop-N pass
-        // under OD, the whole layer otherwise) to the consumer's
-        // last read.
+        // accumulation (spread over the producer's last outer pass
+        // when the dataflow accumulates outputs across the outermost
+        // loop, the whole layer otherwise) to the consumer's last
+        // read.
         const double producer_tail =
-            prod_sched.analysis.pattern == ComputationPattern::OD
+            prod_sched.analysis.spec().outputsAccumulateAcrossOuter()
                 ? prod_sched.analysis.levelSeconds[1]
                 : prod_sched.analysis.layerSeconds;
         const double carried =

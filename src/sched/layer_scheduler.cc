@@ -37,14 +37,6 @@ struct SchedMetrics
     }
 };
 
-/** One point of the per-layer design space, in serial search order. */
-struct Candidate
-{
-    ComputationPattern pattern;
-    Tiling tiling;
-    bool promote;
-};
-
 /** Compact per-candidate result kept during the parallel sweep. */
 struct CandidateEval
 {
@@ -83,46 +75,15 @@ makeSchedule(const AcceleratorConfig &config, const ConvLayerSpec &layer,
     return schedule;
 }
 
-/**
- * The candidate space in the order the serial scheduler visits it:
- * patterns outer, tilings inner, the WD input-promotion variant
- * directly after its unpromoted twin. The reduction tie-breaks on
- * this index, which is what keeps the parallel result byte-identical
- * to the serial one.
- */
-std::vector<Candidate>
-candidateSpace(const AcceleratorConfig &config,
-               const ConvLayerSpec &layer,
-               const SchedulerOptions &options)
-{
-    std::vector<Tiling> tilings;
-    if (options.fixedTiling) {
-        tilings.push_back(*options.fixedTiling);
-    } else {
-        tilings = tilingCandidates(config, layer);
-    }
-
-    std::vector<Candidate> candidates;
-    candidates.reserve(tilings.size() * options.patterns.size() * 2);
-    for (ComputationPattern pattern : options.patterns) {
-        for (const Tiling &tiling : tilings) {
-            candidates.push_back({pattern, tiling, false});
-            if (pattern == ComputationPattern::WD)
-                candidates.push_back({pattern, tiling, true});
-        }
-    }
-    return candidates;
-}
-
 } // namespace
 
 Result<LayerSchedule>
 scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
               const SchedulerOptions &options)
 {
-    if (options.patterns.empty()) {
+    if (effectiveDataflows(options).empty()) {
         return makeError(ErrorCode::InvalidArgument,
-                         "scheduler needs at least one pattern (layer ",
+                         "scheduler needs at least one dataflow (layer ",
                          layer.name, ")");
     }
     // One search span per layer: the timeline shows which layers
@@ -136,8 +97,8 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
             return *std::move(cached);
     }
 
-    const std::vector<Candidate> candidates =
-        candidateSpace(config, layer, options);
+    const std::vector<DataflowChoice> candidates =
+        dataflowChoices(config, layer, options);
 
     // Sweep: evaluate every candidate into an indexed slot. Only the
     // scalars the reduction needs are kept; the winner's full record
@@ -146,9 +107,10 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
     std::vector<CandidateEval> evals(candidates.size());
     parallelFor(candidates.size(), effectiveJobs(options),
                 [&](std::size_t i) {
-                    const Candidate &c = candidates[i];
+                    const DataflowChoice &c = candidates[i];
                     const LayerAnalysis analysis = analyzeLayer(
-                        config, layer, c.pattern, c.tiling, c.promote);
+                        config, layer, dataflowSpec(c.dataflow),
+                        c.tiling, c.promoteInputs);
                     if (!analysis.feasible)
                         return;
                     const LayerSchedule schedule =
@@ -196,39 +158,46 @@ scheduleLayer(const AcceleratorConfig &config, const ConvLayerSpec &layer,
                          layer.describe(), " on ", config.name);
     }
 
-    const Candidate &winner = candidates[*best_index];
+    const DataflowChoice &winner = candidates[*best_index];
     LayerSchedule best = makeSchedule(
         config, layer,
-        analyzeLayer(config, layer, winner.pattern, winner.tiling,
-                     winner.promote),
+        analyzeLayer(config, layer, dataflowSpec(winner.dataflow),
+                     winner.tiling, winner.promoteInputs),
         options);
     if (options.memoize) {
         EvalCache::global().insert(search_key, best);
         EvalCache::global().insert(
-            evalCacheKey(config, layer, winner.pattern, winner.tiling,
-                         winner.promote, options),
+            evalCacheKey(config, layer, winner.dataflow, winner.tiling,
+                         winner.promoteInputs, options),
             best);
     }
     SchedMetrics::get().layers.add();
+    // Per-dataflow win counters surface the chosen mix in metrics
+    // snapshots (--metrics-json) without re-walking the schedule.
+    MetricsRegistry::global()
+        .counter(std::string("sched_dataflow_chosen_total_") +
+                 dataflowName(winner.dataflow))
+        .add();
     return best;
 }
 
 Result<LayerSchedule>
 evaluateLayerChoice(const AcceleratorConfig &config,
-                    const ConvLayerSpec &layer,
-                    ComputationPattern pattern, const Tiling &tiling,
+                    const ConvLayerSpec &layer, DataflowKind dataflow,
+                    const Tiling &tiling,
                     const SchedulerOptions &options, bool promote_inputs)
 {
     std::string key;
     if (options.memoize) {
-        key = evalCacheKey(config, layer, pattern, tiling,
+        key = evalCacheKey(config, layer, dataflow, tiling,
                            promote_inputs, options);
         if (auto cached = EvalCache::global().lookup(key))
             return *std::move(cached);
     }
 
     const LayerAnalysis analysis =
-        analyzeLayer(config, layer, pattern, tiling, promote_inputs);
+        analyzeLayer(config, layer, dataflowSpec(dataflow), tiling,
+                     promote_inputs);
     if (!analysis.feasible) {
         return makeError(ErrorCode::Infeasible,
                          "infeasible layer choice for ", layer.name,
@@ -239,6 +208,16 @@ evaluateLayerChoice(const AcceleratorConfig &config,
     if (options.memoize)
         EvalCache::global().insert(key, schedule);
     return schedule;
+}
+
+Result<LayerSchedule>
+evaluateLayerChoice(const AcceleratorConfig &config,
+                    const ConvLayerSpec &layer,
+                    ComputationPattern pattern, const Tiling &tiling,
+                    const SchedulerOptions &options, bool promote_inputs)
+{
+    return evaluateLayerChoice(config, layer, dataflowOf(pattern),
+                               tiling, options, promote_inputs);
 }
 
 Result<NetworkSchedule>

@@ -2,8 +2,10 @@
  * @file
  * RANA's layer-based scheduling scheme (Section IV-C3, Figure 13).
  *
- * For each layer, the scheduler explores the configured computation
- * patterns and tiling parameters, estimates total system energy with
+ * For each layer, the scheduler explores the configured dataflows
+ * (legacy computation patterns and systolic variants — see
+ * sim/dataflow.hh) and tiling parameters, estimates total system
+ * energy with
  * the Equation-14 model under the design's refresh policy and
  * interval, and picks the minimum-energy configuration. Applied to a
  * whole network this yields the hybrid computation pattern and the
@@ -37,18 +39,18 @@
 namespace rana {
 
 /**
- * Schedule one layer: minimum-energy pattern and tiling under the
+ * Schedule one layer: minimum-energy dataflow and tiling under the
  * options. Fails with ErrorCode::Infeasible when no feasible
  * configuration exists on the hardware, and with
  * ErrorCode::InvalidArgument when the options are self-contradictory
- * (e.g. an empty pattern list).
+ * (e.g. an empty dataflow list).
  */
 Result<LayerSchedule> scheduleLayer(const AcceleratorConfig &config,
                                     const ConvLayerSpec &layer,
                                     const SchedulerOptions &options);
 
 /**
- * Evaluate one explicit (pattern, tiling) choice for a layer,
+ * Evaluate one explicit (dataflow, tiling) choice for a layer,
  * producing the same record the scheduler would; useful for
  * baselines, ablations and schedule rebuilds. Fails with
  * ErrorCode::Infeasible when the choice does not fit the hardware.
@@ -56,6 +58,12 @@ Result<LayerSchedule> scheduleLayer(const AcceleratorConfig &config,
  * @param promote_inputs WD only: pin the whole input set in spare
  *        buffer capacity (see LayerAnalysis::inputsPromoted).
  */
+Result<LayerSchedule> evaluateLayerChoice(
+    const AcceleratorConfig &config, const ConvLayerSpec &layer,
+    DataflowKind dataflow, const Tiling &tiling,
+    const SchedulerOptions &options, bool promote_inputs = false);
+
+/** Compatibility shim over the pattern's canonical dataflow. */
 Result<LayerSchedule> evaluateLayerChoice(
     const AcceleratorConfig &config, const ConvLayerSpec &layer,
     ComputationPattern pattern, const Tiling &tiling,

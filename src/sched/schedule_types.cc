@@ -35,14 +35,32 @@ NetworkSchedule::totalSeconds() const
 }
 
 std::size_t
-NetworkSchedule::patternCount(ComputationPattern pattern) const
+NetworkSchedule::dataflowCount(DataflowKind dataflow) const
 {
     std::size_t count = 0;
     for (const auto &layer : layers) {
-        if (layer.analysis.pattern == pattern)
+        if (layer.analysis.dataflow == dataflow)
             ++count;
     }
     return count;
+}
+
+std::size_t
+NetworkSchedule::patternCount(ComputationPattern pattern) const
+{
+    return dataflowCount(dataflowOf(pattern));
+}
+
+std::vector<DataflowKind>
+effectiveDataflows(const SchedulerOptions &options)
+{
+    if (!options.dataflows.empty())
+        return options.dataflows;
+    std::vector<DataflowKind> dataflows;
+    dataflows.reserve(options.patterns.size());
+    for (ComputationPattern pattern : options.patterns)
+        dataflows.push_back(dataflowOf(pattern));
+    return dataflows;
 }
 
 } // namespace rana

@@ -15,6 +15,7 @@
 
 #include "edram/refresh_controller.hh"
 #include "energy/energy_table.hh"
+#include "sim/dataflow.hh"
 #include "sim/pattern.hh"
 #include "sim/pattern_analytics.hh"
 
@@ -23,7 +24,18 @@ namespace rana {
 /** Inputs to the layer-based scheduling scheme. */
 struct SchedulerOptions
 {
-    /** Computation patterns explored per layer. */
+    /**
+     * Dataflows explored per layer. When empty the search space is
+     * derived from `patterns` (the pre-dataflow compatibility axis);
+     * use effectiveDataflows() to resolve the axis a search actually
+     * sweeps. Listing a dataflow here supersedes `patterns`.
+     */
+    std::vector<DataflowKind> dataflows;
+    /**
+     * Computation patterns explored per layer. Compatibility view of
+     * `dataflows`: each pattern names its canonical legacy dataflow.
+     * Ignored when `dataflows` is non-empty.
+     */
     std::vector<ComputationPattern> patterns = {ComputationPattern::OD,
                                                 ComputationPattern::WD};
     /** Refresh policy of the target design's controller. */
@@ -57,7 +69,15 @@ struct SchedulerOptions
 };
 
 /**
- * One layer's compiled configuration: the chosen pattern and tiling,
+ * The dataflow axis a search over `options` sweeps: the explicit
+ * dataflow list when set, otherwise the canonical dataflows of the
+ * legacy pattern list (preserving its order).
+ */
+std::vector<DataflowKind>
+effectiveDataflows(const SchedulerOptions &options);
+
+/**
+ * One layer's compiled configuration: the chosen dataflow and tiling,
  * the analysis behind the choice, its Equation-14 operation counts
  * and energy, and the eDRAM refresh flags for the execution phase.
  */
@@ -72,13 +92,18 @@ struct LayerSchedule
     /** Whether the gated-global controller refreshes this layer. */
     bool gateOn = false;
 
-    /** Chosen computation pattern. */
+    /** Chosen dataflow. */
+    DataflowKind dataflow() const { return analysis.dataflow; }
+    /**
+     * Chosen computation pattern. Compatibility shim: only
+     * meaningful for legacy dataflows; prefer dataflow().
+     */
     ComputationPattern pattern() const { return analysis.pattern; }
     /** Chosen tiling. */
     const Tiling &tiling() const { return analysis.tiling; }
 };
 
-/** A whole network's schedule: the hybrid computation pattern. */
+/** A whole network's schedule: the hybrid dataflow mix. */
 struct NetworkSchedule
 {
     std::string networkName;
@@ -93,7 +118,12 @@ struct NetworkSchedule
     EnergyBreakdown totalEnergy() const;
     /** Total execution time in seconds. */
     double totalSeconds() const;
-    /** Number of layers scheduled with the given pattern. */
+    /** Number of layers scheduled with the given dataflow. */
+    std::size_t dataflowCount(DataflowKind dataflow) const;
+    /**
+     * Number of layers scheduled with the given pattern's canonical
+     * dataflow. Compatibility shim over dataflowCount().
+     */
     std::size_t patternCount(ComputationPattern pattern) const;
 };
 

@@ -84,4 +84,30 @@ tilingCandidates(const AcceleratorConfig &config,
     return candidates;
 }
 
+std::vector<DataflowChoice>
+dataflowChoices(const AcceleratorConfig &config,
+                const ConvLayerSpec &layer,
+                const SchedulerOptions &options)
+{
+    std::vector<Tiling> tilings;
+    if (options.fixedTiling) {
+        tilings.push_back(*options.fixedTiling);
+    } else {
+        tilings = tilingCandidates(config, layer);
+    }
+
+    const std::vector<DataflowKind> dataflows =
+        effectiveDataflows(options);
+    std::vector<DataflowChoice> choices;
+    choices.reserve(tilings.size() * dataflows.size() * 2);
+    for (DataflowKind dataflow : dataflows) {
+        for (const Tiling &tiling : tilings) {
+            choices.push_back({dataflow, tiling, false});
+            if (dataflow == DataflowKind::WD)
+                choices.push_back({dataflow, tiling, true});
+        }
+    }
+    return choices;
+}
+
 } // namespace rana

@@ -21,10 +21,23 @@
 #include <vector>
 
 #include "nn/conv_layer_spec.hh"
+#include "sched/schedule_types.hh"
 #include "sim/accelerator_config.hh"
+#include "sim/dataflow.hh"
 #include "sim/pattern.hh"
 
 namespace rana {
+
+/**
+ * One point of the per-layer design space: a dataflow, a tiling, and
+ * (WD only) the input-promotion variant.
+ */
+struct DataflowChoice
+{
+    DataflowKind dataflow = DataflowKind::ID;
+    Tiling tiling;
+    bool promoteInputs = false;
+};
 
 /**
  * Candidate values for one loop dimension: divisors of `extent`
@@ -40,6 +53,19 @@ std::vector<std::uint32_t> dimensionCandidates(std::uint32_t extent,
  */
 std::vector<Tiling> tilingCandidates(const AcceleratorConfig &config,
                                      const ConvLayerSpec &layer);
+
+/**
+ * The full per-layer search space — the dataflow x tiling product —
+ * in the order the serial scheduler visits it: dataflows outer
+ * (effectiveDataflows(options) order), tilings inner, the WD
+ * input-promotion variant directly after its unpromoted twin. The
+ * scheduler's reduction tie-breaks on this index, which is what
+ * keeps the parallel result byte-identical to the serial one.
+ */
+std::vector<DataflowChoice>
+dataflowChoices(const AcceleratorConfig &config,
+                const ConvLayerSpec &layer,
+                const SchedulerOptions &options);
 
 } // namespace rana
 

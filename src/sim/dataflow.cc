@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The six dataflow specifications and their name/parse helpers.
+ */
+
+#include "sim/dataflow.hh"
+
+#include "util/logging.hh"
+
+namespace rana {
+
+namespace {
+
+constexpr std::size_t kInput = static_cast<std::size_t>(DataType::Input);
+constexpr std::size_t kOutput =
+    static_cast<std::size_t>(DataType::Output);
+constexpr std::size_t kWeight =
+    static_cast<std::size_t>(DataType::Weight);
+
+/** The loop axis a data type does not depend on. */
+LoopAxis
+freeAxis(DataType type)
+{
+    switch (type) {
+      case DataType::Input:
+        return LoopAxis::M;
+      case DataType::Output:
+        return LoopAxis::N;
+      case DataType::Weight:
+        return LoopAxis::RC;
+    }
+    RANA_ASSERT(false, "bad data type");
+    return LoopAxis::M;
+}
+
+/** Position of an axis in a loop order. */
+int
+positionOf(const std::array<LoopAxis, 3> &order, LoopAxis axis)
+{
+    for (int i = 0; i < 3; ++i) {
+        if (order[static_cast<std::size_t>(i)] == axis)
+            return i;
+    }
+    RANA_ASSERT(false, "axis missing from loop order");
+    return 0;
+}
+
+/** Residency class implied by a reuse level. */
+Residency
+residencyOfLevel(int level)
+{
+    switch (level) {
+      case 0:
+        return Residency::Whole;
+      case 1:
+        return Residency::Slab;
+      default:
+        return Residency::Tile;
+    }
+}
+
+/** Build one spec; reuse levels and residency derive from the order. */
+DataflowSpec
+makeSpec(DataflowKind kind, const char *name,
+         std::array<LoopAxis, 3> order, bool systolic,
+         DataType stationary)
+{
+    DataflowSpec spec;
+    spec.kind = kind;
+    spec.name = name;
+    spec.order = order;
+    spec.systolic = systolic;
+    spec.stationary = stationary;
+    for (std::size_t i = 0; i < numDataTypes; ++i) {
+        const auto type = static_cast<DataType>(i);
+        const int level = positionOf(order, freeAxis(type));
+        spec.reuseLevel[i] = level;
+        // Outputs at reuse level 2 complete inside the core: their
+        // natural residency is one tile, like any level-2 operand.
+        spec.residency[i] = residencyOfLevel(level);
+    }
+    return spec;
+}
+
+/** The six specs, indexed by DataflowKind. */
+const std::array<DataflowSpec, numDataflowKinds> &
+specTable()
+{
+    static const std::array<DataflowSpec, numDataflowKinds> table = {
+        makeSpec(DataflowKind::ID, "ID",
+                 {LoopAxis::M, LoopAxis::RC, LoopAxis::N}, false,
+                 DataType::Input),
+        makeSpec(DataflowKind::OD, "OD",
+                 {LoopAxis::N, LoopAxis::M, LoopAxis::RC}, false,
+                 DataType::Output),
+        makeSpec(DataflowKind::WD, "WD",
+                 {LoopAxis::RC, LoopAxis::M, LoopAxis::N}, false,
+                 DataType::Weight),
+        makeSpec(DataflowKind::SystolicWS, "sys-ws",
+                 {LoopAxis::M, LoopAxis::N, LoopAxis::RC}, true,
+                 DataType::Weight),
+        makeSpec(DataflowKind::SystolicIS, "sys-is",
+                 {LoopAxis::RC, LoopAxis::N, LoopAxis::M}, true,
+                 DataType::Input),
+        makeSpec(DataflowKind::SystolicOS, "sys-os",
+                 {LoopAxis::N, LoopAxis::RC, LoopAxis::M}, true,
+                 DataType::Output),
+    };
+    return table;
+}
+
+} // namespace
+
+ComputationPattern
+DataflowSpec::legacyPattern() const
+{
+    switch (kind) {
+      case DataflowKind::ID:
+        return ComputationPattern::ID;
+      case DataflowKind::OD:
+        return ComputationPattern::OD;
+      case DataflowKind::WD:
+        return ComputationPattern::WD;
+      default:
+        break;
+    }
+    RANA_ASSERT(false, "legacyPattern() of a systolic dataflow");
+    return ComputationPattern::ID;
+}
+
+DataType
+DataflowSpec::arrayTile() const
+{
+    if (reuseLevel[kWeight] == 2)
+        return DataType::Weight;
+    RANA_ASSERT(reuseLevel[kInput] == 2 || reuseLevel[kOutput] == 2,
+                "loop order without a level-2 operand");
+    // When outputs complete innermost (ID/WD), weights are still the
+    // per-tile array operand; otherwise the input tile is pinned.
+    return reuseLevel[kInput] == 2 ? DataType::Input
+                                   : DataType::Weight;
+}
+
+const DataflowSpec &
+dataflowSpec(DataflowKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    RANA_ASSERT(index < numDataflowKinds, "bad dataflow kind");
+    return specTable()[index];
+}
+
+const DataflowSpec &
+dataflowSpec(ComputationPattern pattern)
+{
+    return dataflowSpec(dataflowOf(pattern));
+}
+
+DataflowKind
+dataflowOf(ComputationPattern pattern)
+{
+    switch (pattern) {
+      case ComputationPattern::ID:
+        return DataflowKind::ID;
+      case ComputationPattern::OD:
+        return DataflowKind::OD;
+      case ComputationPattern::WD:
+        return DataflowKind::WD;
+    }
+    RANA_ASSERT(false, "bad computation pattern");
+    return DataflowKind::ID;
+}
+
+const char *
+dataflowName(DataflowKind kind)
+{
+    return dataflowSpec(kind).name;
+}
+
+Result<DataflowKind>
+parseDataflowName(const std::string &token)
+{
+    for (DataflowKind kind : allDataflows()) {
+        if (token == dataflowName(kind))
+            return kind;
+    }
+    if (token == "id")
+        return DataflowKind::ID;
+    if (token == "od")
+        return DataflowKind::OD;
+    if (token == "wd")
+        return DataflowKind::WD;
+    return makeError(ErrorCode::ParseError, "unknown dataflow '",
+                     token,
+                     "' (expected ID, OD, WD, sys-ws, sys-is or "
+                     "sys-os)");
+}
+
+const std::array<DataflowKind, numDataflowKinds> &
+allDataflows()
+{
+    static const std::array<DataflowKind, numDataflowKinds> kinds = {
+        DataflowKind::ID,         DataflowKind::OD,
+        DataflowKind::WD,         DataflowKind::SystolicWS,
+        DataflowKind::SystolicIS, DataflowKind::SystolicOS,
+    };
+    return kinds;
+}
+
+std::vector<DataflowKind>
+legacyDataflows()
+{
+    return {DataflowKind::ID, DataflowKind::OD, DataflowKind::WD};
+}
+
+} // namespace rana

@@ -4,18 +4,20 @@
  * control part.
  *
  * The simulator walks the three memory-control loops of the chosen
- * computation pattern tile by tile, advancing a cycle-derived clock,
- * tallying core/buffer/DRAM traffic from individual events, staging
- * data with the pattern's natural residency, and driving the
- * event-driven eDRAM refresh controller (which counts refresh
- * operations and detects retention violations: reads of data that
- * aged past the tolerable retention time without a refresh).
+ * dataflow tile by tile, advancing a cycle-derived clock, tallying
+ * core/buffer/DRAM traffic from individual events, staging data with
+ * the dataflow's natural residency, and driving the event-driven
+ * eDRAM refresh controller (which counts refresh operations and
+ * detects retention violations: reads of data that aged past the
+ * tolerable retention time without a refresh). Systolic dataflows
+ * additionally serialize the array-skew stall into every tile and
+ * the stationary-tile preload into every 1st-level pass.
  *
  * It is the operational counterpart of the closed-form
  * PatternAnalytics model: the test suite asserts that both agree on
  * runtime, traffic, lifetimes and refresh counts across randomized
- * layers, tilings and patterns, and that correctly scheduled designs
- * never read stale data.
+ * layers, tilings and dataflows, and that correctly scheduled
+ * designs never read stale data.
  */
 
 #ifndef RANA_SIM_LOOPNEST_SIMULATOR_HH_
@@ -56,6 +58,11 @@ struct LayerSimResult
      * lifetime), in seconds.
      */
     std::array<double, numDataTypes> observedLifetime = {0.0, 0.0, 0.0};
+    /**
+     * Time lost to systolic skew and preload stalls (0 for the
+     * legacy patterns).
+     */
+    double stallSeconds = 0.0;
 };
 
 /**
@@ -130,6 +137,11 @@ class LoopNestSimulator
     /** Emit one event to the attached sink, if any. */
     void emit(TraceEventKind kind, double seconds, DataType type,
               std::uint64_t words, std::uint64_t tile_index);
+
+    /** The generic skewed walk for systolic dataflows. */
+    Result<LayerSimResult>
+    runLayerSystolic(const ConvLayerSpec &layer,
+                     const LayerAnalysis &analysis);
 
     AcceleratorConfig config_;
     RefreshPolicy policy_;

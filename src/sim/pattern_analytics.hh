@@ -44,6 +44,7 @@
 #include "energy/energy_table.hh"
 #include "nn/conv_layer_spec.hh"
 #include "sim/accelerator_config.hh"
+#include "sim/dataflow.hh"
 #include "sim/pattern.hh"
 
 namespace rana {
@@ -69,9 +70,31 @@ struct TypeAnalysis
     double coreStoreWords = 0.0;
 };
 
-/** Full analysis of one layer under one pattern and tiling. */
+/** Stall/utilization/bandwidth statistics of a systolic dataflow. */
+struct SystolicStats
+{
+    /** Total stall time (skew + preload) within the layer, seconds. */
+    double stallSeconds = 0.0;
+    /** Skew stall cycles added to every tile. */
+    double skewCyclesPerTile = 0.0;
+    /** Stationary-tile preload cycles per 1st-level pass. */
+    double preloadCyclesPerPass = 0.0;
+    /** Stall-free utilization: what the dense schedule would reach. */
+    double denseUtilization = 0.0;
+    /** Average off-chip bandwidth per data type, words/second. */
+    std::array<double, numDataTypes> dramBandwidth = {0.0, 0.0, 0.0};
+};
+
+/** Full analysis of one layer under one dataflow and tiling. */
 struct LayerAnalysis
 {
+    /** The analyzed dataflow. */
+    DataflowKind dataflow = DataflowKind::ID;
+    /**
+     * Compatibility view of the dataflow: the equivalent computation
+     * pattern. Only meaningful when the dataflow is legacy; systolic
+     * analyses keep the default. Use `dataflow` for dispatch.
+     */
     ComputationPattern pattern = ComputationPattern::ID;
     Tiling tiling;
 
@@ -109,12 +132,25 @@ struct LayerAnalysis
      */
     bool inputsPromoted = false;
 
+    /** Systolic stall/bandwidth statistics (zeros for legacy). */
+    SystolicStats systolic;
+
+    /** The dataflow's immutable specification. */
+    const DataflowSpec &spec() const { return dataflowSpec(dataflow); }
+
     /** Lifetimes as an array for refresh-demand assembly. */
     std::array<double, numDataTypes> lifetimes() const;
 };
 
 /**
- * Analyze a layer under a pattern and tiling on the given hardware.
+ * Analyze a layer under a dataflow and tiling on the given hardware.
+ *
+ * Legacy dataflows (ID/OD/WD) evaluate the paper's closed forms
+ * unchanged — a canonical spec is byte-identical to the historical
+ * pattern enum path. Systolic dataflows evaluate the generic
+ * loop-order model (storage/lifetime/traffic derived from each
+ * type's reuse level) with the skew and preload stalls of
+ * dataflowTileTiming() and fill LayerAnalysis::systolic.
  *
  * The result is marked infeasible when the tile exceeds the core's
  * local storage (Tn*Th*Tl <= Ri, Tm*Tr*Tc <= Ro, Tm*Tn*K^2 <= Rw) or
@@ -125,7 +161,19 @@ struct LayerAnalysis
  *        variant is infeasible when the promoted set does not fit.
  *        ID and OD inputs already stream from DRAM exactly once, so
  *        promotion is meaningful only for WD; requesting it for
- *        other patterns is ignored.
+ *        other dataflows is ignored.
+ */
+LayerAnalysis analyzeLayer(const AcceleratorConfig &config,
+                           const ConvLayerSpec &layer,
+                           const DataflowSpec &spec,
+                           const Tiling &tiling,
+                           bool promote_inputs = false);
+
+/**
+ * Compatibility shim: analyze under a bare computation pattern.
+ * Forwards to the canonical DataflowSpec of the pattern; kept so
+ * pre-dataflow call sites (and the paper's vocabulary) keep
+ * compiling without duplicating the enum-to-spec switch.
  */
 LayerAnalysis analyzeLayer(const AcceleratorConfig &config,
                            const ConvLayerSpec &layer,

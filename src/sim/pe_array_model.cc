@@ -69,6 +69,45 @@ tileTiming(const AcceleratorConfig &config, const ConvLayerSpec &layer,
     return timing;
 }
 
+SystolicTiming
+dataflowTileTiming(const AcceleratorConfig &config,
+                   const ConvLayerSpec &layer, const Tiling &tiling,
+                   const DataflowSpec &spec)
+{
+    SystolicTiming timing;
+    timing.tile = tileTiming(config, layer, tiling);
+    if (!spec.systolic)
+        return timing;
+
+    const Tiling t = clampTiling(tiling, layer);
+    const TileSizes tiles = tileSizes(layer, t);
+
+    // Array skew: the diagonal wavefront of a peRows x peCols array
+    // needs (rows + cols - 2) cycles to fill and drain per tile.
+    timing.skewCycles =
+        static_cast<double>(config.peRows + config.peCols - 2);
+    timing.tile.cycles += timing.skewCycles;
+    timing.tile.seconds = timing.tile.cycles / config.frequencyHz;
+
+    // Stationary-tile preload: one word per column lane per cycle.
+    std::uint64_t stationary_words = 0;
+    switch (spec.arrayTile()) {
+      case DataType::Input:
+        stationary_words = tiles.input;
+        break;
+      case DataType::Weight:
+        stationary_words = tiles.weight;
+        break;
+      case DataType::Output:
+        stationary_words = tiles.output;
+        break;
+    }
+    timing.preloadCycles = static_cast<double>(
+        ceilDiv(stationary_words, config.peCols));
+    timing.preloadSeconds = timing.preloadCycles / config.frequencyHz;
+    return timing;
+}
+
 double
 layerSeconds(const AcceleratorConfig &config, const ConvLayerSpec &layer,
              const Tiling &tiling)

@@ -41,7 +41,7 @@ TEST(ConfigErrors, WellFormedInputStillParses)
                 1e-12);
     EXPECT_EQ(record.policy, RefreshPolicy::PerBank);
     ASSERT_EQ(record.layers.size(), 1u);
-    EXPECT_EQ(record.layers[0].pattern, ComputationPattern::OD);
+    EXPECT_EQ(record.layers[0].dataflow, DataflowKind::OD);
     EXPECT_FALSE(record.layers[0].refreshFlags[0]);
     EXPECT_TRUE(record.layers[0].refreshFlags[1]);
     EXPECT_TRUE(record.layers[0].gateOn);
@@ -50,7 +50,7 @@ TEST(ConfigErrors, WellFormedInputStillParses)
 TEST(ConfigErrors, BadHeader)
 {
     expectParseError("bogus v1\nend\n", "bad config header");
-    expectParseError("rana-config v2\nend\n", "bad config header");
+    expectParseError("rana-config v3\nend\n", "bad config header");
 }
 
 TEST(ConfigErrors, IncompleteStream)
@@ -81,6 +81,18 @@ TEST(ConfigErrors, BadPattern)
     expectParseError(
         "rana-config v1\nlayer a XX 1 1 1 1 0 000 0\nend\n",
         "bad pattern 'XX'");
+    // v1 predates the dataflow axis: systolic names are not valid
+    // pattern tokens there.
+    expectParseError(
+        "rana-config v1\nlayer a sys-ws 1 1 1 1 0 000 0\nend\n",
+        "bad pattern 'sys-ws'");
+}
+
+TEST(ConfigErrors, BadDataflow)
+{
+    expectParseError(
+        "rana-config v2\nlayer a sys-zz 1 1 1 1 0 000 0\nend\n",
+        "bad dataflow 'sys-zz'");
 }
 
 TEST(ConfigErrors, TruncatedLayerLine)

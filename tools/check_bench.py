@@ -53,6 +53,16 @@ Gates:
   throughput are virtual-time quantities, deterministic per seed, so
   the SLO bounds are tight without being runner-sensitive.
 
+* dataflow_search - the widened systolic dataflow axis must keep
+  paying off: across the benchmark suite the six-dataflow search
+  must choose a systolic dataflow for at least
+  min_systolic_win_layers layers, at least one network must
+  strictly improve simulated refresh energy over the best legacy
+  ID/OD/WD schedule (best_refresh_energy_delta_j floor), and per
+  network the widened search must never produce a worse total
+  energy than the legacy axis it contains (a superset search that
+  regresses means the scheduler's reduction broke).
+
 Exit codes: 0 pass, 1 one or more gate regressions, 2 malformed
 input (unreadable or unparseable JSON, a broken envelope, a repeated
 or ungated harness, or bad usage). Malformed input takes precedence
@@ -81,6 +91,7 @@ KNOWN_HARNESSES = (
     "fig18_capacity_sweep",
     "fig19_dadiannao",
     "ablations",
+    "dataflow_search",
     "interlayer_reuse",
     "resolution_sweep",
     "sched_scaling",
@@ -423,6 +434,65 @@ def check_sched_scaling(report):
     return failures
 
 
+def check_dataflow_search(baseline, report):
+    """Gate the widened dataflow search: systolic dataflows must
+    still win layers, at least one network must strictly improve
+    refresh energy over the best legacy schedule, and a superset
+    search must never regress any network's total energy."""
+    expected = baseline["dataflow_search"]
+    failures = 0
+
+    win_layers = report.get("systolic_win_layers", 0)
+    min_wins = expected["min_systolic_win_layers"]
+    if win_layers < min_wins:
+        failures += fail_metric(
+            "systolic_win_layers",
+            f"{win_layers}",
+            f">= {min_wins}",
+            "exact",
+            "the widened search stopped choosing systolic dataflows",
+        )
+    else:
+        passed("systolic_win_layers", f"{win_layers}",
+               f">= {min_wins}", "exact")
+
+    delta = report.get("best_refresh_energy_delta_j")
+    floor = expected["min_refresh_energy_delta_j"]
+    if delta is None or delta <= floor:
+        failures += fail_metric(
+            "best_refresh_energy_delta_j",
+            f"{delta}",
+            f"> {floor}",
+            "exact",
+            "no network improved refresh energy with a systolic win",
+        )
+    else:
+        passed(
+            "best_refresh_energy_delta_j",
+            f"{delta:.6e}",
+            f"> {floor}",
+            "exact",
+        )
+
+    for entry in report.get("networks", []):
+        name = entry.get("network", "?")
+        legacy = entry.get("legacy_total_energy_j")
+        widened = entry.get("widened_total_energy_j")
+        metric = f"{name}_widened_total_energy_j"
+        if legacy is None or widened is None or widened > legacy:
+            failures += fail_metric(
+                metric,
+                f"{widened}",
+                f"<= {legacy}",
+                "exact",
+                "a superset search produced a worse schedule",
+            )
+        else:
+            passed(metric, f"{widened:.6e}", f"<= {legacy:.6e}",
+                   "exact")
+    return failures
+
+
 def check_serving(baseline, report):
     """Gate the multi-tenant serving SLOs: deterministic replay,
     a worst-tenant p99 latency ceiling and a total-throughput
@@ -502,6 +572,7 @@ GATES = {
         report
     ),
     "serving": check_serving,
+    "dataflow_search": check_dataflow_search,
 }
 
 

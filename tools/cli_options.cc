@@ -44,6 +44,23 @@ parseCount(const std::string &option, const std::string &value)
 
 } // namespace
 
+Result<std::vector<DataflowKind>>
+parseDataflowList(const std::string &value)
+{
+    if (value == "auto") {
+        const auto all = allDataflows();
+        return std::vector<DataflowKind>(all.begin(), all.end());
+    }
+    const Result<DataflowKind> kind = parseDataflowName(value);
+    if (!kind.ok()) {
+        return makeError(ErrorCode::InvalidArgument,
+                         "unknown dataflow '", value,
+                         "' (expected auto, id, od, wd, sys-os, "
+                         "sys-is or sys-ws)");
+    }
+    return std::vector<DataflowKind>{kind.value()};
+}
+
 Result<DesignKind>
 parseDesign(const std::string &name)
 {

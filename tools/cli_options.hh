@@ -11,9 +11,11 @@
 #define RANA_TOOLS_CLI_OPTIONS_HH_
 
 #include <string>
+#include <vector>
 
 #include "core/design_point.hh"
 #include "edram/guard_policy.hh"
+#include "sim/dataflow.hh"
 #include "util/result.hh"
 
 namespace rana {
@@ -21,6 +23,15 @@ namespace cli {
 
 /** Parse a Table-IV design-point name ("RANA*", "eD+ID", ...). */
 Result<DesignKind> parseDesign(const std::string &name);
+
+/**
+ * Parse a --dataflow option value: "auto" selects the full
+ * six-dataflow search axis, any other token names a single dataflow
+ * (id | od | wd | sys-os | sys-is | sys-ws, legacy names
+ * case-insensitive). Errors name the accepted tokens.
+ */
+Result<std::vector<DataflowKind>>
+parseDataflowList(const std::string &value);
 
 /** Options every tool accepts, filled by consumeCommonOption. */
 struct CommonOptions

@@ -11,6 +11,10 @@
  *   <network>            AlexNet | VGG | GoogLeNet | ResNet
  *   --design NAME        S+ID | eD+ID | eD+OD | RANA0 | RANAE5 |
  *                        RANA*  (default RANA*)
+ *   --dataflow NAME      override the design's dataflow search axis:
+ *                        auto (all six) | id | od | wd | sys-os |
+ *                        sys-is | sys-ws  (default: the design's
+ *                        legacy pattern list)
  *   --failure-rate R     override the tolerable failure rate
  *   --jobs N             scheduler worker lanes (default: one per
  *                        hardware thread; 1 = serial)
@@ -58,15 +62,18 @@ printSummary(const DesignPoint &design, const NetworkModel &network,
     for (const auto &layer : schedule.layers)
         energy += layer.energy;
     const EvalCache::Stats cache = EvalCache::global().stats();
+    std::ostringstream mix;
+    for (DataflowKind dataflow : allDataflows()) {
+        const std::size_t count = schedule.dataflowCount(dataflow);
+        if (count > 0)
+            mix << " " << dataflowName(dataflow) << ":" << count;
+    }
     std::cerr << "compiled " << network.name() << " for "
               << design.name << " ("
               << design.config.buffer.describe() << ")\n"
               << "  refresh interval: "
               << formatTime(schedule.refreshIntervalSeconds) << "\n"
-              << "  pattern mix OD/WD/ID: "
-              << schedule.patternCount(ComputationPattern::OD) << "/"
-              << schedule.patternCount(ComputationPattern::WD) << "/"
-              << schedule.patternCount(ComputationPattern::ID) << "\n"
+              << "  dataflow mix:" << mix.str() << "\n"
               << "  energy: " << energy.describe() << "\n"
               << "  runtime: " << formatTime(schedule.totalSeconds())
               << "\n"
@@ -89,14 +96,16 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: rana_compile <network> [--design NAME] "
-                     "[--failure-rate R] [--jobs N] [--output FILE] "
-                     "[--verify FILE] [--summary] "
+                     "[--dataflow auto|NAME] [--failure-rate R] "
+                     "[--jobs N] [--output FILE] [--verify FILE] "
+                     "[--summary] "
                   << cli::commonOptionsUsage() << "\n";
         return 1;
     }
 
     const std::string network_name = argv[1];
     std::string design_name = "RANA*";
+    std::string dataflow_name;
     std::string output_path;
     std::string verify_path;
     double failure_rate = -1.0;
@@ -121,6 +130,8 @@ main(int argc, char **argv)
         };
         if (arg == "--design") {
             design_name = next();
+        } else if (arg == "--dataflow") {
+            dataflow_name = next();
         } else if (arg == "--failure-rate") {
             const std::string value = next();
             char *end = nullptr;
@@ -168,6 +179,13 @@ main(int argc, char **argv)
         RetentionDistribution::typical65nm();
     DesignPoint design = makeDesignPoint(kind.value(), retention);
     design.options.jobs = jobs;
+    if (!dataflow_name.empty()) {
+        Result<std::vector<DataflowKind>> dataflows =
+            cli::parseDataflowList(dataflow_name);
+        if (!dataflows.ok())
+            return fail(dataflows.error());
+        design.options.dataflows = std::move(dataflows).value();
+    }
     if (failure_rate >= 0.0) {
         design.failureRate = failure_rate;
         design.options.refreshIntervalSeconds =
